@@ -1,0 +1,75 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: one
+// experiment per theorem of the paper (see DESIGN.md section 4 for the
+// index).
+//
+//	go run ./cmd/experiments            # full sweeps (minutes)
+//	go run ./cmd/experiments -quick     # reduced sweeps (seconds)
+//	go run ./cmd/experiments -only E1,E4
+//	go run ./cmd/experiments -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"meshsort/internal/exp"
+	"meshsort/internal/stats"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweeps")
+		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed  = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+	o := exp.Options{Quick: *quick, Seed: *seed}
+
+	run := map[string]func() []*stats.Table{
+		"E1":  func() []*stats.Table { return []*stats.Table{exp.E1SimpleSortMesh(o), exp.E1bSeedStability(o)} },
+		"E2":  func() []*stats.Table { return []*stats.Table{exp.E2CopySortMesh(o)} },
+		"E3":  func() []*stats.Table { return []*stats.Table{exp.E3TorusSort(o)} },
+		"E4":  func() []*stats.Table { return []*stats.Table{exp.E4Baselines(o)} },
+		"E5":  func() []*stats.Table { return []*stats.Table{exp.E5GreedyMultiPerm(o), exp.E5bUnshuffle(o)} },
+		"E6":  func() []*stats.Table { return []*stats.Table{exp.E6TwoPhaseRoute(o), exp.E6bMinNu(o)} },
+		"E7":  func() []*stats.Table { return []*stats.Table{exp.E7DiamondBounds(o)} },
+		"E8":  func() []*stats.Table { return exp.E8LowerBounds(o) },
+		"E9":  func() []*stats.Table { return exp.E9Selection(o) },
+		"E10": func() []*stats.Table { return []*stats.Table{exp.E10KKSort(o)} },
+		"E11": func() []*stats.Table { return []*stats.Table{exp.E11CenterRadius(o)} },
+		"E12": func() []*stats.Table { return []*stats.Table{exp.E12QueueAudit(o)} },
+		"E13": func() []*stats.Table { return []*stats.Table{exp.E13AltEstimator(o)} },
+		"E14": func() []*stats.Table { return []*stats.Table{exp.E14Derandomization(o)} },
+		"E15": func() []*stats.Table { return []*stats.Table{exp.E15OfflineRoute(o)} },
+		"E16": func() []*stats.Table { return []*stats.Table{exp.E16KKRoutingBisection(o)} },
+		"E17": func() []*stats.Table { return []*stats.Table{exp.E17RealLocalSort(o)} },
+		"E18": func() []*stats.Table { return []*stats.Table{exp.E18QueueBlowup(o)} },
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		start := time.Now()
+		for _, tb := range run[id]() {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		if !*csv {
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Command meshsort runs one of the paper's algorithms on a configurable
+// mesh or torus and prints per-phase statistics.
+//
+// Usage:
+//
+//	meshsort -alg simple -d 3 -n 16 -b 4
+//	meshsort -alg torus -d 3 -n 16 -b 8 -seed 7
+//	meshsort -alg route -d 3 -n 16 -b 4
+//	meshsort -alg select -d 3 -n 16 -b 4
+//
+// Algorithms: simple (Thm 3.1), copy (Thm 3.2), torussort (Thm 3.3),
+// full (the 2D baseline), oddeven (transposition-sort baseline), route
+// (two-phase permutation routing, Thm 5.1/5.2), greedyroute (baseline),
+// select (Section 4.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meshsort/internal/baseline"
+	"meshsort/internal/core"
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/route"
+	"meshsort/internal/xmath"
+)
+
+func main() {
+	var (
+		alg   = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|route|greedyroute|select")
+		d     = flag.Int("d", 3, "dimension")
+		n     = flag.Int("n", 16, "side length")
+		b     = flag.Int("b", 4, "block side length")
+		k     = flag.Int("k", 1, "packets per processor (simple only)")
+		torus = flag.Bool("torus", false, "use a torus instead of a mesh")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		real  = flag.Bool("real", false, "simulate local sorts in-mesh (shearsort) instead of charging the cost model")
+		alt   = flag.Bool("alt", false, "use the bias-corrected destination estimator (ablation E13)")
+		work  = flag.Int("workers", 0, "engine shard workers (0 = GOMAXPROCS)")
+		pperm = flag.String("perm", "random", "permutation for routing algorithms: random|reversal|transpose|hotspot")
+		heat  = flag.Bool("heat", false, "print an ASCII congestion heatmap after greedyroute (2-d meshes only)")
+		mode  = flag.String("classes", "local", "greedyroute class assignment: zero|random|local (zero = plain greedy)")
+	)
+	flag.Parse()
+
+	var shape grid.Shape
+	if *torus || *alg == "torussort" {
+		shape = grid.NewTorus(*d, *n)
+	} else {
+		shape = grid.New(*d, *n)
+	}
+	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
+		RealLocalSort: *real, AltEstimator: *alt, Workers: *work}
+	keys := core.RandomKeys(shape, max(1, *k), *seed+1)
+	D := shape.Diameter()
+	fmt.Printf("%v: N=%d D=%d block=%d\n", shape, shape.N(), D, *b)
+
+	switch *alg {
+	case "simple", "copy", "torussort", "full":
+		var res core.Result
+		var err error
+		switch *alg {
+		case "simple":
+			res, err = core.SimpleSort(cfg, keys)
+		case "copy":
+			res, err = core.CopySort(cfg, keys)
+		case "torussort":
+			res, err = core.TorusSort(cfg, keys)
+		case "full":
+			res, err = core.FullSort(cfg, keys)
+		}
+		fail(err)
+		printSort(res)
+	case "oddeven":
+		res, err := baseline.RunOddEven(shape, keys)
+		fail(err)
+		fmt.Printf("odd-even transposition: %d rounds (= steps), sorted=%v, %.2f x diameter\n",
+			res.Rounds, res.Sorted, float64(res.Rounds)/float64(D))
+	case "route":
+		prob := pickPerm(*pperm, shape, *seed)
+		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed}, prob)
+		fail(err)
+		fmt.Printf("two-phase routing: %d routing steps (bound D+2nu = %d), nu=%d effective=%d, delivered=%v\n",
+			res.RouteSteps, res.Bound, res.Nu, res.EffectiveNu, res.Delivered)
+		for _, ph := range res.Phases {
+			printPhase(ph)
+		}
+	case "greedyroute":
+		prob := pickPerm(*pperm, shape, *seed)
+		net := engine.New(shape)
+		net.Workers = *work
+		net.CountLoads = *heat
+		pkts := make([]*engine.Packet, prob.Size())
+		for i := range pkts {
+			pkts[i] = net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
+			pkts[i].Dst = prob.Dst[i]
+		}
+		cm := route.ClassLocalRank
+		switch *mode {
+		case "zero":
+			cm = route.ClassZero
+		case "random":
+			cm = route.ClassRandom
+		}
+		route.AssignClasses(shape, pkts, nil, cm, *b, *seed)
+		net.Inject(pkts)
+		res, err := net.Route(route.NewGreedy(shape), engine.RouteOpts{})
+		fail(err)
+		fmt.Printf("greedy routing of %s: %d steps (D=%d), max overshoot %d, max queue %d\n",
+			prob.Name, res.Steps, D, res.MaxOvershoot, res.MaxQueue)
+		if *heat {
+			printHeatmap(net)
+		}
+	case "select":
+		res, err := core.Select(cfg, keys, shape.N()/2)
+		fail(err)
+		fmt.Printf("selection: median=%d correct=%v, %d routing steps (%.2f D), %d candidates\n",
+			res.Value, res.Correct, res.RouteSteps, float64(res.RouteSteps)/float64(D), res.Candidates)
+		for _, ph := range res.Phases {
+			printPhase(ph)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+}
+
+func printSort(res core.Result) {
+	D := res.Diameter()
+	fmt.Printf("%s: sorted=%v\n", res.Algorithm, res.Sorted)
+	fmt.Printf("  routing steps: %d  (%.3f x D)\n", res.RouteSteps, res.RouteRatio())
+	fmt.Printf("  local (o(n))-charged steps: %d\n", res.OracleSteps)
+	fmt.Printf("  total: %d (%.3f x D), merge rounds: %d, max queue: %d\n",
+		res.TotalSteps, res.TotalRatio(), res.MergeRounds, res.MaxQueue)
+	if res.MaxPairDist > 0 {
+		fmt.Printf("  max pair distance after center sort: %d (%.3f x D; Lemma 3.3/3.4 bound ~0.5)\n",
+			res.MaxPairDist, float64(res.MaxPairDist)/float64(D))
+	}
+	for _, ph := range res.Phases {
+		printPhase(ph)
+	}
+}
+
+func printPhase(ph core.PhaseStat) {
+	if ph.Kind == "route" {
+		fmt.Printf("  phase %-22s %5d steps  maxdist=%d overshoot=%d maxqueue=%d\n",
+			ph.Name, ph.Steps, ph.MaxDist, ph.MaxOvershoot, ph.MaxQueue)
+	} else {
+		fmt.Printf("  phase %-22s %5d steps  (charged %s)\n", ph.Name, ph.Steps, ph.Kind)
+	}
+}
+
+// pickPerm builds the requested routing problem.
+func pickPerm(name string, shape grid.Shape, seed uint64) perm.Problem {
+	switch name {
+	case "random":
+		return perm.Random(shape, xmath.NewRNG(seed))
+	case "reversal":
+		return perm.Reversal(shape)
+	case "transpose":
+		return perm.Transpose(shape)
+	case "hotspot":
+		return perm.HotSpot(shape)
+	}
+	fmt.Fprintf(os.Stderr, "unknown permutation %q\n", name)
+	os.Exit(2)
+	return perm.Problem{}
+}
+
+// printHeatmap renders per-processor link load as an ASCII grid (2-d
+// meshes; higher dimensions print per-dimension totals instead).
+func printHeatmap(net *engine.Net) {
+	s := net.Shape
+	prof := net.LoadProfile()
+	if s.Dim != 2 {
+		fmt.Printf("congestion: total hops %d, max link load %d, by dimension %v\n",
+			prof.Total, prof.Max, prof.ByDim)
+		return
+	}
+	scale := " .:-=+*#%@"
+	fmt.Printf("congestion heatmap (max link load %d):\n", prof.Max)
+	for r := 0; r < s.Side; r++ {
+		row := make([]byte, s.Side)
+		for c := 0; c < s.Side; c++ {
+			rank := s.Rank([]int{r, c})
+			var load int64
+			for l := 0; l < 4; l++ {
+				load += net.LinkLoad(rank, l)
+			}
+			idx := 0
+			if prof.Max > 0 {
+				idx = int(load * int64(len(scale)-1) / (4 * prof.Max))
+				if idx >= len(scale) {
+					idx = len(scale) - 1
+				}
+			}
+			row[c] = scale[idx]
+		}
+		fmt.Printf("  %s\n", row)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/route"
+)
+
+func TestPickPerm(t *testing.T) {
+	s := grid.New(2, 8)
+	for _, name := range []string{"random", "reversal", "transpose", "hotspot"} {
+		p := pickPerm(name, s, 1)
+		if err := p.Validate(s.N(), 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPrintHeatmapRuns(t *testing.T) {
+	// Smoke: the heatmap renderer must handle loaded and empty networks
+	// in 2 and 3 dimensions without panicking.
+	for _, s := range []grid.Shape{grid.New(2, 8), grid.New(3, 4)} {
+		net := engine.New(s)
+		net.CountLoads = true
+		prob := pickPerm("reversal", s, 1)
+		pkts := make([]*engine.Packet, prob.Size())
+		for i := range pkts {
+			pkts[i] = net.NewPacket(0, prob.Src[i])
+			pkts[i].Dst = prob.Dst[i]
+		}
+		net.Inject(pkts)
+		if _, err := net.Route(route.NewGreedy(s), engine.RouteOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		printHeatmap(net)
+	}
+	printHeatmap(engine.New(grid.New(2, 4))) // no loads counted
+}

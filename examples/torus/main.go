@@ -1,0 +1,53 @@
+// Torus: the paper's three sorting algorithms side by side on networks
+// of the same size — TorusSort on the torus (Theorem 3.3, 3D/2 + o(n)
+// with D = dn/2), SimpleSort and CopySort on the mesh (Theorems 3.1 and
+// 3.2), and the previous-best FullSort baseline (2D + o(n)).
+//
+//	go run ./examples/torus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshsort"
+)
+
+func main() {
+	const d, n, b = 3, 32, 8
+	mesh := meshsort.Mesh(d, n)
+	torus := meshsort.Torus(d, n)
+	keys := meshsort.RandomKeys(mesh, 1, 99)
+
+	type row struct {
+		name  string
+		shape meshsort.Shape
+		run   func() (meshsort.Result, error)
+		bound string
+	}
+	mcfg := meshsort.Config{Shape: mesh, BlockSide: b, Seed: 5}
+	tcfg := meshsort.Config{Shape: torus, BlockSide: b, Seed: 5}
+	rows := []row{
+		{"FullSort (prev best)", mesh, func() (meshsort.Result, error) { return meshsort.FullSort(mcfg, keys) }, "2.00"},
+		{"SimpleSort", mesh, func() (meshsort.Result, error) { return meshsort.SimpleSort(mcfg, keys) }, "1.50"},
+		{"CopySort", mesh, func() (meshsort.Result, error) { return meshsort.CopySort(mcfg, keys) }, "1.25 (d>=8)"},
+		{"TorusSort", torus, func() (meshsort.Result, error) { return meshsort.TorusSort(tcfg, keys) }, "1.50"},
+	}
+
+	fmt.Printf("sorting %d keys, d=%d n=%d block=%d\n\n", len(keys), d, n, b)
+	fmt.Printf("%-22s %-10s %-8s %-14s %-12s %s\n", "algorithm", "network", "D", "routing steps", "steps/D", "paper bound/D")
+	for _, r := range rows {
+		res, err := r.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Sorted {
+			log.Fatalf("%s failed to sort", r.name)
+		}
+		D := r.shape.Diameter()
+		fmt.Printf("%-22s %-10v %-8d %-14d %-12.3f %s\n",
+			r.name, r.shape, D, res.RouteSteps, res.RouteRatio(), r.bound)
+	}
+	fmt.Println("\n(ratios include finite-size contention slack; they approach the bound as n grows —")
+	fmt.Println(" see EXPERIMENTS.md for the sweeps. CopySort's 5/4 bound needs d >= 8.)")
+}

@@ -1,0 +1,3 @@
+module meshsort
+
+go 1.22

@@ -1,0 +1,222 @@
+package baseline
+
+import (
+	"fmt"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/index"
+)
+
+// Multi-dimensional shearsort: a real, in-mesh sorter for the blocks of
+// the blocked snake-like indexing scheme. The paper (like its
+// predecessors) treats block-local sorting as a black box costing o(n)
+// steps; core.Config.RealLocalSort uses this implementation to execute
+// those phases step-by-step instead of charging an oracle cost, so whole
+// runs can be simulated end-to-end with no oracle movement in the local
+// sort phases.
+//
+// The scheme generalizes classical 2-d shearsort. The block's local
+// snake order is lexicographic in the flip-transformed coordinate
+// digits, so each iteration sorts all lines along each dimension into
+// that dimension's snake direction: ascending iff the flip state
+// accumulated over the line's leading raw digits is false. For d = 2
+// this is exactly classical shearsort (columns ascending, rows
+// alternating). Lines sort by parallel odd-even transposition; all
+// lines of a pass run in parallel, so a pass costs the maximum round
+// count over its lines. Iterations repeat until the block is sorted
+// (log-many suffice in the 2-d analysis and empirically here); a
+// bounded odd-even transposition sweep along the block's snake path —
+// physically contiguous — guarantees termination on adversarial inputs.
+//
+// Processors may hold any uniform number k of packets: lines become
+// virtual lines of k*side entries. A virtual transposition round still
+// costs one step, because consecutive processor boundaries are k >= 1
+// virtual positions apart, so at most one compare-exchange spans any
+// physical link per round (an exchange moves one packet each way over
+// the bidirectional link).
+
+// ShearStats reports the cost of one ShearSortBlocks call.
+type ShearStats struct {
+	Steps      int // simulated steps charged (max over blocks; blocks run in parallel)
+	Iterations int // max shear iterations used by any block
+	Fallback   int // max fallback transposition rounds used by any block (0 = pure shearsort)
+}
+
+// ShearSortBlocks sorts the held packets of every listed block into the
+// block-local snake order (packet of block-local rank r ends at the
+// processor with local snake position r/k) by simulated in-mesh
+// shearsort, and advances the network clock by the parallel cost.
+func ShearSortBlocks(net *engine.Net, b *index.Blocked, blocks []int) (ShearStats, error) {
+	var st ShearStats
+	for _, blockID := range blocks {
+		s, err := shearSortBlock(net, b, blockID)
+		if err != nil {
+			return st, err
+		}
+		if s.Steps > st.Steps {
+			st.Steps = s.Steps
+		}
+		if s.Iterations > st.Iterations {
+			st.Iterations = s.Iterations
+		}
+		if s.Fallback > st.Fallback {
+			st.Fallback = s.Fallback
+		}
+	}
+	net.AdvanceClock(st.Steps)
+	return st, nil
+}
+
+func shearSortBlock(net *engine.Net, b *index.Blocked, blockID int) (ShearStats, error) {
+	var st ShearStats
+	d := b.Shape().Dim
+	side := b.Spec.Side
+	V := b.BlockVolume()
+
+	// Uniform packets per processor.
+	k := len(net.Held(b.Spec.ProcAt(blockID, 0)))
+	if k == 0 {
+		return st, fmt.Errorf("baseline: shearsort on empty block %d", blockID)
+	}
+	// cells[off*k+t] is the t-th packet at row-major offset off.
+	cells := make([]*engine.Packet, V*k)
+	for off := 0; off < V; off++ {
+		rank := b.Spec.ProcAt(blockID, off)
+		held := net.Held(rank)
+		if len(held) != k {
+			return st, fmt.Errorf("baseline: shearsort needs a uniform load, rank %d has %d packets, block has %d", rank, len(held), k)
+		}
+		copy(cells[off*k:], held)
+	}
+	less := func(x, y *engine.Packet) bool {
+		if x.Key != y.Key {
+			return x.Key < y.Key
+		}
+		return x.ID < y.ID
+	}
+
+	// stride of dimension j within the row-major offset.
+	stride := make([]int, d)
+	s := 1
+	for j := d - 1; j >= 0; j-- {
+		stride[j] = s
+		s *= side
+	}
+
+	// sortLinesAlong sorts every (virtual) line along dimension j into
+	// its snake direction and returns the rounds used (max over lines).
+	sortLinesAlong := func(j int) int {
+		rounds := 0
+		for base := 0; base < V; base++ {
+			if (base/stride[j])%side != 0 {
+				continue
+			}
+			flip := false
+			for i := 0; i < j; i++ {
+				digit := (base / stride[i]) % side
+				if digit%2 == 1 {
+					flip = !flip
+				}
+			}
+			idx := func(i int) int {
+				return (base+(i/k)*stride[j])*k + i%k
+			}
+			r := sortVirtualLine(cells, idx, side*k, !flip, less)
+			if r > rounds {
+				rounds = r
+			}
+		}
+		return rounds
+	}
+
+	snakeIdx := func(l int) int {
+		return b.Spec.OffsetOf(b.ProcAtLocal(blockID, l/k))*k + l%k
+	}
+	inOrder := func() bool {
+		for l := 0; l+1 < V*k; l++ {
+			if less(cells[snakeIdx(l+1)], cells[snakeIdx(l)]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	maxIter := 2 * (log2ceil(V*k) + 2)
+	for it := 0; it < maxIter && !inOrder(); it++ {
+		st.Iterations++
+		st.Steps += sortLinesAlong(d - 1)
+		for j := d - 2; j >= 0; j-- {
+			st.Steps += sortLinesAlong(j)
+		}
+	}
+	if !inOrder() {
+		// Adversarial leftovers: odd-even transposition along the
+		// block's snake path (physically contiguous, one step per
+		// round).
+		r := sortVirtualLine(cells, snakeIdx, V*k, true, less)
+		st.Fallback = r
+		st.Steps += r
+	}
+	if !inOrder() {
+		return st, fmt.Errorf("baseline: shearsort failed to sort block %d", blockID)
+	}
+
+	// Write back: packet of local rank r to the processor at local snake
+	// position r/k.
+	for off := 0; off < V; off++ {
+		net.SetHeld(b.Spec.ProcAt(blockID, off), nil)
+	}
+	for l := 0; l < V*k; l++ {
+		rank := b.ProcAtLocal(blockID, l/k)
+		p := cells[snakeIdx(l)]
+		p.Dst = rank
+		net.SetHeld(rank, append(net.Held(rank), p))
+	}
+	return st, nil
+}
+
+// sortVirtualLine runs odd-even transposition over the virtual line
+// cells[idx(0)], ..., cells[idx(length-1)] in the requested direction
+// and returns the rounds used (quiet-round early exit).
+func sortVirtualLine(cells []*engine.Packet, idx func(int) int, length int, asc bool, less func(a, b *engine.Packet) bool) int {
+	bad := func(i int) bool {
+		x, y := cells[idx(i)], cells[idx(i+1)]
+		if asc {
+			return less(y, x)
+		}
+		return less(x, y)
+	}
+	rounds := 0
+	for round := 0; round < length+2; round++ {
+		swapped := false
+		for i := round % 2; i+1 < length; i += 2 {
+			if bad(i) {
+				cells[idx(i)], cells[idx(i+1)] = cells[idx(i+1)], cells[idx(i)]
+				swapped = true
+			}
+		}
+		rounds++
+		if !swapped && round > 0 {
+			quiet := true
+			for i := 1 - round%2; i+1 < length; i += 2 {
+				if bad(i) {
+					quiet = false
+					break
+				}
+			}
+			if quiet {
+				break
+			}
+		}
+	}
+	return rounds
+}
+
+// log2ceil returns ceil(log2(v)) for v >= 1.
+func log2ceil(v int) int {
+	n := 0
+	for p := 1; p < v; p *= 2 {
+		n++
+	}
+	return n
+}

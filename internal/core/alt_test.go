@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+)
+
+func TestAltEstimatorSortsAndHelps(t *testing.T) {
+	// At alpha = 1/2 (B^2 = V) the corrected estimator must still sort
+	// and should need no more merge rounds than the paper's estimator on
+	// random inputs.
+	cfg := Config{Shape: grid.New(3, 16), BlockSide: 4, Seed: 3}
+	keys := RandomKeys(cfg.Shape, 1, 7)
+	paper, err := SimpleSort(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AltEstimator = true
+	alt, err := SimpleSort(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, "SimpleSort-alt", keys, alt)
+	if alt.MergeRounds > paper.MergeRounds {
+		t.Errorf("corrected estimator needed %d merge rounds, paper needed %d", alt.MergeRounds, paper.MergeRounds)
+	}
+	// Also on adversarial inputs it must still sort (rounds may vary).
+	for name, ks := range adversarialInputs(cfg.Shape, 1) {
+		res, err := SimpleSort(cfg, ks)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSorted(t, "alt/"+name, ks, res)
+	}
+}
+
+func TestAltEstimatorKK(t *testing.T) {
+	cfg := Config{Shape: grid.New(3, 8), BlockSide: 4, K: 2, Seed: 3, AltEstimator: true}
+	keys := RandomKeys(cfg.Shape, 2, 9)
+	res, err := SimpleSort(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, "alt-kk", keys, res)
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: the sorting
+// algorithms SimpleSort (Theorem 3.1), CopySort (Theorem 3.2), and
+// TorusSort (Theorem 3.3), with their k-k (Corollary 3.1.1) and
+// small-center (Corollary 3.1.2) variants; the near-diameter permutation
+// routing algorithms of Section 5 (Theorems 5.1-5.3); and the selection
+// algorithm of Section 4.3.
+//
+// Global routing phases run step-accurately on internal/engine. Local
+// block operations — the o(n) terms of the paper's bounds — execute as
+// oracle phases: the rearrangement is applied atomically and a
+// configurable cost is charged to the clock (see CostModel and DESIGN.md
+// substitution 2).
+package core
+
+import (
+	"fmt"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/index"
+)
+
+// CostModel charges the o(n)-term local operations. Defaults correspond
+// to the best known in-block algorithms: sorting a block of side b in d
+// dimensions in O(d*b) steps, and merging/rebalancing two adjacent blocks
+// in O(d*b) steps.
+type CostModel struct {
+	// LocalSortFactor scales the charge for sorting one block:
+	// LocalSortFactor * d * b steps. Zero means the default of 3.
+	LocalSortFactor int
+	// MergeFactor scales the charge for one odd-even round of merges
+	// between adjacent blocks: MergeFactor * d * b steps. Zero means the
+	// default of 4.
+	MergeFactor int
+}
+
+func (c CostModel) localSortCost(d, b int) int {
+	f := c.LocalSortFactor
+	if f == 0 {
+		f = 3
+	}
+	return f * d * b
+}
+
+func (c CostModel) mergeCost(d, b int) int {
+	f := c.MergeFactor
+	if f == 0 {
+		f = 4
+	}
+	return f * d * b
+}
+
+// Config describes one run of a sorting algorithm.
+type Config struct {
+	Shape     grid.Shape
+	BlockSide int // block side length b of the blocked snake-like indexing scheme
+	K         int // packets per processor (k-k sorting); 0 means 1
+
+	// CenterCount overrides the number of blocks in the center region C
+	// (Corollary 3.1.2). 0 means half of all blocks, the paper's default.
+	// The region is grown minimally to be closed under reflection.
+	CenterCount int
+
+	// RealLocalSort executes the block-local sort phases by simulated
+	// in-mesh multi-dimensional shearsort (internal/baseline) instead of
+	// charging the oracle cost model: the clock advances by the measured
+	// parallel step count of the real sorter. The final merge cleanup
+	// remains oracle-charged (see DESIGN.md substitution 2). Works for
+	// any uniform per-processor load, so it covers all local phases of
+	// SimpleSort, CopySort, TorusSort, FullSort, and Select.
+	RealLocalSort bool
+
+	// AltEstimator switches SimpleSort/FullSort to a bias-corrected
+	// destination estimate (an extension beyond the paper; ablation
+	// E13). The paper's estimate i*R + j' carries a systematic offset of
+	// up to B*R ranks from the per-source-block sampling pattern, which
+	// is below one block only in the alpha >= 2/3 regime (B^2 <= 2V).
+	// The corrected estimate floor(i/B)*R*B + (i mod B) + j'*B models
+	// the interleaving of the B per-block sample streams explicitly; it
+	// is also a bijection into [kN], and on typical inputs it keeps the
+	// cleanup short even at alpha = 1/2. Worst-case guarantees are
+	// unchanged (the cleanup still fixes any estimate).
+	AltEstimator bool
+
+	Seed    uint64
+	Workers int // engine shard workers; 0 means GOMAXPROCS
+	Cost    CostModel
+}
+
+func (c Config) k() int {
+	if c.K == 0 {
+		return 1
+	}
+	return c.K
+}
+
+// Validate checks the divisibility constraints the algorithms need:
+// the block side must divide the mesh side, the number of blocks B must
+// be even (so the center region is exactly half the network) and must
+// divide the block volume (so the unshuffle step lands exactly; this is
+// the finite-size incarnation of the paper's alpha >= 2/3 choice).
+func (c Config) Validate() error {
+	s := c.Shape
+	b := c.BlockSide
+	if b < 1 || s.Side%b != 0 {
+		return fmt.Errorf("core: block side %d must divide mesh side %d", b, s.Side)
+	}
+	bs := grid.Blocks(s, b)
+	B := bs.Count()
+	V := bs.Volume()
+	if B < 2 {
+		return fmt.Errorf("core: need at least 2 blocks, got %d (block side %d on side %d)", B, b, s.Side)
+	}
+	if B%2 != 0 {
+		return fmt.Errorf("core: block count %d must be even (choose n/b even)", B)
+	}
+	if V%B != 0 {
+		return fmt.Errorf("core: block volume %d must be a multiple of block count %d (choose b >= n/b, i.e. alpha >= 1/2)", V, B)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("core: negative k")
+	}
+	if c.CenterCount < 0 || c.CenterCount > B {
+		return fmt.Errorf("core: center count %d out of range [0,%d]", c.CenterCount, B)
+	}
+	return nil
+}
+
+// scheme returns the blocked snake-like indexing scheme of the run.
+func (c Config) scheme() *index.Blocked {
+	return index.BlockedSnake(c.Shape, c.BlockSide)
+}
+
+// PhaseStat records one phase of an algorithm run.
+type PhaseStat struct {
+	Name  string
+	Kind  string // "route", "oracle", or "check"
+	Steps int
+	// Routing phases also record:
+	MaxDist      int // max activation distance
+	MaxOvershoot int // max delivery slack beyond the packet's distance
+	MaxQueue     int // peak per-processor occupancy
+}
+
+// Result reports a completed sorting (or selection/routing) run.
+type Result struct {
+	Algorithm string
+	Config    Config
+
+	TotalSteps  int // final simulated clock
+	RouteSteps  int // steps spent in simulated routing phases
+	OracleSteps int // steps charged for local (oracle) phases
+	MergeRounds int // odd-even block merge rounds needed by the cleanup phase
+	MaxQueue    int // peak per-processor packet count across the run
+
+	// MaxPairDist is CopySort/TorusSort specific: the maximum over all
+	// packets of min(dist(original, destination), dist(copy,
+	// destination)) at deletion time; Lemmas 3.3/3.4 bound it by
+	// D/2 + o(n).
+	MaxPairDist int
+
+	Phases []PhaseStat
+	Sorted bool
+
+	// Final holds the keys in sort-index order after the run (k per
+	// index), for inspection and cross-checking against reference sorts.
+	Final []int64
+}
+
+// Diameter returns the diameter of the run's network.
+func (r Result) Diameter() int { return r.Config.Shape.Diameter() }
+
+// RouteRatio returns RouteSteps normalized by the diameter: the
+// coefficient the paper's bounds are stated in (3/2 for SimpleSort, 5/4
+// for CopySort, ...). The charged o(n) local costs are excluded; they are
+// reported separately as OracleSteps.
+func (r Result) RouteRatio() float64 { return float64(r.RouteSteps) / float64(r.Diameter()) }
+
+// TotalRatio returns TotalSteps normalized by the diameter.
+func (r Result) TotalRatio() float64 { return float64(r.TotalSteps) / float64(r.Diameter()) }
+
+func (r *Result) addRoute(name string, steps, maxDist, maxOvershoot, maxQueue int) {
+	r.Phases = append(r.Phases, PhaseStat{Name: name, Kind: "route", Steps: steps, MaxDist: maxDist, MaxOvershoot: maxOvershoot, MaxQueue: maxQueue})
+	r.RouteSteps += steps
+	if maxQueue > r.MaxQueue {
+		r.MaxQueue = maxQueue
+	}
+}
+
+func (r *Result) addOracle(name string, steps int) {
+	r.Phases = append(r.Phases, PhaseStat{Name: name, Kind: "oracle", Steps: steps})
+	r.OracleSteps += steps
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+)
+
+func TestCostModelDefaults(t *testing.T) {
+	var c CostModel
+	if c.localSortCost(3, 4) != 3*3*4 {
+		t.Errorf("default local sort cost = %d", c.localSortCost(3, 4))
+	}
+	if c.mergeCost(3, 4) != 4*3*4 {
+		t.Errorf("default merge cost = %d", c.mergeCost(3, 4))
+	}
+	c = CostModel{LocalSortFactor: 1, MergeFactor: 2}
+	if c.localSortCost(3, 4) != 12 || c.mergeCost(3, 4) != 24 {
+		t.Error("custom cost factors not honored")
+	}
+}
+
+func TestCostModelAffectsOracleOnly(t *testing.T) {
+	// Scaling the cost model must change OracleSteps proportionally and
+	// leave RouteSteps untouched.
+	base := Config{Shape: grid.New(2, 16), BlockSide: 4, Seed: 1}
+	keys := RandomKeys(base.Shape, 1, 2)
+	cheap := base
+	cheap.Cost = CostModel{LocalSortFactor: 1, MergeFactor: 1}
+	expensive := base
+	expensive.Cost = CostModel{LocalSortFactor: 10, MergeFactor: 10}
+	a, err := SimpleSort(cheap, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimpleSort(expensive, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RouteSteps != b.RouteSteps {
+		t.Errorf("route steps changed with cost model: %d vs %d", a.RouteSteps, b.RouteSteps)
+	}
+	if b.OracleSteps != 10*a.OracleSteps {
+		t.Errorf("oracle steps did not scale: %d vs 10*%d", b.OracleSteps, a.OracleSteps)
+	}
+	if a.MergeRounds != b.MergeRounds {
+		t.Error("merge rounds changed with cost model")
+	}
+}
+
+func TestPhaseStructure(t *testing.T) {
+	cfg := Config{Shape: grid.New(3, 8), BlockSide: 4, Seed: 1}
+	res, err := SimpleSort(cfg, RandomKeys(cfg.Shape, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SimpleSort's fixed prefix: sort, route, sort, route, then merges.
+	wantPrefix := []struct{ name, kind string }{
+		{"local-sort-1", "oracle"},
+		{"unshuffle-to-center", "route"},
+		{"local-sort-center", "oracle"},
+		{"route-to-destination", "route"},
+	}
+	if len(res.Phases) < len(wantPrefix) {
+		t.Fatalf("only %d phases", len(res.Phases))
+	}
+	for i, w := range wantPrefix {
+		if res.Phases[i].Name != w.name || res.Phases[i].Kind != w.kind {
+			t.Errorf("phase %d = %s/%s, want %s/%s", i, res.Phases[i].Name, res.Phases[i].Kind, w.name, w.kind)
+		}
+	}
+	for _, ph := range res.Phases[len(wantPrefix):] {
+		if ph.Name != "merge-round" {
+			t.Errorf("unexpected trailing phase %s", ph.Name)
+		}
+	}
+	// Steps bookkeeping adds up.
+	sum := 0
+	for _, ph := range res.Phases {
+		sum += ph.Steps
+	}
+	if sum != res.TotalSteps {
+		t.Errorf("phase steps sum %d != total %d", sum, res.TotalSteps)
+	}
+	// Routing phases respect the 3D/4 + block-slack distance cap.
+	D := cfg.Shape.Diameter()
+	slack := cfg.Shape.Dim * cfg.BlockSide
+	for _, ph := range res.Phases {
+		if ph.Kind == "route" && ph.MaxDist > 3*D/4+slack {
+			t.Errorf("phase %s max distance %d above 3D/4 + slack", ph.Name, ph.MaxDist)
+		}
+	}
+}
+
+func TestCopySortPhaseStructure(t *testing.T) {
+	cfg := Config{Shape: grid.New(3, 8), BlockSide: 4, Seed: 1}
+	res, err := CopySort(cfg, RandomKeys(cfg.Shape, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, ph := range res.Phases {
+		names = append(names, ph.Name)
+	}
+	if names[0] != "local-sort-1" || names[1] != "unshuffle-with-copies" ||
+		names[2] != "local-sort-region" || names[3] != "route-survivors" {
+		t.Errorf("unexpected CopySort phases: %v", names)
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import "meshsort/internal/grid"
+
+// FullSort implements the previous-best deterministic sorting algorithm
+// that the paper improves on: the sort-and-unshuffle algorithm of
+// Kaufmann, Sibeyn, and Suel [6], which distributes the packets evenly
+// over the *entire* network instead of a center region. Both routing
+// phases can then move packets up to the full diameter, so the running
+// time is 2D + o(n) — versus 3D/2 + o(n) for SimpleSort and 5D/4 + o(n)
+// for CopySort. It serves as the baseline of experiment E4.
+//
+// Implementation-wise it is centerSort with the "center" region set to
+// all B blocks, which makes both the distribution and the destination
+// estimate exact (each processor receives exactly k packets in both
+// routing steps).
+func FullSort(cfg Config, keys []int64) (Result, error) {
+	bs := grid.Blocks(cfg.Shape, cfg.BlockSide)
+	cfg.CenterCount = bs.Count()
+	return centerSort(cfg, keys, "FullSort")
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"meshsort/internal/grid"
+)
+
+// Fuzz targets: `go test -fuzz=FuzzSimpleSort ./internal/core` explores
+// key assignments and seeds; under plain `go test` the seed corpus runs
+// as regression tests.
+
+func FuzzSimpleSort(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint64(1))
+	f.Add([]byte{}, uint64(2))
+	f.Add([]byte{255, 0, 255, 0, 7}, uint64(3))
+	cfg := Config{Shape: grid.New(2, 8), BlockSide: 4}
+	N := cfg.Shape.N()
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64) {
+		keys := make([]int64, N)
+		for i := range keys {
+			if len(raw) > 0 {
+				keys[i] = int64(int8(raw[i%len(raw)])) // signed, duplicated
+			}
+		}
+		cfg.Seed = seed
+		res, err := SimpleSort(cfg, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if res.Final[i] != want[i] {
+				t.Fatalf("final[%d] = %d, want %d", i, res.Final[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzSelect(f *testing.F) {
+	f.Add([]byte{9, 9, 1}, uint16(0))
+	f.Add([]byte{1}, uint16(31))
+	cfg := Config{Shape: grid.New(2, 8), BlockSide: 4, Seed: 1}
+	N := cfg.Shape.N()
+	f.Fuzz(func(t *testing.T, raw []byte, rank16 uint16) {
+		keys := make([]int64, N)
+		for i := range keys {
+			if len(raw) > 0 {
+				keys[i] = int64(raw[i%len(raw)])
+			}
+		}
+		rank := int(rank16) % N
+		res, err := Select(cfg, keys, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("Select(rank=%d) = %d is wrong", rank, res.Value)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"meshsort/internal/baseline"
+	"meshsort/internal/engine"
+	"meshsort/internal/index"
+)
+
+// This file implements the oracle local phases: block-local sorts and the
+// final odd-even block merge cleanup. All blocks operate in parallel in
+// the real machine, so one sweep over all blocks charges a single
+// per-block cost to the clock.
+
+// keyLess is the total order used everywhere: keys, ties broken by packet
+// id, which makes ranks unique even with duplicate keys.
+func keyLess(a, b *engine.Packet) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+func sortPackets(ps []*engine.Packet) {
+	sort.Slice(ps, func(i, j int) bool { return keyLess(ps[i], ps[j]) })
+}
+
+// gatherBlock removes and returns all held packets of a block, in
+// inner-order position, then arrival order.
+func gatherBlock(net *engine.Net, b *index.Blocked, blockID int) []*engine.Packet {
+	V := b.BlockVolume()
+	var out []*engine.Packet
+	for pos := 0; pos < V; pos++ {
+		rank := b.ProcAtLocal(blockID, pos)
+		out = append(out, net.Held(rank)...)
+		net.SetHeld(rank, nil)
+	}
+	return out
+}
+
+// scatterBlock distributes packets over the processors of a block in
+// inner order: packet r of the slice is placed at local position
+// r*V/len(ps), which is balanced (each processor receives within one of
+// the average) and reduces to position r/k for the exact case
+// len(ps) = k*V. Dst is updated so the packets are at rest.
+func scatterBlock(net *engine.Net, b *index.Blocked, blockID int, ps []*engine.Packet) {
+	V := b.BlockVolume()
+	total := len(ps)
+	for r, p := range ps {
+		pos := r * V / total
+		rank := b.ProcAtLocal(blockID, pos)
+		p.Dst = rank
+		net.SetHeld(rank, append(net.Held(rank), p))
+	}
+}
+
+// localSortBlocks sorts the contents of each listed block in place and
+// returns the sorted packet slices per block position in the input list,
+// which callers use to compute local ranks for the subsequent routing
+// phase. By default the rearrangement is an oracle phase charged one
+// local-sort cost; with cfg.RealLocalSort it runs the in-mesh shearsort
+// of internal/baseline and charges the measured parallel step count.
+func localSortBlocks(net *engine.Net, b *index.Blocked, blocks []int, cfg Config, res *Result, name string) [][]*engine.Packet {
+	if cfg.RealLocalSort {
+		before := net.Clock()
+		if _, err := baseline.ShearSortBlocks(net, b, blocks); err != nil {
+			panic(fmt.Sprintf("core: real local sort: %v", err))
+		}
+		steps := net.Clock() - before
+		res.Phases = append(res.Phases, PhaseStat{Name: name, Kind: "shear", Steps: steps})
+		res.OracleSteps += steps
+		out := make([][]*engine.Packet, len(blocks))
+		for i, blockID := range blocks {
+			var ps []*engine.Packet
+			for l := 0; l < b.BlockVolume(); l++ {
+				ps = append(ps, net.Held(b.ProcAtLocal(blockID, l))...)
+			}
+			out[i] = ps
+		}
+		return out
+	}
+	out := make([][]*engine.Packet, len(blocks))
+	for i, blockID := range blocks {
+		ps := gatherBlock(net, b, blockID)
+		sortPackets(ps)
+		scatterBlock(net, b, blockID, ps)
+		out[i] = ps
+	}
+	c := cfg.Cost.localSortCost(b.Shape().Dim, b.Spec.Side)
+	net.AdvanceClock(c)
+	res.addOracle(name, c)
+	return out
+}
+
+// allBlocks lists every block id in outer order.
+func allBlocks(b *index.Blocked) []int {
+	out := make([]int, b.BlockCount())
+	for i := range out {
+		out[i] = b.BlockAtOrder(i)
+	}
+	return out
+}
+
+// isSorted reports whether the network is in the sorted k-k state with
+// respect to the blocked scheme: every processor holds exactly k packets
+// and the (key, id) order agrees with the index order.
+func isSorted(net *engine.Net, b *index.Blocked, k int) bool {
+	var prev *engine.Packet
+	for idx := 0; idx < b.N(); idx++ {
+		rank := b.RankAt(idx)
+		held := net.Held(rank)
+		if len(held) != k {
+			return false
+		}
+		sortPackets(held)
+		for _, p := range held {
+			if prev != nil && keyLess(p, prev) {
+				return false
+			}
+			prev = p
+		}
+	}
+	return true
+}
+
+// finalKeys extracts the keys in sort-index order (k per index).
+func finalKeys(net *engine.Net, b *index.Blocked, k int) []int64 {
+	out := make([]int64, 0, k*b.N())
+	for idx := 0; idx < b.N(); idx++ {
+		held := net.Held(b.RankAt(idx))
+		sortPackets(held)
+		for _, p := range held {
+			out = append(out, p.Key)
+		}
+	}
+	return out
+}
+
+// mergeUntilSorted runs odd-even rounds of block merges along the outer
+// (snake) order until the network is sorted, charging one merge cost per
+// round. A round merges the even pairs (0,1),(2,3),... and then the odd
+// pairs (1,2),(3,4),...; both halves of a round are charged together
+// because adjacent pairs operate on disjoint blocks in parallel, and the
+// two half-rounds are pipelined in the real machine.
+//
+// Step (5) of the paper's algorithms performs exactly two such
+// transposition steps; the implementation iterates until sorted and
+// reports the count, so tests can certify that the "at most one block
+// off" guarantee (Lemma 3.1) holds in practice. maxRounds bounds the
+// loop; 0 means the number of blocks (the worst case of odd-even
+// transposition sort).
+func mergeUntilSorted(net *engine.Net, b *index.Blocked, k int, cost CostModel, res *Result, maxRounds int) (rounds int, sorted bool) {
+	B := b.BlockCount()
+	if maxRounds == 0 {
+		maxRounds = B + 2
+	}
+	mergePair := func(orderLo int) {
+		lo := b.BlockAtOrder(orderLo)
+		hi := b.BlockAtOrder(orderLo + 1)
+		ps := gatherBlock(net, b, lo)
+		ps = append(ps, gatherBlock(net, b, hi)...)
+		sortPackets(ps)
+		// The lower block takes exactly its capacity kV (or everything,
+		// if the pair holds less); the upper block takes the rest. In
+		// the exact case of 2kV packets this is the even split; with
+		// imbalances it pushes all surplus upward and pulls deficits up
+		// as well, so the flat loading is the unique fixed point and
+		// odd-even rounds converge to it.
+		mid := k * b.BlockVolume()
+		if mid > len(ps) {
+			mid = len(ps)
+		}
+		scatterBlock(net, b, lo, ps[:mid])
+		scatterBlock(net, b, hi, ps[mid:])
+	}
+	for rounds < maxRounds {
+		if isSorted(net, b, k) {
+			return rounds, true
+		}
+		for o := 0; o+1 < B; o += 2 {
+			mergePair(o)
+		}
+		for o := 1; o+1 < B; o += 2 {
+			mergePair(o)
+		}
+		c := cost.mergeCost(b.Shape().Dim, b.Spec.Side)
+		net.AdvanceClock(c)
+		res.addOracle("merge-round", c)
+		rounds++
+	}
+	return rounds, isSorted(net, b, k)
+}

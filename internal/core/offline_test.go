@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/xmath"
+)
+
+func TestRouteBySortingDelivers(t *testing.T) {
+	cfg := Config{Shape: grid.New(3, 8), BlockSide: 4, Seed: 1}
+	for _, prob := range []perm.Problem{
+		perm.Random(cfg.Shape, xmath.NewRNG(2)),
+		perm.Reversal(cfg.Shape),
+		perm.Transpose(cfg.Shape),
+		perm.Identity(cfg.Shape),
+	} {
+		res, err := RouteBySorting(cfg, prob)
+		if err != nil {
+			t.Fatalf("%s: %v", prob.Name, err)
+		}
+		if !res.Sorted {
+			t.Errorf("%s: not delivered", prob.Name)
+		}
+	}
+}
+
+func TestRouteBySortingRejects(t *testing.T) {
+	cfg := Config{Shape: grid.New(3, 8), BlockSide: 4, K: 2}
+	if _, err := RouteBySorting(cfg, perm.Identity(cfg.Shape)); err == nil {
+		t.Error("accepted k=2")
+	}
+	cfg.K = 1
+	bad := perm.Problem{Name: "bad", Src: []int{0}, Dst: []int{1}}
+	if _, err := RouteBySorting(cfg, bad); err == nil {
+		t.Error("accepted malformed problem")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/xmath"
+)
+
+func TestRandSimpleSortSorts(t *testing.T) {
+	for _, cfg := range []Config{
+		{Shape: grid.New(2, 16), BlockSide: 8, Seed: 4},
+		{Shape: grid.New(3, 8), BlockSide: 4, Seed: 4},
+		{Shape: grid.New(3, 16), BlockSide: 8, Seed: 4},
+	} {
+		keys := RandomKeys(cfg.Shape, 1, 5)
+		res, err := RandSimpleSort(cfg, keys)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Shape, err)
+		}
+		checkSorted(t, "RandSimpleSort", keys, res)
+	}
+}
+
+func TestRandSimpleSortAdversarial(t *testing.T) {
+	cfg := Config{Shape: grid.New(3, 8), BlockSide: 4, Seed: 6}
+	for name, keys := range adversarialInputs(cfg.Shape, 1) {
+		res, err := RandSimpleSort(cfg, keys)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSorted(t, "rand/"+name, keys, res)
+	}
+}
+
+func TestRandSimpleSortSeedsVary(t *testing.T) {
+	// Different seeds give different randomized executions (but both
+	// correct); same seed reproduces exactly.
+	base := Config{Shape: grid.New(3, 8), BlockSide: 4, Seed: 1}
+	keys := RandomKeys(base.Shape, 1, 9)
+	a, err := RandSimpleSort(base, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandSimpleSort(base, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSteps != b.TotalSteps {
+		t.Error("same seed not reproducible")
+	}
+	base.Seed = 2
+	c, err := RandSimpleSort(base, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RouteSteps == a.RouteSteps && c.MaxQueue == a.MaxQueue && c.MergeRounds == a.MergeRounds {
+		t.Log("different seeds produced identical stats (possible but unlikely)")
+	}
+}
+
+func TestRandTwoPhaseRouteDelivers(t *testing.T) {
+	for _, cfg := range []RouteConfig{
+		{Shape: grid.New(3, 8), BlockSide: 4, Seed: 2},
+		{Shape: grid.NewTorus(3, 8), BlockSide: 4, Seed: 2},
+	} {
+		for _, prob := range []perm.Problem{
+			perm.Random(cfg.Shape, xmath.NewRNG(3)),
+			perm.Reversal(cfg.Shape),
+		} {
+			res, err := RandTwoPhaseRoute(cfg, prob)
+			if err != nil {
+				t.Fatalf("%v %s: %v", cfg.Shape, prob.Name, err)
+			}
+			if !res.Delivered {
+				t.Fatalf("%v %s: not delivered", cfg.Shape, prob.Name)
+			}
+			D := cfg.Shape.Diameter()
+			for _, ph := range res.Phases {
+				if ph.MaxDist > D/2+res.EffectiveNu {
+					t.Errorf("%v %s phase %s: dist %d beyond D/2+nu=%d",
+						cfg.Shape, prob.Name, ph.Name, ph.MaxDist, D/2+res.EffectiveNu)
+				}
+			}
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	for _, s := range []grid.Shape{grid.New(3, 8), grid.NewTorus(3, 8)} {
+		rng := xmath.NewRNG(1)
+		for trial := 0; trial < 300; trial++ {
+			x, y := rng.Intn(s.N()), rng.Intn(s.N())
+			z := midpoint(s, x, y)
+			half := (s.Dist(x, y) + 1) / 2
+			// Coordinate-wise midpoints are within ceil(dist/2) + d of
+			// both ends (each coordinate rounds by at most one).
+			if s.Dist(x, z) > half+s.Dim || s.Dist(z, y) > half+s.Dim {
+				t.Fatalf("%v: midpoint(%d,%d)=%d too far: %d/%d vs half %d",
+					s, x, y, z, s.Dist(x, z), s.Dist(z, y), half)
+			}
+		}
+	}
+}

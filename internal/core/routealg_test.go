@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/xmath"
+)
+
+func TestTwoPhaseRouteDeliversRandom(t *testing.T) {
+	for _, cfg := range []RouteConfig{
+		{Shape: grid.New(2, 16), BlockSide: 4},
+		{Shape: grid.New(3, 8), BlockSide: 4},
+		{Shape: grid.New(3, 8), BlockSide: 2},
+		{Shape: grid.NewTorus(3, 8), BlockSide: 4},
+		{Shape: grid.NewTorus(2, 16), BlockSide: 4},
+	} {
+		cfg.Seed = 3
+		prob := perm.Random(cfg.Shape, xmath.NewRNG(11))
+		res, err := TwoPhaseRoute(cfg, prob)
+		if err != nil {
+			t.Fatalf("%v b=%d: %v", cfg.Shape, cfg.BlockSide, err)
+		}
+		if !res.Delivered {
+			t.Fatalf("%v b=%d: not all packets delivered", cfg.Shape, cfg.BlockSide)
+		}
+	}
+}
+
+func TestTwoPhaseRouteDeliversStructured(t *testing.T) {
+	// The two-phase scheme's selling point: worst-case permutations are
+	// handled near the diameter bound, unlike plain greedy.
+	cfg := RouteConfig{Shape: grid.New(3, 8), BlockSide: 4, Seed: 1}
+	for _, prob := range []perm.Problem{
+		perm.Reversal(cfg.Shape),
+		perm.Transpose(cfg.Shape),
+		perm.Identity(cfg.Shape),
+	} {
+		res, err := TwoPhaseRoute(cfg, prob)
+		if err != nil {
+			t.Fatalf("%s: %v", prob.Name, err)
+		}
+		if !res.Delivered {
+			t.Fatalf("%s: not delivered", prob.Name)
+		}
+		// Loose envelope: within 2x of the theorem bound plus block
+		// slack (finite-size contention).
+		slack := 2 * cfg.Shape.Dim * cfg.BlockSide
+		if res.RouteSteps > 2*(res.Bound+slack) {
+			t.Errorf("%s: %d routing steps far above bound %d", prob.Name, res.RouteSteps, res.Bound)
+		}
+	}
+}
+
+func TestTwoPhaseBoundsPhases(t *testing.T) {
+	// Each phase's max distance must respect D/2 + effective nu plus the
+	// block-radius slack from measuring block distances conservatively.
+	cfg := RouteConfig{Shape: grid.New(3, 16), BlockSide: 4, Seed: 2}
+	prob := perm.Reversal(cfg.Shape)
+	res, err := TwoPhaseRoute(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := cfg.Shape.Diameter()
+	for _, ph := range res.Phases {
+		if ph.Kind != "route" {
+			continue
+		}
+		if ph.MaxDist > D/2+res.EffectiveNu {
+			t.Errorf("phase %s: max distance %d exceeds D/2 + nu = %d", ph.Name, ph.MaxDist, D/2+res.EffectiveNu)
+		}
+	}
+}
+
+func TestTwoPhaseNuDefaults(t *testing.T) {
+	mesh := RouteConfig{Shape: grid.New(3, 16), BlockSide: 4}
+	if mesh.nu() != 8 {
+		t.Errorf("mesh default nu = %d, want n/2 = 8", mesh.nu())
+	}
+	torus := RouteConfig{Shape: grid.NewTorus(3, 16), BlockSide: 4}
+	if torus.nu() != 1 {
+		t.Errorf("torus default nu = %d, want max(1, n/16) = 1", torus.nu())
+	}
+	torus.Nu = 5
+	if torus.nu() != 5 {
+		t.Error("explicit nu not honored")
+	}
+}
+
+func TestTwoPhaseRejectsBadBlock(t *testing.T) {
+	cfg := RouteConfig{Shape: grid.New(2, 8), BlockSide: 3}
+	if _, err := TwoPhaseRoute(cfg, perm.Identity(cfg.Shape)); err == nil {
+		t.Error("accepted non-dividing block side")
+	}
+}
+
+func TestMinNuShrinksWithDimension(t *testing.T) {
+	// Theorem 5.3: as d grows (fixed side and block granularity), the
+	// required slack shrinks relative to the diameter. The bandwidth
+	// requirement B/floor(d/2) jumps only at even d, so compare across
+	// even dimensions and require a strict drop from the first to the
+	// last.
+	type pt struct{ d, n, b int }
+	pts := []pt{{2, 8, 2}, {4, 8, 2}, {6, 8, 4}}
+	rels := make([]float64, len(pts))
+	for i, c := range pts {
+		s := grid.New(c.d, c.n)
+		rels[i] = float64(MinNu(s, c.b)) / float64(s.Diameter())
+		if i > 0 && rels[i] > rels[i-1]+1e-9 {
+			t.Errorf("relative min-nu grew with dimension: %.3f -> %.3f at d=%d", rels[i-1], rels[i], c.d)
+		}
+	}
+	if rels[len(rels)-1] >= rels[0] {
+		t.Errorf("no overall decrease: %.3f -> %.3f", rels[0], rels[len(rels)-1])
+	}
+}
+
+func TestMinNuTorusSmallerThanMesh(t *testing.T) {
+	mesh := MinNu(grid.New(3, 8), 4)
+	torus := MinNu(grid.NewTorus(3, 8), 4)
+	if torus > mesh {
+		t.Errorf("torus min-nu %d above mesh %d", torus, mesh)
+	}
+}
+
+func TestTwoPhaseKeepsQueuesSmall(t *testing.T) {
+	cfg := RouteConfig{Shape: grid.New(3, 8), BlockSide: 4, Seed: 9}
+	res, err := TwoPhaseRoute(cfg, perm.Random(cfg.Shape, xmath.NewRNG(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueue > 6*cfg.Shape.Dim {
+		t.Errorf("max queue %d violates the O(1) model expectation", res.MaxQueue)
+	}
+}
+
+func TestTwoPhaseRouteKK(t *testing.T) {
+	// The two-phase scheme handles k-k relations unchanged: the spread
+	// just sees more packets per block pair.
+	cfg := RouteConfig{Shape: grid.New(3, 8), BlockSide: 4, Seed: 4}
+	prob := perm.RandomK(cfg.Shape, 2, xmath.NewRNG(6))
+	res, err := TwoPhaseRoute(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("k-k problem not delivered")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/route"
+	"meshsort/internal/xmath"
+)
+
+// SimpleSort implements Algorithm SimpleSort of Section 3.2 (Theorem
+// 3.1): deterministic 1-1 (or k-k, Corollary 3.1.1) sorting on the
+// d-dimensional mesh in 3D/2 + o(n) steps without copying packets.
+//
+//	(1) Sort the packets within each block of side b.
+//	(2) Distribute the packets of each block evenly over the blocks of
+//	    the center region C (half of all blocks, closest to the center):
+//	    the packet of local rank i in block j moves to position
+//	    (j + floor(i/B)*B) mod V of center block i mod |C|. No packet
+//	    travels farther than ~3D/4, and the routing reduces to partial
+//	    unshuffle permutations handled distance-optimally by the extended
+//	    greedy scheme.
+//	(3) Sort the packets within each center block. Because every center
+//	    block now holds an even sample of the whole input, local rank i
+//	    in center block j' pins the global rank to i*|C| + j'.
+//	(4) Route every packet to the processor indexed by its estimated
+//	    global rank — again at most ~3D/4 away.
+//	(5) Clean up with odd-even merge rounds between adjacent blocks
+//	    (Lemma 3.1 guarantees everything is within one block).
+//
+// keys holds k*N keys; keys[r*k+t] starts at the processor with canonical
+// rank r. The returned Result carries per-phase statistics; Result.Sorted
+// certifies the outcome.
+func SimpleSort(cfg Config, keys []int64) (Result, error) {
+	return centerSort(cfg, keys, "SimpleSort")
+}
+
+// makeInput creates and injects one packet per key.
+func makeInput(net *engine.Net, k int, keys []int64) ([]*engine.Packet, error) {
+	n := net.Shape.N()
+	if len(keys) != k*n {
+		return nil, fmt.Errorf("core: got %d keys, want k*N = %d", len(keys), k*n)
+	}
+	pkts := make([]*engine.Packet, len(keys))
+	for r := 0; r < n; r++ {
+		for t := 0; t < k; t++ {
+			p := net.NewPacket(keys[r*k+t], r)
+			pkts[r*k+t] = p
+		}
+	}
+	net.Inject(pkts)
+	return pkts, nil
+}
+
+// centerSort is the shared implementation of SimpleSort and its
+// small-center variant (Corollary 3.1.2): the center region size comes
+// from the configuration.
+func centerSort(cfg Config, keys []int64, name string) (Result, error) {
+	res := Result{Algorithm: name, Config: cfg}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	s := cfg.Shape
+	k := cfg.k()
+	d := s.Dim
+	blocked := cfg.scheme()
+	bs := blocked.Spec
+	B := blocked.BlockCount()
+	V := blocked.BlockVolume()
+	kN := k * s.N()
+
+	count := cfg.CenterCount
+	if count == 0 {
+		count = B / 2
+	}
+	region := grid.CenterBlocks(bs, count)
+	R := region.Size()
+
+	net := engine.New(s)
+	net.Workers = cfg.Workers
+	if _, err := makeInput(net, k, keys); err != nil {
+		return res, err
+	}
+	policy := route.NewGreedy(s)
+
+	// Step (1): local sort inside every block.
+	sorted := localSortBlocks(net, blocked, allBlocks(blocked), cfg, &res, "local-sort-1")
+
+	// Step (2): distribute every block's packets evenly over C.
+	for j := 0; j < B; j++ {
+		ps := sorted[j] // allBlocks lists blocks in outer order, so index j is outer position j
+		for i, p := range ps {
+			c := i % R
+			destBlock := region.BlockAt(c)
+			slot := (j + (i/B)*B) % V
+			p.Dst = blocked.ProcAtLocal(destBlock, slot)
+			p.Class = i % d
+		}
+	}
+	rr, err := net.Route(policy, engine.RouteOpts{})
+	if err != nil {
+		return res, fmt.Errorf("core: %s step 2: %w", name, err)
+	}
+	res.addRoute("unshuffle-to-center", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+
+	// Step (3): local sort inside every center block.
+	centerSorted := localSortBlocks(net, blocked, region.Blocks, cfg, &res, "local-sort-center")
+
+	// Step (4): send every packet to its estimated destination. Center
+	// block j' holds (about) kN/R packets forming an even sample of the
+	// input, so local rank i estimates the global rank as i*R + j' —
+	// exact and collision-free when R = B/2 (it expands to the paper's
+	// j' + (i mod Q)*R + (i/Q)*V with Q = 2kV/B). With AltEstimator the
+	// bias-corrected variant is used instead (see Config.AltEstimator).
+	for jp, ps := range centerSorted {
+		for i, p := range ps {
+			var est int
+			if cfg.AltEstimator {
+				est = (i/B)*R*B + i%B + jp*B
+			} else {
+				est = i*R + jp
+			}
+			if est >= kN {
+				est = kN - 1
+			}
+			p.Dst = blocked.RankAt(est / k)
+			p.Class = i % d
+		}
+	}
+	rr, err = net.Route(policy, engine.RouteOpts{})
+	if err != nil {
+		return res, fmt.Errorf("core: %s step 4: %w", name, err)
+	}
+	res.addRoute("route-to-destination", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+
+	// Step (5): odd-even block merges until sorted.
+	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, k, cfg.Cost, &res, 0)
+	res.TotalSteps = net.Clock()
+	if net.MaxQueue > res.MaxQueue {
+		res.MaxQueue = net.MaxQueue
+	}
+	if !res.Sorted {
+		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)
+	}
+	if got := net.TotalPackets(); got != kN {
+		return res, fmt.Errorf("core: %s packet conservation violated: %d != %d", name, got, kN)
+	}
+	res.Final = finalKeys(net, blocked, k)
+	return res, nil
+}
+
+// RandomKeys returns k*N pseudo-random keys for a shape, suitable as
+// SimpleSort input.
+func RandomKeys(s grid.Shape, k int, seed uint64) []int64 {
+	rng := xmath.NewRNG(seed)
+	keys := make([]int64, k*s.N())
+	for i := range keys {
+		keys[i] = int64(rng.Uint64() >> 1)
+	}
+	return keys
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// TestHopConservation: under a monotone policy, every link traversal
+// reduces some packet's remaining distance by one, so the total hop count
+// of a phase equals the sum of activation distances.
+func TestHopConservation(t *testing.T) {
+	for _, s := range []grid.Shape{grid.New(2, 8), grid.New(3, 6), grid.NewTorus(3, 6)} {
+		net := New(s)
+		rng := xmath.NewRNG(21)
+		dsts := rng.Perm(s.N())
+		pkts := make([]*Packet, s.N())
+		sumDist := 0
+		for i := range pkts {
+			pkts[i] = net.NewPacket(0, i)
+			pkts[i].Dst = dsts[i]
+			pkts[i].Class = i % s.Dim
+			sumDist += s.Dist(i, dsts[i])
+		}
+		net.Inject(pkts)
+		res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops != sumDist {
+			t.Errorf("%v: %d hops, want sum of distances %d", s, res.Hops, sumDist)
+		}
+	}
+}
+
+// TestOnStepCalledEveryStep verifies the per-step hook contract.
+func TestOnStepCalledEveryStep(t *testing.T) {
+	s := grid.New(1, 8)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = 7
+	net.Inject([]*Packet{p})
+	var seen []int
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{OnStep: func(step int) {
+		seen = append(seen, step)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != res.Steps {
+		t.Fatalf("OnStep called %d times for %d steps", len(seen), res.Steps)
+	}
+	for i, v := range seen {
+		if v != i+1 {
+			t.Fatalf("OnStep sequence broken at %d: %d", i, v)
+		}
+	}
+}
+
+// TestSnapshotComplete: Snapshot sees every packet exactly once.
+func TestSnapshotComplete(t *testing.T) {
+	s := grid.New(2, 6)
+	net := New(s)
+	rng := xmath.NewRNG(5)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	for i := range pkts {
+		pkts[i] = net.NewPacket(0, i)
+		pkts[i].Dst = dsts[i]
+	}
+	net.Inject(pkts)
+	mid := 0
+	_, err := net.Route(greedyTestPolicy{s}, RouteOpts{OnStep: func(step int) {
+		if step == 2 {
+			snap := net.Snapshot()
+			mid = len(snap)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid != s.N() {
+		t.Errorf("mid-route snapshot saw %d packets, want %d", mid, s.N())
+	}
+	final := net.Snapshot()
+	for id, rank := range final {
+		if pkts[id].Dst != rank {
+			t.Errorf("packet %d snapshot at %d, destination %d", id, rank, pkts[id].Dst)
+		}
+	}
+}
+
+// TestCausality: the simulator must propagate influence at speed at most
+// one hop per step. Two runs whose initial configurations differ only at
+// a single processor p may, after t steps, differ only at packets inside
+// the radius-t ball around p. This is the physical property the paper's
+// lower bounds (Section 4) rest on.
+func TestCausality(t *testing.T) {
+	s := grid.New(2, 8)
+	p0 := s.Rank([]int{0, 0})
+	build := func(perturb bool) (*Net, []*Packet, map[int][]map[int]int) {
+		net := New(s)
+		rng := xmath.NewRNG(77)
+		dsts := rng.Perm(s.N())
+		pkts := make([]*Packet, s.N())
+		for i := range pkts {
+			pkts[i] = net.NewPacket(0, i)
+			pkts[i].Dst = dsts[i]
+			pkts[i].Class = i % s.Dim
+		}
+		if perturb {
+			// Change the destination of the packet starting at p0 to the
+			// farthest corner (swapping with whoever had it keeps it a
+			// permutation; a non-permutation is fine for the engine, but
+			// keep it clean).
+			far := s.N() - 1
+			for _, q := range pkts {
+				if q.Dst == far {
+					q.Dst = pkts[p0].Dst
+					break
+				}
+			}
+			pkts[p0].Dst = far
+		}
+		snaps := map[int][]map[int]int{}
+		_, err := net.Route(greedyTestPolicy{s}, RouteOpts{OnStep: func(step int) {
+			snaps[step] = []map[int]int{net.Snapshot()}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net, pkts, snaps
+	}
+	_, _, snapsA := build(false)
+	_, _, snapsB := build(true)
+	steps := len(snapsA)
+	if len(snapsB) < steps {
+		steps = len(snapsB)
+	}
+	for step := 1; step <= steps; step++ {
+		a := snapsA[step][0]
+		b := snapsB[step][0]
+		for id := range a {
+			if a[id] == b[id] {
+				continue
+			}
+			// Diverging packet: both observed positions must lie inside
+			// the light cone of the perturbation at p0.
+			if s.Dist(a[id], p0) > step || s.Dist(b[id], p0) > step {
+				t.Fatalf("causality violated at step %d: packet %d at %d vs %d, outside radius %d of %d",
+					step, id, a[id], b[id], step, p0)
+			}
+		}
+	}
+}
+
+// TestLoadProfileMatchesHops: with load counting enabled, the sum of all
+// link loads equals the total hop count, and on a permutation routed by
+// a greedy policy every dimension carries exactly the coordinate
+// differences of that dimension.
+func TestLoadProfileMatchesHops(t *testing.T) {
+	s := grid.New(3, 6)
+	net := New(s)
+	net.CountLoads = true
+	rng := xmath.NewRNG(31)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	wantByDim := make([]int64, s.Dim)
+	for i := range pkts {
+		pkts[i] = net.NewPacket(0, i)
+		pkts[i].Dst = dsts[i]
+		for dim := 0; dim < s.Dim; dim++ {
+			wantByDim[dim] += int64(xmath.Abs(s.Coord(i, dim) - s.Coord(dsts[i], dim)))
+		}
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := net.LoadProfile()
+	if prof.Total != int64(res.Hops) {
+		t.Errorf("load total %d != hops %d", prof.Total, res.Hops)
+	}
+	for dim := 0; dim < s.Dim; dim++ {
+		if prof.ByDim[dim] != wantByDim[dim] {
+			t.Errorf("dimension %d carried %d, want %d", dim, prof.ByDim[dim], wantByDim[dim])
+		}
+	}
+	if prof.Max <= 0 || prof.Max > int64(res.Steps) {
+		t.Errorf("max link load %d outside (0, steps=%d]", prof.Max, res.Steps)
+	}
+}
+
+// TestLoadCountingOffByDefault: no counters unless requested.
+func TestLoadCountingOffByDefault(t *testing.T) {
+	s := grid.New(2, 4)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = 5
+	net.Inject([]*Packet{p})
+	if _, err := net.Route(greedyTestPolicy{s}, RouteOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if net.LinkLoad(0, 1) != 0 {
+		t.Error("loads counted without CountLoads")
+	}
+	if net.LoadProfile().Total != 0 {
+		t.Error("profile nonzero without CountLoads")
+	}
+}

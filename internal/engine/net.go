@@ -1,0 +1,503 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"meshsort/internal/grid"
+)
+
+// Policy decides, for a packet at a given processor, which outgoing link
+// the packet wants next. Links are encoded as dim*2 + dirBit where dirBit
+// 0 means direction -1 and dirBit 1 means direction +1. A return value of
+// -1 means the packet does not want to move this step.
+//
+// Policies must be pure functions of (rank, packet): they are called
+// concurrently from shard workers. They must also be monotone: every move
+// they request must reduce the packet's distance to its destination by
+// one (all dimension-order greedy variants qualify). The engine checks
+// both monotonicity and mesh-boundary legality and panics on violations,
+// since either one indicates an algorithm bug rather than a runtime
+// condition.
+type Policy interface {
+	NextLink(rank int, p *Packet) int
+}
+
+// LinkFor encodes a (dimension, direction) pair as a link id.
+func LinkFor(dim, dir int) int {
+	if dir > 0 {
+		return dim*2 + 1
+	}
+	return dim * 2
+}
+
+// LinkDim returns the dimension of a link id.
+func LinkDim(link int) int { return link / 2 }
+
+// LinkDir returns the direction (+1 or -1) of a link id.
+func LinkDir(link int) int {
+	if link%2 == 1 {
+		return 1
+	}
+	return -1
+}
+
+type proc struct {
+	moving []*Packet // packets in transit through this processor
+	held   []*Packet // packets at rest here
+	out    []*Packet // one outgoing slot per link, len 2d
+}
+
+// Net is a synchronous mesh or torus network holding packets.
+// Create one with New, place packets with Inject or SetHeld, and run
+// routing phases with Route.
+type Net struct {
+	Shape grid.Shape
+
+	procs  []proc
+	clock  int
+	nextID int
+
+	// Workers is the number of shard goroutines used per step; 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	// MaxQueue is the high-water mark of packets co-resident at a single
+	// processor (moving + held) observed during routing phases.
+	MaxQueue int
+
+	// CountLoads enables per-link traversal counting (LinkLoad); off by
+	// default because the counters add a write per hop.
+	CountLoads bool
+	loads      []int64 // rank*2d + link -> traversals
+}
+
+// New returns an empty network of the given shape.
+func New(s grid.Shape) *Net {
+	n := &Net{Shape: s, procs: make([]proc, s.N())}
+	links := 2 * s.Dim
+	for i := range n.procs {
+		n.procs[i].out = make([]*Packet, links)
+	}
+	return n
+}
+
+// LinkLoad returns the number of packets that traversed the directed
+// link of the given processor so far (requires CountLoads).
+func (n *Net) LinkLoad(rank, link int) int64 {
+	if n.loads == nil {
+		return 0
+	}
+	return n.loads[rank*2*n.Shape.Dim+link]
+}
+
+// LoadProfile summarizes link congestion: total traversals, the maximum
+// over directed links, and per-dimension totals.
+type LoadProfile struct {
+	Total int64
+	Max   int64
+	ByDim []int64
+}
+
+// LoadProfile computes the congestion summary (requires CountLoads).
+func (n *Net) LoadProfile() LoadProfile {
+	p := LoadProfile{ByDim: make([]int64, n.Shape.Dim)}
+	links := 2 * n.Shape.Dim
+	for i, v := range n.loads {
+		p.Total += v
+		if v > p.Max {
+			p.Max = v
+		}
+		p.ByDim[(i%links)/2] += v
+	}
+	return p
+}
+
+// Clock returns the current simulated time in steps.
+func (n *Net) Clock() int { return n.clock }
+
+// AdvanceClock charges cost steps to the clock without moving packets.
+// Oracle phases (block-local sorts) use this to account for their o(n)
+// running time.
+func (n *Net) AdvanceClock(cost int) {
+	if cost < 0 {
+		panic("engine: negative clock advance")
+	}
+	n.clock += cost
+}
+
+// NewPacket allocates a packet with a fresh id. The packet is not placed
+// in the network; use Inject or SetHeld.
+func (n *Net) NewPacket(key int64, src int) *Packet {
+	p := &Packet{ID: n.nextID, Key: key, Src: src, Dst: src}
+	n.nextID++
+	return p
+}
+
+// Inject places packets at their Src processors as held packets.
+func (n *Net) Inject(ps []*Packet) {
+	for _, p := range ps {
+		n.procs[p.Src].held = append(n.procs[p.Src].held, p)
+	}
+}
+
+// Held returns the packets at rest at the given processor. The returned
+// slice is owned by the network; callers may reorder it in place but must
+// use SetHeld to change its length.
+func (n *Net) Held(rank int) []*Packet { return n.procs[rank].held }
+
+// SetHeld replaces the held packets of a processor. Only legal between
+// routing phases (oracle rearrangements).
+func (n *Net) SetHeld(rank int, ps []*Packet) { n.procs[rank].held = ps }
+
+// TotalPackets counts all packets currently in the network.
+func (n *Net) TotalPackets() int {
+	total := 0
+	for i := range n.procs {
+		total += len(n.procs[i].moving) + len(n.procs[i].held)
+	}
+	return total
+}
+
+// ForEachHeld calls fn for every held packet, in processor rank order.
+func (n *Net) ForEachHeld(fn func(rank int, p *Packet)) {
+	for r := range n.procs {
+		for _, p := range n.procs[r].held {
+			fn(r, p)
+		}
+	}
+}
+
+// RouteOpts configures a routing phase.
+type RouteOpts struct {
+	// MaxSteps aborts the phase with an error if exceeded; 0 means
+	// 64*D + 1024, far beyond any correct phase of the implemented
+	// algorithms.
+	MaxSteps int
+	// OnStep, if set, is called after every completed step (both
+	// barriers passed) with the number of steps taken so far in this
+	// phase. It runs on the caller's goroutine with the network
+	// quiescent, so it may inspect state (e.g. Snapshot) but must not
+	// modify it.
+	OnStep func(step int)
+}
+
+// RouteResult reports the outcome of a routing phase.
+type RouteResult struct {
+	Steps     int // simulated steps the phase took
+	Delivered int // packets that moved (and arrived) during the phase
+	Hops      int // total link traversals; equals the sum of activation distances for monotone policies
+	MaxDist   int // maximum source-destination distance over moved packets
+	// MaxOvershoot is max over delivered packets of
+	// (delivery time - activation distance); 0 means every packet was
+	// delivered distance-optimally with no slack at all.
+	MaxOvershoot int
+	SumOvershoot int // for averaging
+	MaxQueue     int // high-water mark of per-processor occupancy this phase
+}
+
+// AvgOvershoot returns the mean overshoot per delivered packet.
+func (r RouteResult) AvgOvershoot() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return float64(r.SumOvershoot) / float64(r.Delivered)
+}
+
+// Route activates every held packet whose Dst differs from its current
+// processor and runs the synchronous step loop under the given policy
+// until all of them are delivered. It returns the phase statistics.
+func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
+	var res RouteResult
+	active := 0
+	for r := range n.procs {
+		pr := &n.procs[r]
+		kept := pr.held[:0]
+		for _, p := range pr.held {
+			if p.Dst == r {
+				kept = append(kept, p)
+				continue
+			}
+			p.togo = n.Shape.Dist(r, p.Dst)
+			p.startStep = n.clock
+			p.startDist = p.togo
+			if p.togo > res.MaxDist {
+				res.MaxDist = p.togo
+			}
+			pr.moving = append(pr.moving, p)
+			active++
+		}
+		pr.held = kept
+	}
+	if active == 0 {
+		return res, nil
+	}
+
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 64*n.Shape.Diameter() + 1024
+	}
+
+	workers := n.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(n.procs) {
+		workers = len(n.procs)
+	}
+
+	if n.CountLoads && n.loads == nil {
+		n.loads = make([]int64, len(n.procs)*2*n.Shape.Dim)
+	}
+	st := &stepState{net: n, policy: policy, workers: workers}
+	for active > 0 {
+		if res.Steps >= maxSteps {
+			return res, fmt.Errorf("engine: routing exceeded %d steps with %d packets undelivered", maxSteps, active)
+		}
+		n.clock++
+		res.Steps++
+		st.run(phaseSend)
+		st.run(phaseDeliver)
+		for w := 0; w < workers; w++ {
+			active -= st.delivered[w]
+			res.Delivered += st.delivered[w]
+			res.SumOvershoot += st.sumOver[w]
+			res.Hops += st.hops[w]
+			if st.maxOver[w] > res.MaxOvershoot {
+				res.MaxOvershoot = st.maxOver[w]
+			}
+			if st.maxQueue[w] > res.MaxQueue {
+				res.MaxQueue = st.maxQueue[w]
+			}
+		}
+		if opts.OnStep != nil {
+			opts.OnStep(res.Steps)
+		}
+	}
+	if res.MaxQueue > n.MaxQueue {
+		n.MaxQueue = res.MaxQueue
+	}
+	return res, nil
+}
+
+type stepPhase int
+
+const (
+	phaseSend stepPhase = iota
+	phaseDeliver
+)
+
+// stepState carries the per-step scratch shared by shard workers.
+type stepState struct {
+	net     *Net
+	policy  Policy
+	workers int
+
+	delivered []int
+	sumOver   []int
+	maxOver   []int
+	maxQueue  []int
+	hops      []int
+
+	panicMu  sync.Mutex
+	panicVal interface{}
+}
+
+// run executes one phase of one step across all shards and waits for
+// completion.
+func (st *stepState) run(ph stepPhase) {
+	n := st.net
+	if st.delivered == nil {
+		st.delivered = make([]int, st.workers)
+		st.sumOver = make([]int, st.workers)
+		st.maxOver = make([]int, st.workers)
+		st.maxQueue = make([]int, st.workers)
+		st.hops = make([]int, st.workers)
+	}
+	if ph == phaseSend {
+		for w := 0; w < st.workers; w++ {
+			st.delivered[w] = 0
+			st.sumOver[w] = 0
+			st.maxOver[w] = 0
+			st.maxQueue[w] = 0
+			st.hops[w] = 0
+		}
+	}
+	total := len(n.procs)
+	chunk := (total + st.workers - 1) / st.workers
+	var wg sync.WaitGroup
+	for w := 0; w < st.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Re-panic on the caller's goroutine: engine panics signal
+			// algorithm bugs and must be catchable by tests.
+			defer func() {
+				if r := recover(); r != nil {
+					st.panicMu.Lock()
+					if st.panicVal == nil {
+						st.panicVal = r
+					}
+					st.panicMu.Unlock()
+				}
+			}()
+			if ph == phaseSend {
+				st.sendRange(lo, hi)
+			} else {
+				st.deliverRange(w, lo, hi)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if st.panicVal != nil {
+		panic(st.panicVal)
+	}
+}
+
+// sendRange implements the send phase for processors [lo, hi): each
+// processor lets every moving packet request a link and grants each link
+// to the highest-priority requester (farthest distance to go, then lowest
+// id — the paper's contention rule).
+func (st *stepState) sendRange(lo, hi int) {
+	n := st.net
+	for r := lo; r < hi; r++ {
+		pr := &n.procs[r]
+		if len(pr.moving) == 0 {
+			continue
+		}
+		for i := range pr.out {
+			pr.out[i] = nil
+		}
+		// Grant each link to the best requester.
+		for _, p := range pr.moving {
+			l := st.policy.NextLink(r, p)
+			if l < 0 {
+				continue
+			}
+			cur := pr.out[l]
+			if cur == nil || p.togo > cur.togo || (p.togo == cur.togo && p.ID < cur.ID) {
+				pr.out[l] = p
+			}
+		}
+		// Remove winners from the moving queue.
+		if !anySet(pr.out) {
+			continue
+		}
+		for l, p := range pr.out {
+			if p != nil {
+				if _, ok := n.Shape.Step(r, LinkDim(l), LinkDir(l)); !ok {
+					panic(fmt.Sprintf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
+				}
+			}
+		}
+		kept := pr.moving[:0]
+		for _, p := range pr.moving {
+			if !isWinner(pr.out, p) {
+				kept = append(kept, p)
+			}
+		}
+		// Null out the tail so dropped pointers don't linger.
+		for i := len(kept); i < len(pr.moving); i++ {
+			pr.moving[i] = nil
+		}
+		pr.moving = kept
+	}
+}
+
+func anySet(out []*Packet) bool {
+	for _, p := range out {
+		if p != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isWinner(out []*Packet, p *Packet) bool {
+	for _, q := range out {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// deliverRange implements the delivery phase for processors [lo, hi):
+// each processor pulls the packet (if any) from each neighboring
+// processor's outgoing slot that points at it.
+func (st *stepState) deliverRange(w, lo, hi int) {
+	n := st.net
+	s := n.Shape
+	for r := lo; r < hi; r++ {
+		pr := &n.procs[r]
+		for dim := 0; dim < s.Dim; dim++ {
+			for _, dir := range [2]int{-1, 1} {
+				// The neighbor one hop in direction -dir sends to us via
+				// its link (dim, dir).
+				sender, ok := s.Step(r, dim, -dir)
+				if !ok || sender == r {
+					continue
+				}
+				slot := LinkFor(dim, dir)
+				p := n.procs[sender].out[slot]
+				if p == nil {
+					continue
+				}
+				n.procs[sender].out[slot] = nil
+				st.hops[w]++
+				if n.loads != nil {
+					// The receiver owns this counter: one slot per
+					// (sender, link) pair, indexed by the sender, is
+					// touched by exactly one receiver per step.
+					n.loads[sender*2*s.Dim+slot]++
+				}
+				p.togo--
+				if p.togo <= 0 && p.Dst != r {
+					panic(fmt.Sprintf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", p.ID))
+				}
+				if p.togo == 0 && p.Dst == r {
+					pr.held = append(pr.held, p)
+					st.delivered[w]++
+					over := (n.clock - p.startStep) - p.startDist
+					st.sumOver[w] += over
+					if over > st.maxOver[w] {
+						st.maxOver[w] = over
+					}
+				} else {
+					pr.moving = append(pr.moving, p)
+				}
+			}
+		}
+		if q := len(pr.moving) + len(pr.held); q > st.maxQueue[w] {
+			st.maxQueue[w] = q
+		}
+	}
+}
+
+// Snapshot returns the current processor of every packet in the network
+// (moving and held), keyed by packet id. Intended for OnStep inspection
+// and tests; O(N + packets).
+func (n *Net) Snapshot() map[int]int {
+	out := make(map[int]int, n.nextID)
+	for r := range n.procs {
+		for _, p := range n.procs[r].moving {
+			out[p.ID] = r
+		}
+		for _, p := range n.procs[r].held {
+			out[p.ID] = r
+		}
+		// Packets sitting in outgoing slots between phases do not exist:
+		// Route always completes the delivery phase before returning or
+		// invoking OnStep, so out slots are empty here.
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// greedyTestPolicy is a minimal dimension-order policy for engine tests
+// (the production one lives in internal/route; duplicating a tiny version
+// here avoids an import cycle in tests).
+type greedyTestPolicy struct{ s grid.Shape }
+
+func (g greedyTestPolicy) NextLink(rank int, p *Packet) int {
+	d := g.s.Dim
+	for i := 0; i < d; i++ {
+		dim := (p.Class + i) % d
+		c := g.s.Coord(rank, dim)
+		t := g.s.Coord(p.Dst, dim)
+		if c == t {
+			continue
+		}
+		dir := 1
+		if g.s.Torus {
+			fwd := xmath.Mod(t-c, g.s.Side)
+			if fwd > g.s.Side-fwd {
+				dir = -1
+			}
+		} else if t < c {
+			dir = -1
+		}
+		return LinkFor(dim, dir)
+	}
+	return -1
+}
+
+func TestLinkEncoding(t *testing.T) {
+	for dim := 0; dim < 4; dim++ {
+		for _, dir := range []int{-1, 1} {
+			l := LinkFor(dim, dir)
+			if LinkDim(l) != dim || LinkDir(l) != dir {
+				t.Fatalf("link roundtrip failed for (%d,%d)", dim, dir)
+			}
+		}
+	}
+}
+
+func TestSinglePacketTravelsItsDistance(t *testing.T) {
+	for _, s := range []grid.Shape{grid.New(2, 8), grid.New(3, 6), grid.NewTorus(2, 8), grid.NewTorus(3, 6)} {
+		net := New(s)
+		p := net.NewPacket(0, 0)
+		p.Dst = s.N() - 1
+		net.Inject([]*Packet{p})
+		res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.Dist(0, s.N()-1)
+		if res.Steps != want {
+			t.Errorf("%v: lone packet took %d steps for distance %d", s, res.Steps, want)
+		}
+		if res.MaxOvershoot != 0 {
+			t.Errorf("%v: lone packet overshoot %d", s, res.MaxOvershoot)
+		}
+		if len(net.Held(p.Dst)) != 1 {
+			t.Errorf("%v: packet not at destination", s)
+		}
+	}
+}
+
+func TestRouteDeliversRandomPermutation(t *testing.T) {
+	s := grid.New(3, 6)
+	net := New(s)
+	rng := xmath.NewRNG(4)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	for i := range pkts {
+		pkts[i] = net.NewPacket(int64(i), i)
+		pkts[i].Dst = dsts[i]
+		pkts[i].Class = rng.Intn(s.Dim)
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < s.N(); r++ {
+		held := net.Held(r)
+		if len(held) != 1 || held[0].Dst != r {
+			t.Fatalf("rank %d holds %d packets", r, len(held))
+		}
+	}
+	moved := 0
+	for i, d := range dsts {
+		if d != i {
+			moved++
+		}
+	}
+	if res.Delivered != moved {
+		t.Errorf("delivered %d, want %d (non-fixed points)", res.Delivered, moved)
+	}
+	if net.TotalPackets() != s.N() {
+		t.Error("packet conservation violated")
+	}
+	if res.Steps < res.MaxDist {
+		t.Error("steps below max distance is impossible")
+	}
+}
+
+func TestRouteIsDeterministic(t *testing.T) {
+	run := func(workers int) ([]int, int) {
+		s := grid.New(3, 6)
+		net := New(s)
+		net.Workers = workers
+		rng := xmath.NewRNG(99)
+		dsts := rng.Perm(s.N())
+		pkts := make([]*Packet, s.N())
+		for i := range pkts {
+			pkts[i] = net.NewPacket(int64(i), i)
+			pkts[i].Dst = dsts[i]
+			pkts[i].Class = i % s.Dim
+		}
+		net.Inject(pkts)
+		res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fingerprint: per-processor packet ids.
+		fp := make([]int, 0, s.N())
+		for r := 0; r < s.N(); r++ {
+			for _, p := range net.Held(r) {
+				fp = append(fp, p.ID)
+			}
+		}
+		return fp, res.Steps
+	}
+	fp1, steps1 := run(1)
+	fp8, steps8 := run(8)
+	if steps1 != steps8 {
+		t.Fatalf("step counts differ between 1 and 8 workers: %d vs %d", steps1, steps8)
+	}
+	for i := range fp1 {
+		if fp1[i] != fp8[i] {
+			t.Fatal("final placement differs between 1 and 8 workers")
+		}
+	}
+}
+
+func TestRouteStartsOnlyMismatched(t *testing.T) {
+	s := grid.New(2, 4)
+	net := New(s)
+	p := net.NewPacket(7, 3) // Dst defaults to Src
+	net.Inject([]*Packet{p})
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 || res.Delivered != 0 {
+		t.Error("at-rest packet was routed")
+	}
+	if len(net.Held(3)) != 1 {
+		t.Error("at-rest packet moved")
+	}
+}
+
+func TestMaxStepsAborts(t *testing.T) {
+	s := grid.New(2, 8)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = s.N() - 1
+	net.Inject([]*Packet{p})
+	// A policy that never moves the packet.
+	lazy := policyFunc(func(rank int, p *Packet) int { return -1 })
+	_, err := net.Route(lazy, RouteOpts{MaxSteps: 5})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("expected max-steps error, got %v", err)
+	}
+}
+
+type policyFunc func(rank int, p *Packet) int
+
+func (f policyFunc) NextLink(rank int, p *Packet) int { return f(rank, p) }
+
+func TestOffGridSendPanics(t *testing.T) {
+	s := grid.New(1, 4)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = 3
+	net.Inject([]*Packet{p})
+	bad := policyFunc(func(rank int, p *Packet) int { return LinkFor(0, -1) }) // off the low edge
+	defer func() {
+		if recover() == nil {
+			t.Error("off-grid send did not panic")
+		}
+	}()
+	net.Route(bad, RouteOpts{})
+}
+
+func TestNonMonotonePolicyPanics(t *testing.T) {
+	s := grid.New(1, 8)
+	net := New(s)
+	p := net.NewPacket(0, 4)
+	p.Dst = 5
+	net.Inject([]*Packet{p})
+	// Always move left: walks away from the destination.
+	bad := policyFunc(func(rank int, p *Packet) int { return LinkFor(0, -1) })
+	defer func() {
+		if recover() == nil {
+			t.Error("non-monotone policy did not panic")
+		}
+	}()
+	net.Route(bad, RouteOpts{})
+}
+
+func TestContentionFarthestFirst(t *testing.T) {
+	// Two packets at the same processor both want +x; the one with the
+	// farther destination must win the link.
+	s := grid.New(1, 8)
+	net := New(s)
+	far := net.NewPacket(1, 0)
+	far.Dst = 7
+	near := net.NewPacket(2, 0)
+	near.Dst = 3
+	net.Inject([]*Packet{far, near})
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// far needs 7 steps and must never be delayed; near is delayed once.
+	if res.Steps != 7 {
+		t.Errorf("phase took %d steps, want 7", res.Steps)
+	}
+	if res.MaxOvershoot != 1 {
+		t.Errorf("near packet overshoot = %d, want 1", res.MaxOvershoot)
+	}
+}
+
+func TestQueueTracksMultiplePackets(t *testing.T) {
+	// k packets per processor all moving to one destination stress the
+	// queue accounting.
+	s := grid.New(2, 4)
+	net := New(s)
+	var pkts []*Packet
+	for r := 0; r < s.N(); r++ {
+		p := net.NewPacket(int64(r), r)
+		p.Dst = 0
+		pkts = append(pkts, p)
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.Held(0)); got != s.N() {
+		t.Errorf("destination holds %d packets, want %d", got, s.N())
+	}
+	if res.MaxQueue < s.N()/2 {
+		t.Errorf("MaxQueue %d suspiciously small for full concentration", res.MaxQueue)
+	}
+	if net.MaxQueue != res.MaxQueue {
+		t.Error("network high-water mark not updated")
+	}
+}
+
+func TestAdvanceClockAndOracle(t *testing.T) {
+	net := New(grid.New(2, 4))
+	net.AdvanceClock(10)
+	if net.Clock() != 10 {
+		t.Error("clock not advanced")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance did not panic")
+		}
+	}()
+	net.AdvanceClock(-1)
+}
+
+func TestSetHeldAndForEach(t *testing.T) {
+	s := grid.New(2, 4)
+	net := New(s)
+	a := net.NewPacket(1, 2)
+	b := net.NewPacket(2, 2)
+	net.SetHeld(2, []*Packet{a, b})
+	count := 0
+	net.ForEachHeld(func(rank int, p *Packet) {
+		if rank != 2 {
+			t.Error("wrong rank in ForEachHeld")
+		}
+		count++
+	})
+	if count != 2 || net.TotalPackets() != 2 {
+		t.Error("held accounting wrong")
+	}
+}
+
+func TestPacketIDsUnique(t *testing.T) {
+	net := New(grid.New(2, 4))
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		p := net.NewPacket(0, 0)
+		if seen[p.ID] {
+			t.Fatal("duplicate packet id")
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestTorusWrapRouting(t *testing.T) {
+	// A packet crossing the wrap-around edge must take the short way.
+	s := grid.NewTorus(1, 8)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = 7 // distance 1 via wrap
+	net.Inject([]*Packet{p})
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("wrap routing took %d steps, want 1", res.Steps)
+	}
+}

@@ -1,0 +1,54 @@
+// Package engine implements the synchronous multi-packet mesh model of
+// the paper: N = n^d processors operating in lock-step, each holding a
+// small number of packets, each able to transmit one packet per directed
+// link per step.
+//
+// The engine separates what the machine does (move packets along links
+// under a routing policy, one per link per step) from what the algorithms
+// decide (destinations, routing classes, local rearrangements). Global
+// routing phases are simulated step-accurately; local "oracle" phases
+// (block-local sorts, whose o(n) cost the paper treats as a black box)
+// rearrange held packets atomically and advance the clock by a charged
+// cost (see internal/core).
+//
+// The step loop is sharded over a pool of goroutines with two barriers
+// per step. Shard workers only ever write processor-owned state in the
+// send phase and receiver-owned state in the delivery phase, so parallel
+// execution is observationally identical to sequential execution.
+package engine
+
+// Packet is a unit of routable data. Exactly one goroutine touches a
+// packet at any time (the worker owning the processor currently holding
+// it), so packets need no locks.
+type Packet struct {
+	ID  int   // unique id, assigned at creation
+	Key int64 // sort key (ignored by pure routing)
+
+	Src int // canonical rank of the processor that injected the packet
+	Dst int // canonical rank of the current destination
+
+	// Class selects the dimension-order rotation used by the extended
+	// greedy routing scheme (Section 2.2 of the paper): a packet of class
+	// c corrects dimensions in the order c, c+1, ..., c-1 (mod d).
+	Class int
+
+	// Tag and Pair carry algorithm-specific metadata (e.g. CopySort uses
+	// Tag to distinguish originals from copies and Pair to link them).
+	Tag  int
+	Pair int
+
+	// togo is the remaining distance to Dst, maintained by the engine
+	// during a routing phase.
+	togo int
+	// startStep and startDist record when and how far from its
+	// destination the packet was activated, for distance-optimality
+	// accounting.
+	startStep int
+	startDist int
+}
+
+// Tag values used by the sorting algorithms.
+const (
+	TagOriginal = 0
+	TagCopy     = 1
+)

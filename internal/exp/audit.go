@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"meshsort/internal/core"
+	"meshsort/internal/perm"
+	"meshsort/internal/stats"
+	"meshsort/internal/xmath"
+)
+
+// E12QueueAudit certifies the model assumption: the multi-packet model
+// allows O(1) packets per processor, and all algorithms must respect it.
+// The table reports the peak per-processor occupancy of every algorithm
+// on a common instance; all values must be small constants (they carry a
+// factor ~k for k-k inputs and ~4 for CopySort's originals+copies).
+func E12QueueAudit(o Options) *stats.Table {
+	c := sortCase{3, 16, 4}
+	mesh := c.mesh()
+	torus := c.torus()
+	t := stats.NewTable(
+		"E12 — queue audit: peak packets per processor (multi-packet model requires O(1))",
+		"algorithm", "network", "maxq")
+
+	mcfg := core.Config{Shape: mesh, BlockSide: c.b, Seed: o.seed()}
+	tcfg := core.Config{Shape: torus, BlockSide: c.b, Seed: o.seed()}
+	t.Addf("SimpleSort", mesh.String(), runSort("SimpleSort", core.SimpleSort, mcfg).MaxQueue)
+	t.Addf("CopySort", mesh.String(), runSort("CopySort", core.CopySort, mcfg).MaxQueue)
+	t.Addf("FullSort", mesh.String(), runSort("FullSort", core.FullSort, mcfg).MaxQueue)
+	t.Addf("TorusSort", torus.String(), runSort("TorusSort", core.TorusSort, tcfg).MaxQueue)
+
+	two, err := core.TwoPhaseRoute(core.RouteConfig{Shape: mesh, BlockSide: c.b, Seed: o.seed()},
+		perm.Random(mesh, xmath.NewRNG(o.seed())))
+	if err != nil {
+		panic(err)
+	}
+	t.Addf("TwoPhaseRoute", mesh.String(), two.MaxQueue)
+
+	sel, err := core.Select(mcfg, core.RandomKeys(mesh, 1, o.seed()), mesh.N()/2)
+	if err != nil {
+		panic(err)
+	}
+	t.Addf("Select", mesh.String(), sel.MaxQueue)
+	return t
+}

@@ -1,0 +1,88 @@
+// Package exp defines the reproduction experiments E1-E12 (see DESIGN.md
+// for the experiment index): each function regenerates one table of
+// EXPERIMENTS.md from scratch and returns it. cmd/experiments prints
+// them; the benchmarks in the repository root drive the same functions.
+//
+// The paper is an extended abstract without numbered tables or figures;
+// its evaluation *is* its set of theorems, so each experiment measures
+// one theorem's quantity (simulated steps, distance slack, exact counts)
+// and reports it next to the bound.
+package exp
+
+import (
+	"fmt"
+
+	"meshsort/internal/core"
+	"meshsort/internal/grid"
+	"meshsort/internal/stats"
+)
+
+// Options tunes experiment size.
+type Options struct {
+	Quick bool   // smaller sweeps for CI-speed runs
+	Seed  uint64 // base seed; 0 means 1
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// sortCase is one (shape, block) point of a sorting sweep.
+type sortCase struct {
+	d, n, b int
+}
+
+func (c sortCase) mesh() grid.Shape  { return grid.New(c.d, c.n) }
+func (c sortCase) torus() grid.Shape { return grid.NewTorus(c.d, c.n) }
+
+// meshSweep lists the mesh sorting configurations. Block sides are
+// chosen with at least 4 blocks per dimension where possible (so the
+// center region is geometrically meaningful) and B^2 <= 2V where
+// affordable (the paper's alpha >= 2/3 regime, keeping cleanup short).
+func meshSweep(quick bool) []sortCase {
+	if quick {
+		return []sortCase{{2, 16, 4}, {2, 32, 8}, {3, 16, 4}}
+	}
+	return []sortCase{
+		{2, 16, 4}, {2, 32, 8}, {2, 64, 16},
+		{3, 16, 4}, {3, 32, 8},
+		{4, 8, 4}, {4, 16, 4},
+	}
+}
+
+func torusSweep(quick bool) []sortCase {
+	if quick {
+		return []sortCase{{2, 16, 4}, {3, 16, 4}}
+	}
+	return []sortCase{
+		{2, 16, 4}, {2, 32, 8}, {2, 64, 16},
+		{3, 16, 4}, {3, 32, 8},
+		{4, 8, 4}, {4, 16, 4},
+	}
+}
+
+// runSort executes one sorting algorithm run and fails loudly: every
+// experiment also certifies correctness, not just timing.
+func runSort(name string, fn func(core.Config, []int64) (core.Result, error), cfg core.Config) core.Result {
+	keys := core.RandomKeys(cfg.Shape, maxInt(1, cfg.K), cfg.Seed+17)
+	res, err := fn(cfg, keys)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s on %v b=%d: %v", name, cfg.Shape, cfg.BlockSide, err))
+	}
+	if !res.Sorted {
+		panic(fmt.Sprintf("exp: %s on %v b=%d did not sort", name, cfg.Shape, cfg.BlockSide))
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ratio(a, b int) string { return stats.FormatFloat(float64(a) / float64(b)) }

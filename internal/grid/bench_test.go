@@ -1,0 +1,35 @@
+package grid
+
+import "testing"
+
+func BenchmarkRankCoords(b *testing.B) {
+	s := New(4, 16)
+	coords := make([]int, 4)
+	for i := 0; i < b.N; i++ {
+		s.Coords(i%s.N(), coords)
+		_ = s.Rank(coords)
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	s := New(4, 16)
+	N := s.N()
+	for i := 0; i < b.N; i++ {
+		_ = s.Dist(i%N, (i*31)%N)
+	}
+}
+
+func BenchmarkBlockOf(b *testing.B) {
+	bs := Blocks(New(4, 16), 4)
+	N := bs.Shape.N()
+	for i := 0; i < b.N; i++ {
+		_ = bs.BlockOf(i % N)
+	}
+}
+
+func BenchmarkCenterBlocks(b *testing.B) {
+	bs := Blocks(New(3, 32), 8)
+	for i := 0; i < b.N; i++ {
+		_ = CenterBlocks(bs, bs.Count()/2)
+	}
+}

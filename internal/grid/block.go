@@ -1,0 +1,314 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"meshsort/internal/xmath"
+)
+
+// BlockSpec is a decomposition of a Shape into axis-aligned cubic blocks
+// of side length Side. It is the geometric substrate of the blocked
+// indexing schemes and of the sort-and-unshuffle machinery: algorithms
+// address packets by (block id, offset within block).
+//
+// Block ids are the row-major ranks of the block coordinate vectors in
+// [m]^d, where m = Shape.Side / Side. Offsets within a block are the
+// row-major ranks of the local coordinates in [Side]^d. (Snake orderings
+// are layered on top by internal/index.)
+type BlockSpec struct {
+	Shape  Shape
+	Side   int // block side length b; must divide Shape.Side
+	PerDim int // m = Shape.Side / Side
+}
+
+// Blocks returns the block decomposition of s into blocks of side b.
+func Blocks(s Shape, b int) BlockSpec {
+	if b < 1 || s.Side%b != 0 {
+		panic(fmt.Sprintf("grid: block side %d does not divide mesh side %d", b, s.Side))
+	}
+	return BlockSpec{Shape: s, Side: b, PerDim: s.Side / b}
+}
+
+// Count returns the number of blocks m^d.
+func (bs BlockSpec) Count() int { return xmath.Ipow(bs.PerDim, bs.Shape.Dim) }
+
+// Volume returns the number of processors per block, b^d.
+func (bs BlockSpec) Volume() int { return xmath.Ipow(bs.Side, bs.Shape.Dim) }
+
+// BlockOf returns the block id containing the processor with the given
+// canonical rank.
+func (bs BlockSpec) BlockOf(rank int) int {
+	id := 0
+	div := xmath.Ipow(bs.Shape.Side, bs.Shape.Dim-1)
+	for i := 0; i < bs.Shape.Dim; i++ {
+		c := (rank / div) % bs.Shape.Side
+		id = id*bs.PerDim + c/bs.Side
+		if div > 1 {
+			div /= bs.Shape.Side
+		}
+	}
+	return id
+}
+
+// OffsetOf returns the row-major offset within its block of the processor
+// with the given canonical rank.
+func (bs BlockSpec) OffsetOf(rank int) int {
+	off := 0
+	div := xmath.Ipow(bs.Shape.Side, bs.Shape.Dim-1)
+	for i := 0; i < bs.Shape.Dim; i++ {
+		c := (rank / div) % bs.Shape.Side
+		off = off*bs.Side + c%bs.Side
+		if div > 1 {
+			div /= bs.Shape.Side
+		}
+	}
+	return off
+}
+
+// ProcAt returns the canonical rank of the processor at the given
+// row-major offset within the given block.
+func (bs BlockSpec) ProcAt(blockID, offset int) int {
+	if blockID < 0 || blockID >= bs.Count() {
+		panic(fmt.Sprintf("grid: block id %d out of range [0,%d)", blockID, bs.Count()))
+	}
+	if offset < 0 || offset >= bs.Volume() {
+		panic(fmt.Sprintf("grid: block offset %d out of range [0,%d)", offset, bs.Volume()))
+	}
+	rank := 0
+	for i := bs.Shape.Dim - 1; i >= 0; i-- {
+		bc := blockID % bs.PerDim
+		lc := offset % bs.Side
+		blockID /= bs.PerDim
+		offset /= bs.Side
+		rank += (bc*bs.Side + lc) * xmath.Ipow(bs.Shape.Side, bs.Shape.Dim-1-i)
+	}
+	return rank
+}
+
+// BlockCoords decodes a block id into block coordinates in [m]^d.
+func (bs BlockSpec) BlockCoords(blockID int, out []int) []int {
+	if out == nil {
+		out = make([]int, bs.Shape.Dim)
+	}
+	for i := bs.Shape.Dim - 1; i >= 0; i-- {
+		out[i] = blockID % bs.PerDim
+		blockID /= bs.PerDim
+	}
+	return out
+}
+
+// BlockID encodes block coordinates into a block id.
+func (bs BlockSpec) BlockID(coords []int) int {
+	id := 0
+	for _, c := range coords {
+		if c < 0 || c >= bs.PerDim {
+			panic("grid: block coordinate out of range")
+		}
+		id = id*bs.PerDim + c
+	}
+	return id
+}
+
+// CenterDist2 returns twice the L1 distance from the center of the block
+// to the center of the mesh. Both centers can sit on half-integer
+// coordinates, so the doubled distance keeps everything integral.
+func (bs BlockSpec) CenterDist2(blockID int) int {
+	d := 0
+	n := bs.Shape.Side
+	for i := 0; i < bs.Shape.Dim; i++ {
+		g := blockID % bs.PerDim
+		blockID /= bs.PerDim
+		// Doubled block-center coordinate: 2*(g*b) + (b-1).
+		d += xmath.Abs(2*g*bs.Side + bs.Side - n)
+	}
+	return d
+}
+
+// Dist2 returns twice the L1 distance between the centers of two blocks,
+// respecting torus wrap-around when the underlying shape is a torus.
+func (bs BlockSpec) Dist2(a, b int) int {
+	d := 0
+	for i := 0; i < bs.Shape.Dim; i++ {
+		ga, gb := a%bs.PerDim, b%bs.PerDim
+		a /= bs.PerDim
+		b /= bs.PerDim
+		delta := 2 * bs.Side * xmath.Abs(ga-gb)
+		if bs.Shape.Torus {
+			wrap := 2*bs.Shape.Side - delta
+			delta = xmath.Min(delta, wrap)
+		}
+		d += delta
+	}
+	return d
+}
+
+// MaxProcDist returns an upper bound on the distance between any
+// processor of block a and any processor of block b: center distance plus
+// the blocks' radii.
+func (bs BlockSpec) MaxProcDist(a, b int) int {
+	// Each block has L1 radius at most d*(b-1); doubled center distance
+	// halves back to processor units (round up).
+	return xmath.CeilDiv(bs.Dist2(a, b), 2) + bs.Shape.Dim*(bs.Side-1)
+}
+
+// Reflect returns the id of the block obtained by reflecting the block
+// through the mesh center (block coordinate g maps to m-1-g).
+func (bs BlockSpec) Reflect(blockID int) int {
+	out := 0
+	div := xmath.Ipow(bs.PerDim, bs.Shape.Dim-1)
+	for i := 0; i < bs.Shape.Dim; i++ {
+		g := (blockID / div) % bs.PerDim
+		out += (bs.PerDim - 1 - g) * div
+		if div > 1 {
+			div /= bs.PerDim
+		}
+	}
+	return out
+}
+
+// Antipode returns the id of the block at (approximately) maximal torus
+// distance: block coordinate g maps to (g + m/2) mod m.
+func (bs BlockSpec) Antipode(blockID int) int {
+	out := 0
+	div := xmath.Ipow(bs.PerDim, bs.Shape.Dim-1)
+	half := bs.PerDim / 2
+	for i := 0; i < bs.Shape.Dim; i++ {
+		g := (blockID / div) % bs.PerDim
+		out += ((g + half) % bs.PerDim) * div
+		if div > 1 {
+			div /= bs.PerDim
+		}
+	}
+	return out
+}
+
+// CenterRegion is a set of blocks concentrated around the mesh center,
+// as used by the sorting algorithms of Section 3 of the paper.
+type CenterRegion struct {
+	Spec   BlockSpec
+	Blocks []int // chosen block ids, in increasing (distance, id) order
+	pos    []int // block id -> index in Blocks, or -1
+}
+
+// CenterBlocks selects the `count` blocks whose centers are closest to
+// the mesh center. The selection is closed under reflection through the
+// center: blocks are chosen in pairs {g, reflect(g)} (plus the self-paired
+// central block when the per-dimension block count m is odd), so the
+// returned region may contain up to one block more than requested when a
+// pair would otherwise be split.
+//
+// For count = Count()/2 this realizes the paper's center region C: half
+// of the network, with every processor of the network within ~3D/4 of
+// every processor of C.
+func CenterBlocks(bs BlockSpec, count int) CenterRegion {
+	if count < 1 || count > bs.Count() {
+		panic(fmt.Sprintf("grid: center region size %d out of range [1,%d]", count, bs.Count()))
+	}
+	type entry struct {
+		dist2 int
+		pair  int // min(id, reflect(id)): keeps reflection pairs adjacent
+		id    int
+	}
+	entries := make([]entry, bs.Count())
+	for id := range entries {
+		refl := bs.Reflect(id)
+		entries[id] = entry{dist2: bs.CenterDist2(id), pair: xmath.Min(id, refl), id: id}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.dist2 != b.dist2 {
+			return a.dist2 < b.dist2
+		}
+		if a.pair != b.pair {
+			return a.pair < b.pair
+		}
+		return a.id < b.id
+	})
+	// Extend the cut forward until it does not split a reflection pair.
+	for count < len(entries) {
+		last := entries[count-1]
+		if last.id == bs.Reflect(last.id) || entries[count].pair != last.pair {
+			break
+		}
+		count++
+	}
+	region := CenterRegion{Spec: bs, Blocks: make([]int, count), pos: make([]int, bs.Count())}
+	for i := range region.pos {
+		region.pos[i] = -1
+	}
+	for i := 0; i < count; i++ {
+		region.Blocks[i] = entries[i].id
+		region.pos[entries[i].id] = i
+	}
+	return region
+}
+
+// Size returns the number of blocks in the region.
+func (c CenterRegion) Size() int { return len(c.Blocks) }
+
+// Contains reports whether the block is part of the region.
+func (c CenterRegion) Contains(blockID int) bool { return c.pos[blockID] >= 0 }
+
+// IndexOf returns the position of blockID in the region's fixed numbering,
+// or -1 if the block is not in the region. This is the "arbitrary fixed
+// numbering of the blocks in C" used by Algorithm SimpleSort.
+func (c CenterRegion) IndexOf(blockID int) int { return c.pos[blockID] }
+
+// BlockAt returns the block id at position i of the region's numbering.
+func (c CenterRegion) BlockAt(i int) int { return c.Blocks[i] }
+
+// OppositeIn returns the region-relative index of the reflection of the
+// block at region index i. CenterBlocks guarantees the reflection is in
+// the region.
+func (c CenterRegion) OppositeIn(i int) int {
+	j := c.pos[c.Spec.Reflect(c.Blocks[i])]
+	if j < 0 {
+		panic("grid: center region not closed under reflection")
+	}
+	return j
+}
+
+// MaxDistTo returns the maximum over all processors p of the network of
+// the minimum distance from p to any processor of the region. It is used
+// by tests to certify the 3D/4 reach property.
+func (c CenterRegion) MaxDistTo() int {
+	s := c.Spec.Shape
+	max := 0
+	coords := make([]int, s.Dim)
+	bcoords := make([]int, s.Dim)
+	for p := 0; p < s.N(); p++ {
+		s.Coords(p, coords)
+		best := -1
+		for _, b := range c.Blocks {
+			c.Spec.BlockCoords(b, bcoords)
+			// Closest processor of block b to p, per dimension.
+			d := 0
+			for i := 0; i < s.Dim; i++ {
+				lo := bcoords[i] * c.Spec.Side
+				hi := lo + c.Spec.Side - 1
+				var delta int
+				switch {
+				case coords[i] < lo:
+					delta = lo - coords[i]
+				case coords[i] > hi:
+					delta = coords[i] - hi
+				}
+				if s.Torus && delta > 0 {
+					// Wrap-around alternative.
+					wrapLo := coords[i] + s.Side - hi
+					wrapHi := lo + s.Side - coords[i]
+					delta = xmath.Min(delta, xmath.Min(wrapLo, wrapHi))
+				}
+				d += delta
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if best > max {
+			max = best
+		}
+	}
+	return max
+}

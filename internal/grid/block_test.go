@@ -1,0 +1,266 @@
+package grid
+
+import (
+	"testing"
+
+	"meshsort/internal/xmath"
+)
+
+type blockCase struct {
+	shape Shape
+	b     int
+}
+
+var blockCases = []blockCase{
+	{New(2, 8), 4}, {New(2, 8), 2}, {New(3, 8), 4}, {New(3, 8), 2},
+	{New(4, 4), 2}, {New(2, 6), 3}, {New(3, 6), 2}, {New(3, 6), 3},
+	{NewTorus(2, 8), 4}, {NewTorus(3, 8), 4}, {NewTorus(4, 4), 2}, {NewTorus(3, 6), 3},
+}
+
+func TestBlocksRejectsNonDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Blocks with non-dividing side did not panic")
+		}
+	}()
+	Blocks(New(2, 8), 3)
+}
+
+func TestBlockCounts(t *testing.T) {
+	bs := Blocks(New(3, 8), 4)
+	if bs.Count() != 8 || bs.Volume() != 64 || bs.PerDim != 2 {
+		t.Errorf("counts: %d blocks, %d volume, %d per dim", bs.Count(), bs.Volume(), bs.PerDim)
+	}
+	if bs.Count()*bs.Volume() != bs.Shape.N() {
+		t.Error("blocks do not tile the network")
+	}
+}
+
+func TestBlockRoundtrip(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		for r := 0; r < c.shape.N(); r++ {
+			id := bs.BlockOf(r)
+			off := bs.OffsetOf(r)
+			if got := bs.ProcAt(id, off); got != r {
+				t.Fatalf("%v b=%d: ProcAt(BlockOf, OffsetOf) of %d = %d", c.shape, c.b, r, got)
+			}
+		}
+		// Every (block, offset) pair is a distinct processor.
+		seen := make([]bool, c.shape.N())
+		for id := 0; id < bs.Count(); id++ {
+			for off := 0; off < bs.Volume(); off++ {
+				r := bs.ProcAt(id, off)
+				if seen[r] {
+					t.Fatalf("%v b=%d: ProcAt not injective", c.shape, c.b)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestBlockCoordsRoundtrip(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		coords := make([]int, c.shape.Dim)
+		for id := 0; id < bs.Count(); id++ {
+			bs.BlockCoords(id, coords)
+			if got := bs.BlockID(coords); got != id {
+				t.Fatalf("%v b=%d: BlockID(BlockCoords(%d)) = %d", c.shape, c.b, id, got)
+			}
+		}
+	}
+}
+
+func TestBlockMembersShareBlockCoords(t *testing.T) {
+	bs := Blocks(New(2, 8), 4)
+	coords := make([]int, 2)
+	for r := 0; r < 64; r++ {
+		bs.Shape.Coords(r, coords)
+		wantID := bs.BlockID([]int{coords[0] / 4, coords[1] / 4})
+		if bs.BlockOf(r) != wantID {
+			t.Fatalf("BlockOf(%v) = %d, want %d", coords, bs.BlockOf(r), wantID)
+		}
+	}
+}
+
+func TestBlockDist2(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		for a := 0; a < bs.Count(); a++ {
+			if bs.Dist2(a, a) != 0 {
+				t.Fatalf("%v b=%d: nonzero self distance", c.shape, c.b)
+			}
+			for b := 0; b < bs.Count(); b++ {
+				if bs.Dist2(a, b) != bs.Dist2(b, a) {
+					t.Fatalf("%v b=%d: asymmetric block distance", c.shape, c.b)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxProcDistIsUpperBound(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		rng := xmath.NewRNG(7)
+		for trial := 0; trial < 100; trial++ {
+			ra, rb := rng.Intn(c.shape.N()), rng.Intn(c.shape.N())
+			bound := bs.MaxProcDist(bs.BlockOf(ra), bs.BlockOf(rb))
+			if d := c.shape.Dist(ra, rb); d > bound {
+				t.Fatalf("%v b=%d: dist %d exceeds MaxProcDist %d", c.shape, c.b, d, bound)
+			}
+		}
+	}
+}
+
+func TestBlockReflectInvolution(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		for id := 0; id < bs.Count(); id++ {
+			if bs.Reflect(bs.Reflect(id)) != id {
+				t.Fatalf("%v b=%d: block Reflect not involution", c.shape, c.b)
+			}
+			if bs.CenterDist2(id) != bs.CenterDist2(bs.Reflect(id)) {
+				t.Fatalf("%v b=%d: block Reflect changed center distance", c.shape, c.b)
+			}
+		}
+	}
+}
+
+func TestBlockReflectMatchesProcReflect(t *testing.T) {
+	// Reflecting a processor lands in the reflected block.
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		rng := xmath.NewRNG(9)
+		for trial := 0; trial < 100; trial++ {
+			r := rng.Intn(c.shape.N())
+			if bs.BlockOf(c.shape.Reflect(r)) != bs.Reflect(bs.BlockOf(r)) {
+				t.Fatalf("%v b=%d: proc/block reflection disagree", c.shape, c.b)
+			}
+		}
+	}
+}
+
+func TestBlockAntipode(t *testing.T) {
+	for _, c := range blockCases {
+		if !c.shape.Torus {
+			continue
+		}
+		bs := Blocks(c.shape, c.b)
+		if bs.PerDim%2 != 0 {
+			continue
+		}
+		for id := 0; id < bs.Count(); id++ {
+			if bs.Antipode(bs.Antipode(id)) != id {
+				t.Fatalf("%v b=%d: Antipode not involution for even m", c.shape, c.b)
+			}
+		}
+		// Antipodal proc lands in antipodal block when b divides n/2.
+		if (c.shape.Side/2)%c.b == 0 {
+			rng := xmath.NewRNG(10)
+			for trial := 0; trial < 100; trial++ {
+				r := rng.Intn(c.shape.N())
+				if bs.BlockOf(c.shape.Antipode(r)) != bs.Antipode(bs.BlockOf(r)) {
+					t.Fatalf("%v b=%d: proc/block antipode disagree", c.shape, c.b)
+				}
+			}
+		}
+	}
+}
+
+func TestCenterBlocksHalf(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		if bs.Count()%2 != 0 {
+			continue
+		}
+		region := CenterBlocks(bs, bs.Count()/2)
+		if region.Size() != bs.Count()/2 {
+			t.Errorf("%v b=%d: center region has %d blocks, want %d", c.shape, c.b, region.Size(), bs.Count()/2)
+		}
+	}
+}
+
+func TestCenterBlocksReflectionClosed(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		for _, count := range []int{1, bs.Count() / 2, bs.Count()} {
+			if count == 0 {
+				continue
+			}
+			region := CenterBlocks(bs, count)
+			for i := 0; i < region.Size(); i++ {
+				j := region.OppositeIn(i) // panics if not closed
+				if region.OppositeIn(j) != i {
+					t.Fatalf("%v b=%d count=%d: OppositeIn not involutive", c.shape, c.b, count)
+				}
+			}
+		}
+	}
+}
+
+func TestCenterBlocksChoosesClosest(t *testing.T) {
+	for _, c := range blockCases {
+		bs := Blocks(c.shape, c.b)
+		region := CenterBlocks(bs, xmath.Max(1, bs.Count()/2))
+		maxIn := 0
+		for _, id := range region.Blocks {
+			if d := bs.CenterDist2(id); d > maxIn {
+				maxIn = d
+			}
+		}
+		for id := 0; id < bs.Count(); id++ {
+			if !region.Contains(id) && bs.CenterDist2(id) < maxIn {
+				t.Fatalf("%v b=%d: excluded block %d closer than included one", c.shape, c.b, id)
+			}
+		}
+	}
+}
+
+func TestCenterBlocksIndexing(t *testing.T) {
+	bs := Blocks(New(3, 8), 4)
+	region := CenterBlocks(bs, 4)
+	for i := 0; i < region.Size(); i++ {
+		id := region.BlockAt(i)
+		if region.IndexOf(id) != i || !region.Contains(id) {
+			t.Fatal("region indexing inconsistent")
+		}
+	}
+	for id := 0; id < bs.Count(); id++ {
+		if !region.Contains(id) && region.IndexOf(id) != -1 {
+			t.Fatal("IndexOf of non-member should be -1")
+		}
+	}
+}
+
+func TestCenterRegionReach(t *testing.T) {
+	// The paper's key geometric fact: every processor is within about
+	// 3D/4 of the half-size center region (exactly 3D/4 asymptotically;
+	// finite blocks add at most a block diameter of slack).
+	for _, c := range []blockCase{{New(2, 8), 4}, {New(3, 8), 4}, {New(2, 8), 2}, {New(4, 4), 2}} {
+		bs := Blocks(c.shape, c.b)
+		region := CenterBlocks(bs, bs.Count()/2)
+		reach := region.MaxDistTo()
+		D := c.shape.Diameter()
+		slack := c.shape.Dim * (c.b - 1)
+		if reach > 3*D/4+slack {
+			t.Errorf("%v b=%d: center region reach %d > 3D/4 + slack = %d", c.shape, c.b, reach, 3*D/4+slack)
+		}
+	}
+}
+
+func TestCenterBlocksRejectsBadCount(t *testing.T) {
+	bs := Blocks(New(2, 8), 4)
+	for _, bad := range []int{0, -1, bs.Count() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CenterBlocks(%d) did not panic", bad)
+				}
+			}()
+			CenterBlocks(bs, bad)
+		}()
+	}
+}

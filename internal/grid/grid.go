@@ -1,0 +1,241 @@
+// Package grid models the topology of d-dimensional meshes and tori: the
+// processor set, coordinate arithmetic, neighborhoods, distances, block
+// decompositions, and center regions. It deliberately knows nothing about
+// packets or indexing schemes; those live in internal/engine and
+// internal/index.
+//
+// Conventions used throughout the repository:
+//
+//   - A processor is identified by its coordinates in [n]^d, or by its
+//     canonical rank, the row-major mixed-radix encoding of the
+//     coordinates. The canonical rank is a storage id only; the sorted
+//     order of keys is defined by an indexing scheme (internal/index),
+//     which is in general a different bijection.
+//   - Dimension 0 is the most significant coordinate in the canonical
+//     rank.
+package grid
+
+import (
+	"fmt"
+
+	"meshsort/internal/xmath"
+)
+
+// Shape describes a d-dimensional mesh or torus of side length n.
+type Shape struct {
+	Dim   int  // number of dimensions d (>= 1)
+	Side  int  // side length n (>= 2)
+	Torus bool // wrap-around edges present
+}
+
+// New returns a mesh shape, validating the parameters.
+func New(dim, side int) Shape {
+	return newShape(dim, side, false)
+}
+
+// NewTorus returns a torus shape, validating the parameters.
+func NewTorus(dim, side int) Shape {
+	return newShape(dim, side, true)
+}
+
+func newShape(dim, side int, torus bool) Shape {
+	if dim < 1 {
+		panic(fmt.Sprintf("grid: dimension %d < 1", dim))
+	}
+	if side < 2 {
+		panic(fmt.Sprintf("grid: side length %d < 2", side))
+	}
+	// Reject shapes whose processor count overflows int.
+	xmath.Ipow(side, dim)
+	return Shape{Dim: dim, Side: side, Torus: torus}
+}
+
+// N returns the number of processors n^d.
+func (s Shape) N() int { return xmath.Ipow(s.Side, s.Dim) }
+
+// Diameter returns the network diameter: d(n-1) for the mesh and
+// d*floor(n/2) for the torus.
+func (s Shape) Diameter() int {
+	if s.Torus {
+		return s.Dim * (s.Side / 2)
+	}
+	return s.Dim * (s.Side - 1)
+}
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	kind := "mesh"
+	if s.Torus {
+		kind = "torus"
+	}
+	return fmt.Sprintf("%dd-%s(n=%d)", s.Dim, kind, s.Side)
+}
+
+// Rank returns the canonical (row-major) rank of the coordinates.
+func (s Shape) Rank(coords []int) int {
+	if len(coords) != s.Dim {
+		panic("grid: Rank dimension mismatch")
+	}
+	r := 0
+	for _, c := range coords {
+		if c < 0 || c >= s.Side {
+			panic(fmt.Sprintf("grid: coordinate %d out of range [0,%d)", c, s.Side))
+		}
+		r = r*s.Side + c
+	}
+	return r
+}
+
+// Coords decodes rank into the provided slice (length Dim) and returns it.
+// If out is nil a new slice is allocated.
+func (s Shape) Coords(rank int, out []int) []int {
+	if rank < 0 || rank >= s.N() {
+		panic(fmt.Sprintf("grid: rank %d out of range [0,%d)", rank, s.N()))
+	}
+	if out == nil {
+		out = make([]int, s.Dim)
+	}
+	if len(out) != s.Dim {
+		panic("grid: Coords output dimension mismatch")
+	}
+	for i := s.Dim - 1; i >= 0; i-- {
+		out[i] = rank % s.Side
+		rank /= s.Side
+	}
+	return out
+}
+
+// Coord returns the single coordinate of rank along dimension dim without
+// allocating.
+func (s Shape) Coord(rank, dim int) int {
+	if dim < 0 || dim >= s.Dim {
+		panic("grid: Coord dimension out of range")
+	}
+	div := xmath.Ipow(s.Side, s.Dim-1-dim)
+	return (rank / div) % s.Side
+}
+
+// Dist returns the shortest-path distance between two processors given by
+// canonical ranks (L1 distance, with wrap-around on the torus).
+func (s Shape) Dist(a, b int) int {
+	d := 0
+	for a != b {
+		ca, cb := a%s.Side, b%s.Side
+		if s.Torus {
+			d += xmath.RingDist(ca, cb, s.Side)
+		} else {
+			d += xmath.Abs(ca - cb)
+		}
+		a /= s.Side
+		b /= s.Side
+	}
+	return d
+}
+
+// DistCoords returns the shortest-path distance between two coordinate
+// vectors.
+func (s Shape) DistCoords(a, b []int) int {
+	if s.Torus {
+		return xmath.L1TorusDist(a, b, s.Side)
+	}
+	return xmath.L1Dist(a, b)
+}
+
+// Step returns the rank of the neighbor of rank obtained by moving one hop
+// along dimension dim in direction dir (+1 or -1), and reports whether the
+// move is legal. On a torus all moves are legal (they wrap).
+func (s Shape) Step(rank, dim, dir int) (int, bool) {
+	if dir != 1 && dir != -1 {
+		panic("grid: Step direction must be +1 or -1")
+	}
+	div := xmath.Ipow(s.Side, s.Dim-1-dim)
+	c := (rank / div) % s.Side
+	nc := c + dir
+	if s.Torus {
+		nc = xmath.Mod(nc, s.Side)
+	} else if nc < 0 || nc >= s.Side {
+		return rank, false
+	}
+	return rank + (nc-c)*div, true
+}
+
+// Degree returns the number of directed outgoing links of a processor at
+// the given rank (2d on the torus and in the interior of a mesh, fewer on
+// mesh faces).
+func (s Shape) Degree(rank int) int {
+	if s.Torus {
+		return 2 * s.Dim
+	}
+	deg := 0
+	for dim := 0; dim < s.Dim; dim++ {
+		c := s.Coord(rank, dim)
+		if c > 0 {
+			deg++
+		}
+		if c < s.Side-1 {
+			deg++
+		}
+	}
+	return deg
+}
+
+// Reflect returns the rank of the point obtained by reflecting rank
+// through the mesh center: each coordinate c maps to n-1-c.
+func (s Shape) Reflect(rank int) int {
+	out := 0
+	div := xmath.Ipow(s.Side, s.Dim-1)
+	for i := 0; i < s.Dim; i++ {
+		c := (rank / div) % s.Side
+		out += (s.Side - 1 - c) * div
+		if div > 1 {
+			div /= s.Side
+		}
+	}
+	return out
+}
+
+// Antipode returns the rank of the processor at maximal torus distance
+// from rank: each coordinate is shifted by floor(n/2) modulo n.
+func (s Shape) Antipode(rank int) int {
+	out := 0
+	div := xmath.Ipow(s.Side, s.Dim-1)
+	half := s.Side / 2
+	for i := 0; i < s.Dim; i++ {
+		c := (rank / div) % s.Side
+		out += ((c + half) % s.Side) * div
+		if div > 1 {
+			div /= s.Side
+		}
+	}
+	return out
+}
+
+// CenterDist2 returns twice the L1 distance from the processor at rank to
+// the (possibly fractional) center point ((n-1)/2, ..., (n-1)/2).
+// Doubling keeps the value integral for even side lengths.
+func (s Shape) CenterDist2(rank int) int {
+	d := 0
+	for i := 0; i < s.Dim; i++ {
+		c := rank % s.Side
+		d += xmath.Abs(2*c - (s.Side - 1))
+		rank /= s.Side
+	}
+	return d
+}
+
+// CornerDist returns the L1 distance from rank to the given corner of the
+// mesh, where the corner is encoded as a bitmask: bit i set means the
+// corner has coordinate n-1 in dimension i, otherwise 0. Dimension 0 is
+// bit 0.
+func (s Shape) CornerDist(rank int, corner uint) int {
+	d := 0
+	for i := 0; i < s.Dim; i++ {
+		c := s.Coord(rank, i)
+		if corner&(1<<uint(i)) != 0 {
+			d += s.Side - 1 - c
+		} else {
+			d += c
+		}
+	}
+	return d
+}

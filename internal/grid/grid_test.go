@@ -1,0 +1,259 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshsort/internal/xmath"
+)
+
+var testShapes = []Shape{
+	New(1, 8), New(2, 4), New(2, 8), New(3, 4), New(3, 6), New(4, 4), New(5, 3),
+	NewTorus(1, 8), NewTorus(2, 4), NewTorus(2, 8), NewTorus(3, 4), NewTorus(3, 6), NewTorus(4, 4),
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := New(3, 8)
+	if s.N() != 512 {
+		t.Errorf("N = %d, want 512", s.N())
+	}
+	if s.Diameter() != 21 {
+		t.Errorf("mesh diameter = %d, want 21", s.Diameter())
+	}
+	st := NewTorus(3, 8)
+	if st.Diameter() != 12 {
+		t.Errorf("torus diameter = %d, want 12", st.Diameter())
+	}
+	if s.String() != "3d-mesh(n=8)" || st.String() != "3d-torus(n=8)" {
+		t.Errorf("String: %q / %q", s, st)
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4) },
+		func() { New(2, 1) },
+		func() { New(40, 10) }, // overflows int
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid shape did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRankCoordsRoundtrip(t *testing.T) {
+	for _, s := range testShapes {
+		coords := make([]int, s.Dim)
+		for r := 0; r < s.N(); r++ {
+			s.Coords(r, coords)
+			if got := s.Rank(coords); got != r {
+				t.Fatalf("%v: Rank(Coords(%d)) = %d", s, r, got)
+			}
+			for i := range coords {
+				if got := s.Coord(r, i); got != coords[i] {
+					t.Fatalf("%v: Coord(%d,%d) = %d, want %d", s, r, i, got, coords[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDistAgainstCoords(t *testing.T) {
+	for _, s := range testShapes {
+		a := make([]int, s.Dim)
+		b := make([]int, s.Dim)
+		rng := xmath.NewRNG(1)
+		for trial := 0; trial < 200; trial++ {
+			ra, rb := rng.Intn(s.N()), rng.Intn(s.N())
+			s.Coords(ra, a)
+			s.Coords(rb, b)
+			if got, want := s.Dist(ra, rb), s.DistCoords(a, b); got != want {
+				t.Fatalf("%v: Dist(%d,%d) = %d, want %d", s, ra, rb, got, want)
+			}
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	for _, s := range testShapes {
+		rng := xmath.NewRNG(2)
+		D := s.Diameter()
+		for trial := 0; trial < 200; trial++ {
+			a, b, c := rng.Intn(s.N()), rng.Intn(s.N()), rng.Intn(s.N())
+			dab, dba := s.Dist(a, b), s.Dist(b, a)
+			if dab != dba {
+				t.Fatalf("%v: asymmetric distance", s)
+			}
+			if dab > D {
+				t.Fatalf("%v: distance %d exceeds diameter %d", s, dab, D)
+			}
+			if (dab == 0) != (a == b) {
+				t.Fatalf("%v: identity of indiscernibles violated", s)
+			}
+			if s.Dist(a, c) > dab+s.Dist(b, c) {
+				t.Fatalf("%v: triangle inequality violated", s)
+			}
+		}
+	}
+}
+
+func TestDiameterAttained(t *testing.T) {
+	for _, s := range testShapes {
+		max := 0
+		// Corners suffice on the mesh; on the torus scan a sample.
+		rng := xmath.NewRNG(3)
+		for trial := 0; trial < 500; trial++ {
+			d := s.Dist(rng.Intn(s.N()), rng.Intn(s.N()))
+			if d > max {
+				max = d
+			}
+		}
+		if !s.Torus {
+			if d := s.Dist(0, s.N()-1); d != s.Diameter() {
+				t.Errorf("%v: corner-to-corner = %d, want diameter %d", s, d, s.Diameter())
+			}
+		} else if s.Side%2 == 0 {
+			if d := s.Dist(0, s.Antipode(0)); d != s.Diameter() {
+				t.Errorf("%v: antipode distance = %d, want %d", s, d, s.Diameter())
+			}
+		}
+		if max > s.Diameter() {
+			t.Errorf("%v: sampled distance %d exceeds diameter", s, max)
+		}
+	}
+}
+
+func TestStepNeighbors(t *testing.T) {
+	for _, s := range testShapes {
+		for r := 0; r < s.N(); r++ {
+			deg := 0
+			for dim := 0; dim < s.Dim; dim++ {
+				for _, dir := range []int{-1, 1} {
+					q, ok := s.Step(r, dim, dir)
+					if !ok {
+						continue
+					}
+					deg++
+					if s.Dist(r, q) != 1 && s.Side > 2 {
+						t.Fatalf("%v: Step(%d,%d,%d) = %d is not a neighbor", s, r, dim, dir, q)
+					}
+					// Step back must return.
+					back, ok2 := s.Step(q, dim, -dir)
+					if !ok2 || back != r {
+						t.Fatalf("%v: Step not invertible at %d", s, r)
+					}
+				}
+			}
+			if want := s.Degree(r); deg != want {
+				t.Fatalf("%v: rank %d degree %d, want %d", s, r, deg, want)
+			}
+		}
+	}
+}
+
+func TestStepRejectsBadDir(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Step with dir=2 did not panic")
+		}
+	}()
+	New(2, 4).Step(0, 0, 2)
+}
+
+func TestReflectInvolution(t *testing.T) {
+	for _, s := range testShapes {
+		for r := 0; r < s.N(); r++ {
+			if got := s.Reflect(s.Reflect(r)); got != r {
+				t.Fatalf("%v: Reflect not an involution at %d", s, r)
+			}
+			// Reflection preserves distance to center.
+			if s.CenterDist2(r) != s.CenterDist2(s.Reflect(r)) {
+				t.Fatalf("%v: Reflect changed center distance at %d", s, r)
+			}
+		}
+	}
+}
+
+func TestReflectKnownValues(t *testing.T) {
+	s := New(2, 4)
+	// (0,0) -> (3,3)
+	if got := s.Reflect(s.Rank([]int{0, 0})); got != s.Rank([]int{3, 3}) {
+		t.Errorf("Reflect corner = %d", got)
+	}
+	if got := s.Reflect(s.Rank([]int{1, 2})); got != s.Rank([]int{2, 1}) {
+		t.Errorf("Reflect (1,2) = %d", got)
+	}
+}
+
+func TestAntipodeProperties(t *testing.T) {
+	for _, s := range testShapes {
+		if !s.Torus || s.Side%2 != 0 {
+			continue
+		}
+		for r := 0; r < s.N(); r++ {
+			a := s.Antipode(r)
+			if s.Dist(r, a) != s.Diameter() {
+				t.Fatalf("%v: antipode of %d at distance %d, want %d", s, r, s.Dist(r, a), s.Diameter())
+			}
+			if s.Antipode(a) != r {
+				t.Fatalf("%v: Antipode not an involution at %d (even side)", s, r)
+			}
+		}
+	}
+}
+
+func TestCenterDist2(t *testing.T) {
+	s := New(2, 4)
+	// Center point is (1.5, 1.5); (0,0) has doubled distance |0-3|+|0-3| = 6.
+	if got := s.CenterDist2(s.Rank([]int{0, 0})); got != 6 {
+		t.Errorf("CenterDist2 corner = %d, want 6", got)
+	}
+	if got := s.CenterDist2(s.Rank([]int{1, 2})); got != 2 {
+		t.Errorf("CenterDist2 (1,2) = %d, want 2", got)
+	}
+	s5 := New(1, 5)
+	if got := s5.CenterDist2(2); got != 0 {
+		t.Errorf("odd-side center CenterDist2 = %d, want 0", got)
+	}
+}
+
+func TestCornerDist(t *testing.T) {
+	s := New(3, 4)
+	r := s.Rank([]int{1, 2, 3})
+	if got := s.CornerDist(r, 0); got != 1+2+3 {
+		t.Errorf("CornerDist to origin = %d", got)
+	}
+	// Corner (n-1, n-1, n-1) is mask 0b111.
+	if got := s.CornerDist(r, 7); got != 2+1+0 {
+		t.Errorf("CornerDist to far corner = %d", got)
+	}
+	// Sum over a point and its reflection to the same corner is constant.
+	for rk := 0; rk < s.N(); rk++ {
+		if s.CornerDist(rk, 0)+s.CornerDist(s.Reflect(rk), 0) != s.Diameter() {
+			t.Fatal("CornerDist + reflected CornerDist != diameter")
+		}
+	}
+}
+
+func TestRankCoordsQuick(t *testing.T) {
+	s := New(4, 6)
+	f := func(raw [4]uint8) bool {
+		coords := []int{int(raw[0]) % 6, int(raw[1]) % 6, int(raw[2]) % 6, int(raw[3]) % 6}
+		r := s.Rank(coords)
+		back := s.Coords(r, nil)
+		for i := range coords {
+			if coords[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,29 @@
+package index
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+)
+
+func BenchmarkSnakeIndex(b *testing.B) {
+	coords := []int{3, 7, 1, 5}
+	for i := 0; i < b.N; i++ {
+		_ = SnakeIndex(16, coords)
+	}
+}
+
+func BenchmarkBuildBlockedSnake(b *testing.B) {
+	s := grid.New(3, 16)
+	for i := 0; i < b.N; i++ {
+		_ = BlockedSnake(s, 4)
+	}
+}
+
+func BenchmarkMinHyperplaneWindow(b *testing.B) {
+	sc := BlockedSnake(grid.New(3, 16), 4).Scheme
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinHyperplaneWindow(sc)
+	}
+}

@@ -1,0 +1,121 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"meshsort/internal/xmath"
+)
+
+// Section 4 of the paper calls an indexing scheme *compatible* if there is
+// a beta < 1 such that every window of n^(beta*d) consecutive indices
+// contains a complete (d-1)-dimensional subnetwork of side n (a
+// "hyperplane"). Compatibility is what makes the joker-zone lower-bound
+// argument go through: loading a corner block can force a packet's
+// destination anywhere inside some hyperplane.
+//
+// This file measures compatibility exactly for a concrete scheme:
+// MinHyperplaneWindow computes the smallest window length w such that
+// every window of w consecutive indices fully contains some hyperplane,
+// and CompatibilityExponent converts w to the empirical beta.
+
+// hyperplaneSpans returns, for every hyperplane (dimension k, coordinate
+// value v), the minimum and maximum sort index over its processors.
+func hyperplaneSpans(s *Scheme) (mins, maxs []int) {
+	sh := s.Shape()
+	d, n := sh.Dim, sh.Side
+	mins = make([]int, d*n)
+	maxs = make([]int, d*n)
+	for i := range mins {
+		mins[i] = sh.N()
+		maxs[i] = -1
+	}
+	for rank := 0; rank < sh.N(); rank++ {
+		idx := s.IndexOf(rank)
+		r := rank
+		for k := d - 1; k >= 0; k-- {
+			v := r % n
+			r /= n
+			h := k*n + v
+			if idx < mins[h] {
+				mins[h] = idx
+			}
+			if idx > maxs[h] {
+				maxs[h] = idx
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// MinHyperplaneWindow returns the smallest w such that every window
+// {i, ..., i+w-1} of sort indices, 0 <= i <= N-w, contains all processors
+// of at least one hyperplane. The result is at least n^(d-1) (a
+// hyperplane has that many processors) and at most N.
+func MinHyperplaneWindow(s *Scheme) int {
+	mins, maxs := hyperplaneSpans(s)
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, len(mins))
+	for i := range mins {
+		if maxs[i] >= 0 {
+			spans = append(spans, span{mins[i], maxs[i]})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	// suffixMinHi[i] = min over spans[i:] of hi: the tightest hyperplane
+	// starting at or after spans[i].lo.
+	suffixMinHi := make([]int, len(spans)+1)
+	suffixMinHi[len(spans)] = math.MaxInt
+	for i := len(spans) - 1; i >= 0; i-- {
+		suffixMinHi[i] = xmath.Min(suffixMinHi[i+1], spans[i].hi)
+	}
+	N := s.N()
+	// A window [i, i+w) works iff some span has lo >= i and hi < i+w.
+	// The required w for window start i is f(i) - i + 1 where
+	// f(i) = min{hi : lo >= i}. Windows near the right end are only
+	// required to work for w large enough that i <= N-w, which the
+	// binary search below accounts for implicitly: w works iff for all
+	// i in [0, N-w], f(i) <= i+w-1. f only changes at span starts, and
+	// f(i)-i is maximized just after a span start, so it suffices to
+	// check i = 0 and i = lo+1 for each span.
+	starts := []int{0}
+	for _, sp := range spans {
+		starts = append(starts, sp.lo+1)
+	}
+	works := func(w int) bool {
+		for _, i := range starts {
+			if i > N-w {
+				continue
+			}
+			// f(i): binary search first span with lo >= i.
+			j := sort.Search(len(spans), func(j int) bool { return spans[j].lo >= i })
+			if suffixMinHi[j] == math.MaxInt || suffixMinHi[j] > i+w-1 {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi := 1, N
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if works(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// CompatibilityExponent returns the empirical beta of the scheme at its
+// finite size: log_N of the minimal hyperplane window, i.e. the exponent
+// beta with window = N^beta. Compatible schemes have beta bounded away
+// from 1 as n grows; for the standard schemes beta approaches (d-1)/d.
+func CompatibilityExponent(s *Scheme) float64 {
+	w := MinHyperplaneWindow(s)
+	n := s.N()
+	if n <= 1 {
+		return 0
+	}
+	return math.Log(float64(w)) / math.Log(float64(n))
+}

@@ -1,0 +1,149 @@
+package index
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+)
+
+// bruteMinWindow verifies MinHyperplaneWindow by direct enumeration.
+func bruteMinWindow(s *Scheme) int {
+	sh := s.Shape()
+	N := sh.N()
+	d, n := sh.Dim, sh.Side
+	// Hyperplane spans.
+	type span struct{ lo, hi int }
+	spans := make([]span, d*n)
+	for i := range spans {
+		spans[i] = span{N, -1}
+	}
+	for rank := 0; rank < N; rank++ {
+		idx := s.IndexOf(rank)
+		r := rank
+		for k := d - 1; k >= 0; k-- {
+			v := r % n
+			r /= n
+			h := k*n + v
+			if idx < spans[h].lo {
+				spans[h].lo = idx
+			}
+			if idx > spans[h].hi {
+				spans[h].hi = idx
+			}
+		}
+	}
+	for w := 1; w <= N; w++ {
+		ok := true
+		for i := 0; i+w <= N && ok; i++ {
+			found := false
+			for _, sp := range spans {
+				if sp.lo >= i && sp.hi < i+w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+			}
+		}
+		if ok {
+			return w
+		}
+	}
+	return N
+}
+
+func TestMinWindowAgainstBruteForce(t *testing.T) {
+	cases := []struct {
+		shape grid.Shape
+		b     int
+	}{
+		{grid.New(2, 4), 2}, {grid.New(2, 6), 3}, {grid.New(3, 4), 2}, {grid.New(2, 8), 4},
+	}
+	for _, c := range cases {
+		for _, sc := range allSchemes(c.shape, c.b) {
+			want := bruteMinWindow(sc)
+			if got := MinHyperplaneWindow(sc); got != want {
+				t.Errorf("%v %s: MinHyperplaneWindow = %d, brute force = %d", c.shape, sc.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestMinWindowRowMajor2D(t *testing.T) {
+	// Rows occupy contiguous index stripes of length n, so the worst
+	// window needs 2n-1 indices to be sure to contain a full row.
+	for _, n := range []int{4, 6, 8, 16} {
+		sc := RowMajor(grid.New(2, n))
+		if got := MinHyperplaneWindow(sc); got != 2*n-1 {
+			t.Errorf("n=%d: window = %d, want %d", n, got, 2*n-1)
+		}
+	}
+}
+
+func TestMinWindowSnake2D(t *testing.T) {
+	// The snake also keeps rows contiguous.
+	for _, n := range []int{4, 8} {
+		sc := Snake(grid.New(2, n))
+		if got := MinHyperplaneWindow(sc); got != 2*n-1 {
+			t.Errorf("n=%d: snake window = %d, want %d", n, got, 2*n-1)
+		}
+	}
+}
+
+func TestCompatibilityExponentBelowOne(t *testing.T) {
+	// The paper's compatibility requirement: all standard schemes have
+	// window = N^beta with beta < 1.
+	cases := []struct {
+		shape grid.Shape
+		b     int
+	}{
+		{grid.New(2, 8), 4}, {grid.New(2, 16), 4}, {grid.New(3, 8), 4}, {grid.New(4, 4), 2},
+	}
+	for _, c := range cases {
+		for _, sc := range allSchemes(c.shape, c.b) {
+			beta := CompatibilityExponent(sc)
+			if beta >= 1 {
+				t.Errorf("%v %s: beta = %.3f >= 1", c.shape, sc.Name(), beta)
+			}
+			if beta <= 0 {
+				t.Errorf("%v %s: beta = %.3f <= 0", c.shape, sc.Name(), beta)
+			}
+		}
+	}
+}
+
+func TestCompatibilityExponentApproaches(t *testing.T) {
+	// For 2-d row-major, beta = log(2n-1)/log(n^2) -> 1/2 from above as
+	// n grows; check monotone decrease over a sweep.
+	prev := 2.0
+	for _, n := range []int{4, 8, 16, 32} {
+		beta := CompatibilityExponent(RowMajor(grid.New(2, n)))
+		if beta >= prev {
+			t.Errorf("beta not decreasing: %f -> %f at n=%d", prev, beta, n)
+		}
+		prev = beta
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	// A window must contain at least one full hyperplane of n^(d-1)
+	// processors, and for compatible schemes stays strictly below N.
+	for _, c := range []struct {
+		shape grid.Shape
+		b     int
+	}{
+		{grid.New(2, 8), 4}, {grid.New(3, 8), 4}, {grid.New(3, 8), 2}, {grid.New(4, 4), 2},
+	} {
+		for _, sc := range allSchemes(c.shape, c.b) {
+			w := MinHyperplaneWindow(sc)
+			lo := c.shape.N() / c.shape.Side // n^(d-1)
+			if w < lo {
+				t.Errorf("%v %s: window %d below hyperplane size %d", c.shape, sc.Name(), w, lo)
+			}
+			if w >= c.shape.N() {
+				t.Errorf("%v %s: window %d not below N", c.shape, sc.Name(), w)
+			}
+		}
+	}
+}

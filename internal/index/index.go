@@ -1,0 +1,223 @@
+// Package index implements indexing schemes for d-dimensional meshes and
+// tori: bijections between processor positions and sort indices in [n^d].
+//
+// Sorting with respect to a scheme I moves the key of rank r to the
+// processor P with I(P) = r. The package provides the four standard
+// schemes discussed in the paper — row-major, snake-like, blocked
+// row-major, and blocked snake-like (all generalized to arbitrary
+// dimension) — plus the compatibility analysis of Section 4.
+package index
+
+import (
+	"fmt"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// Scheme is a bijection between canonical processor ranks and sort
+// indices. Implementations precompute both directions, so lookups are
+// O(1).
+type Scheme struct {
+	name    string
+	shape   grid.Shape
+	toIndex []int // canonical rank -> sort index
+	toRank  []int // sort index -> canonical rank
+}
+
+// Name returns a short human-readable identifier.
+func (s *Scheme) Name() string { return s.name }
+
+// Shape returns the network the scheme indexes.
+func (s *Scheme) Shape() grid.Shape { return s.shape }
+
+// N returns the number of processors.
+func (s *Scheme) N() int { return len(s.toIndex) }
+
+// IndexOf returns the sort index of the processor with the given
+// canonical rank.
+func (s *Scheme) IndexOf(rank int) int { return s.toIndex[rank] }
+
+// RankAt returns the canonical rank of the processor with the given sort
+// index.
+func (s *Scheme) RankAt(index int) int { return s.toRank[index] }
+
+// build constructs a Scheme from an index function, verifying bijectivity.
+func build(name string, shape grid.Shape, indexOf func(rank int) int) *Scheme {
+	n := shape.N()
+	s := &Scheme{name: name, shape: shape, toIndex: make([]int, n), toRank: make([]int, n)}
+	for r := range s.toRank {
+		s.toRank[r] = -1
+	}
+	for rank := 0; rank < n; rank++ {
+		idx := indexOf(rank)
+		if idx < 0 || idx >= n {
+			panic(fmt.Sprintf("index: %s maps rank %d to out-of-range index %d", name, rank, idx))
+		}
+		if s.toRank[idx] != -1 {
+			panic(fmt.Sprintf("index: %s is not injective: index %d hit twice", name, idx))
+		}
+		s.toIndex[rank] = idx
+		s.toRank[idx] = rank
+	}
+	return s
+}
+
+// RowMajor returns the row-major indexing scheme: the sort index equals
+// the canonical rank (dimension 0 most significant).
+func RowMajor(shape grid.Shape) *Scheme {
+	return build("row-major", shape, func(rank int) int { return rank })
+}
+
+// SnakeIndex computes the snake-like (boustrophedon) index of a
+// coordinate vector on a cube of the given side length: within each
+// hyperplane the traversal direction alternates, generalizing the 2-d
+// snake-like row-major order to arbitrary dimension. It is exposed as a
+// pure function because the blocked schemes and the unshuffle permutation
+// reuse it at both the block and the intra-block level.
+func SnakeIndex(side int, coords []int) int {
+	idx := 0
+	flip := false
+	for _, c := range coords {
+		e := c
+		if flip {
+			e = side - 1 - c
+		}
+		idx = idx*side + e
+		if c%2 == 1 {
+			flip = !flip
+		}
+	}
+	return idx
+}
+
+// SnakeCoords inverts SnakeIndex, writing the coordinates into out
+// (allocated if nil).
+func SnakeCoords(side, dim, idx int, out []int) []int {
+	if out == nil {
+		out = make([]int, dim)
+	}
+	flip := false
+	div := xmath.Ipow(side, dim-1)
+	for i := 0; i < dim; i++ {
+		e := (idx / div) % side
+		c := e
+		if flip {
+			c = side - 1 - e
+		}
+		out[i] = c
+		if c%2 == 1 {
+			flip = !flip
+		}
+		if div > 1 {
+			div /= side
+		}
+	}
+	return out
+}
+
+// Snake returns the snake-like indexing scheme generalized to d
+// dimensions.
+func Snake(shape grid.Shape) *Scheme {
+	coords := make([]int, shape.Dim)
+	return build("snake", shape, func(rank int) int {
+		shape.Coords(rank, coords)
+		return SnakeIndex(shape.Side, coords)
+	})
+}
+
+// Blocked is a two-level indexing scheme over a block decomposition:
+// blocks are ordered by an outer order over block coordinates, processors
+// within each block by an inner order over local coordinates. The sort
+// index of a processor is blockOrder*blockVolume + localOrder.
+//
+// Blocked exposes the two levels separately because the sorting
+// algorithms address packets as (block, position within block).
+type Blocked struct {
+	*Scheme
+	Spec grid.BlockSpec
+
+	blockToOrder []int // block id -> position in the outer order
+	orderToBlock []int
+	offToOrder   []int // row-major in-block offset -> inner order
+	orderToOff   []int
+}
+
+// BlockOrderOf returns the position of the block in the outer order.
+func (b *Blocked) BlockOrderOf(blockID int) int { return b.blockToOrder[blockID] }
+
+// BlockAtOrder returns the block id at the given outer-order position.
+func (b *Blocked) BlockAtOrder(order int) int { return b.orderToBlock[order] }
+
+// LocalIndexOf returns the inner-order position of a processor within its
+// block, given the processor's canonical rank.
+func (b *Blocked) LocalIndexOf(rank int) int { return b.offToOrder[b.Spec.OffsetOf(rank)] }
+
+// ProcAtLocal returns the canonical rank of the processor at the given
+// inner-order position of the given block.
+func (b *Blocked) ProcAtLocal(blockID, local int) int {
+	return b.Spec.ProcAt(blockID, b.orderToOff[local])
+}
+
+// BlockCount returns the number of blocks.
+func (b *Blocked) BlockCount() int { return b.Spec.Count() }
+
+// BlockVolume returns the number of processors per block.
+func (b *Blocked) BlockVolume() int { return b.Spec.Volume() }
+
+func newBlocked(name string, shape grid.Shape, blockSide int, snake bool) *Blocked {
+	spec := grid.Blocks(shape, blockSide)
+	d := shape.Dim
+	b := &Blocked{
+		Spec:         spec,
+		blockToOrder: make([]int, spec.Count()),
+		orderToBlock: make([]int, spec.Count()),
+		offToOrder:   make([]int, spec.Volume()),
+		orderToOff:   make([]int, spec.Volume()),
+	}
+	bcoords := make([]int, d)
+	for id := 0; id < spec.Count(); id++ {
+		spec.BlockCoords(id, bcoords)
+		ord := id
+		if snake {
+			ord = SnakeIndex(spec.PerDim, bcoords)
+		}
+		b.blockToOrder[id] = ord
+		b.orderToBlock[ord] = id
+	}
+	lcoords := make([]int, d)
+	for off := 0; off < spec.Volume(); off++ {
+		decodeRowMajor(off, blockSide, lcoords)
+		ord := off
+		if snake {
+			ord = SnakeIndex(blockSide, lcoords)
+		}
+		b.offToOrder[off] = ord
+		b.orderToOff[ord] = off
+	}
+	vol := spec.Volume()
+	b.Scheme = build(name, shape, func(rank int) int {
+		return b.blockToOrder[spec.BlockOf(rank)]*vol + b.offToOrder[spec.OffsetOf(rank)]
+	})
+	return b
+}
+
+func decodeRowMajor(v, side int, out []int) {
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = v % side
+		v /= side
+	}
+}
+
+// BlockedSnake returns the blocked snake-like indexing scheme used by the
+// paper's algorithms: snake order over blocks of the given side length,
+// snake order within each block.
+func BlockedSnake(shape grid.Shape, blockSide int) *Blocked {
+	return newBlocked(fmt.Sprintf("blocked-snake(b=%d)", blockSide), shape, blockSide, true)
+}
+
+// BlockedRowMajor returns the blocked row-major indexing scheme: row-major
+// over blocks, row-major within each block.
+func BlockedRowMajor(shape grid.Shape, blockSide int) *Blocked {
+	return newBlocked(fmt.Sprintf("blocked-row-major(b=%d)", blockSide), shape, blockSide, false)
+}

@@ -1,0 +1,184 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshsort/internal/grid"
+)
+
+func allSchemes(s grid.Shape, blockSide int) []*Scheme {
+	return []*Scheme{
+		RowMajor(s),
+		Snake(s),
+		BlockedSnake(s, blockSide).Scheme,
+		BlockedRowMajor(s, blockSide).Scheme,
+	}
+}
+
+var indexShapes = []struct {
+	shape grid.Shape
+	b     int
+}{
+	{grid.New(1, 8), 2}, {grid.New(2, 8), 4}, {grid.New(2, 6), 3},
+	{grid.New(3, 8), 4}, {grid.New(3, 6), 2}, {grid.New(4, 4), 2},
+	{grid.NewTorus(2, 8), 4}, {grid.NewTorus(3, 4), 2},
+}
+
+func TestSchemesAreBijections(t *testing.T) {
+	for _, c := range indexShapes {
+		for _, sc := range allSchemes(c.shape, c.b) {
+			seen := make([]bool, sc.N())
+			for r := 0; r < sc.N(); r++ {
+				idx := sc.IndexOf(r)
+				if idx < 0 || idx >= sc.N() || seen[idx] {
+					t.Fatalf("%v %s: not a bijection at rank %d", c.shape, sc.Name(), r)
+				}
+				seen[idx] = true
+				if sc.RankAt(idx) != r {
+					t.Fatalf("%v %s: RankAt(IndexOf(%d)) = %d", c.shape, sc.Name(), r, sc.RankAt(idx))
+				}
+			}
+		}
+	}
+}
+
+func TestRowMajorIsIdentity(t *testing.T) {
+	sc := RowMajor(grid.New(3, 4))
+	for r := 0; r < sc.N(); r++ {
+		if sc.IndexOf(r) != r {
+			t.Fatal("row-major is not the canonical rank")
+		}
+	}
+}
+
+func TestSnake2DKnownValues(t *testing.T) {
+	// Classic snake-like row-major on a 4x4 grid:
+	// row 0: 0 1 2 3 ; row 1: 7 6 5 4 ; row 2: 8 9 10 11 ; row 3: 15 14 13 12.
+	s := grid.New(2, 4)
+	sc := Snake(s)
+	want := map[[2]int]int{
+		{0, 0}: 0, {0, 3}: 3, {1, 0}: 7, {1, 3}: 4, {2, 1}: 9, {3, 0}: 15, {3, 3}: 12,
+	}
+	for coords, idx := range want {
+		if got := sc.IndexOf(s.Rank(coords[:])); got != idx {
+			t.Errorf("snake(%v) = %d, want %d", coords, got, idx)
+		}
+	}
+}
+
+func TestSnakeConsecutiveAdjacent(t *testing.T) {
+	// The property the odd-even transposition sorter relies on:
+	// consecutive snake indices are physically adjacent processors.
+	for _, c := range indexShapes {
+		sc := Snake(c.shape)
+		for idx := 0; idx+1 < sc.N(); idx++ {
+			if d := c.shape.Dist(sc.RankAt(idx), sc.RankAt(idx+1)); d != 1 {
+				t.Fatalf("%v: snake indices %d,%d at distance %d", c.shape, idx, idx+1, d)
+			}
+		}
+	}
+}
+
+func TestSnakeIndexCoordsRoundtrip(t *testing.T) {
+	f := func(raw [3]uint8) bool {
+		side := 6
+		coords := []int{int(raw[0]) % side, int(raw[1]) % side, int(raw[2]) % side}
+		idx := SnakeIndex(side, coords)
+		back := SnakeCoords(side, 3, idx, nil)
+		for i := range coords {
+			if back[i] != coords[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockedSnakeStructure(t *testing.T) {
+	for _, c := range indexShapes {
+		b := BlockedSnake(c.shape, c.b)
+		V := b.BlockVolume()
+		for r := 0; r < b.N(); r++ {
+			idx := b.IndexOf(r)
+			blockID := b.Spec.BlockOf(r)
+			if idx/V != b.BlockOrderOf(blockID) {
+				t.Fatalf("%v b=%d: index %d not in block stripe of block %d", c.shape, c.b, idx, blockID)
+			}
+			if idx%V != b.LocalIndexOf(r) {
+				t.Fatalf("%v b=%d: local index mismatch at rank %d", c.shape, c.b, r)
+			}
+			if b.ProcAtLocal(blockID, b.LocalIndexOf(r)) != r {
+				t.Fatalf("%v b=%d: ProcAtLocal roundtrip failed at rank %d", c.shape, c.b, r)
+			}
+		}
+	}
+}
+
+func TestBlockedSnakeBlockOrderIsSnake(t *testing.T) {
+	// Adjacent blocks in the outer order must be physically adjacent
+	// (the merge cleanup phase depends on it).
+	for _, c := range indexShapes {
+		b := BlockedSnake(c.shape, c.b)
+		bc1 := make([]int, c.shape.Dim)
+		bc2 := make([]int, c.shape.Dim)
+		for o := 0; o+1 < b.BlockCount(); o++ {
+			b.Spec.BlockCoords(b.BlockAtOrder(o), bc1)
+			b.Spec.BlockCoords(b.BlockAtOrder(o+1), bc2)
+			d := 0
+			for i := range bc1 {
+				if bc1[i] > bc2[i] {
+					d += bc1[i] - bc2[i]
+				} else {
+					d += bc2[i] - bc1[i]
+				}
+			}
+			if d != 1 {
+				t.Fatalf("%v b=%d: blocks at order %d,%d not adjacent", c.shape, c.b, o, o+1)
+			}
+		}
+	}
+}
+
+func TestBlockedSnakeLocalIsContiguous(t *testing.T) {
+	// Within one block, local indices 0..V-1 trace a snake: consecutive
+	// local indices are adjacent processors.
+	b := BlockedSnake(grid.New(3, 8), 4)
+	s := b.Shape()
+	for blockID := 0; blockID < b.BlockCount(); blockID++ {
+		for l := 0; l+1 < b.BlockVolume(); l++ {
+			if s.Dist(b.ProcAtLocal(blockID, l), b.ProcAtLocal(blockID, l+1)) != 1 {
+				t.Fatalf("block %d: local indices %d,%d not adjacent", blockID, l, l+1)
+			}
+		}
+	}
+}
+
+func TestBlockedRowMajorMatchesFormula(t *testing.T) {
+	s := grid.New(2, 4)
+	b := BlockedRowMajor(s, 2)
+	// Block (0,0) holds indices 0-3 in row-major local order.
+	if b.IndexOf(s.Rank([]int{0, 0})) != 0 ||
+		b.IndexOf(s.Rank([]int{0, 1})) != 1 ||
+		b.IndexOf(s.Rank([]int{1, 0})) != 2 ||
+		b.IndexOf(s.Rank([]int{1, 1})) != 3 {
+		t.Error("blocked row-major local order wrong")
+	}
+	// Next block to the right holds 4-7.
+	if b.IndexOf(s.Rank([]int{0, 2})) != 4 {
+		t.Error("blocked row-major block order wrong")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	s := grid.New(2, 4)
+	if RowMajor(s).Name() != "row-major" || Snake(s).Name() != "snake" {
+		t.Error("scheme names")
+	}
+	if BlockedSnake(s, 2).Name() != "blocked-snake(b=2)" {
+		t.Error("blocked snake name")
+	}
+}

@@ -1,0 +1,15 @@
+package lb
+
+import "testing"
+
+func BenchmarkDistDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = DistDistribution(256, 8)
+	}
+}
+
+func BenchmarkTheorem41D0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Theorem41D0(0.2, 8, 128)
+	}
+}

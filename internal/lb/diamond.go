@@ -1,0 +1,128 @@
+// Package lb implements the lower-bound machinery of Section 4: exact
+// counting of the center diamonds C_{d,gamma} (volume and surface), the
+// analytic bounds of Lemma 4.1, the no-copy sorting bound of Lemma
+// 4.2/Theorem 4.1, the copying-case premises of Theorems 4.3/4.4, and
+// the selection bound of Theorem 4.5.
+//
+// All counts are computed exactly by dynamic programming over the
+// per-dimension distance distribution and carried as *fractions* of n^d
+// (probabilities), which keeps everything inside float64 even for very
+// large d where n^d itself overflows.
+package lb
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistDistribution returns the probability distribution of the doubled
+// L1 distance from a uniformly random point of [n]^d to the center point
+// ((n-1)/2, ..., (n-1)/2). Entry s holds P(dist2 = s); distances are
+// doubled so they stay integral for even n. Only every other entry is
+// non-zero (dist2 has the fixed parity of d*(n-1)).
+func DistDistribution(d, n int) []float64 {
+	if d < 1 || n < 1 {
+		panic(fmt.Sprintf("lb: bad diamond parameters d=%d n=%d", d, n))
+	}
+	// Per-dimension distribution of |2x - (n-1)| for x uniform in [n].
+	m := n - 1
+	w := make([]float64, m+1)
+	for x := 0; x < n; x++ {
+		s := 2*x - m
+		if s < 0 {
+			s = -s
+		}
+		w[s] += 1.0 / float64(n)
+	}
+	cur := []float64{1}
+	for i := 0; i < d; i++ {
+		next := make([]float64, len(cur)+m)
+		for s, p := range cur {
+			if p == 0 {
+				continue
+			}
+			for t, q := range w {
+				if q != 0 {
+					next[s+t] += p * q
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Diamond describes the center diamond C_{d,gamma}: the processors of a
+// d-dimensional mesh of side n within distance (1-gamma)*D/4 of the
+// center, D = d(n-1). Fractions are of the full processor count n^d.
+type Diamond struct {
+	Dim      int
+	Side     int
+	Gamma    float64
+	Radius2  int     // doubled radius actually used: floor((1-gamma)*D/2)
+	VolFrac  float64 // V_{d,gamma} / n^d (exact)
+	SurfFrac float64 // S_{d,gamma} / n^d (exact): the outermost occupied shell within the radius
+	// Analytic bounds of Lemma 4.1, as fractions of n^d:
+	VolBoundFrac  float64 // e^{-gamma^2 d/4}
+	SurfBoundFrac float64 // (8/gamma) e^{-gamma^2 d/16} / n
+}
+
+// NewDiamond computes the exact and analytic quantities for C_{d,gamma}.
+func NewDiamond(d, n int, gamma float64) Diamond {
+	D := d * (n - 1)
+	r2 := int(math.Floor((1 - gamma) * float64(D) / 2))
+	dist := DistDistribution(d, n)
+	dm := Diamond{Dim: d, Side: n, Gamma: gamma, Radius2: r2}
+	last := -1
+	for s := 0; s <= r2 && s < len(dist); s++ {
+		if dist[s] > 0 {
+			dm.VolFrac += dist[s]
+			last = s
+		}
+	}
+	if last >= 0 {
+		dm.SurfFrac = dist[last]
+	}
+	dm.VolBoundFrac = math.Exp(-gamma * gamma * float64(d) / 4)
+	if gamma > 0 {
+		dm.SurfBoundFrac = 8 / gamma * math.Exp(-gamma*gamma*float64(d)/16) / float64(n)
+	} else {
+		dm.SurfBoundFrac = math.Inf(1)
+	}
+	return dm
+}
+
+// Lemma41Holds reports whether the two inequalities of Lemma 4.1 hold
+// for this diamond (they always should; tests use this as a certified
+// cross-check of the analytic bounds against exact counting).
+func (dm Diamond) Lemma41Holds() bool {
+	return dm.VolFrac <= dm.VolBoundFrac && dm.SurfFrac <= dm.SurfBoundFrac
+}
+
+// VolTightness returns exact/bound for the volume (<= 1; how much the
+// analytic bound gives away).
+func (dm Diamond) VolTightness() float64 {
+	if dm.VolBoundFrac == 0 {
+		return 0
+	}
+	return dm.VolFrac / dm.VolBoundFrac
+}
+
+// SurfTightness returns exact/bound for the surface.
+func (dm Diamond) SurfTightness() float64 {
+	if math.IsInf(dm.SurfBoundFrac, 1) || dm.SurfBoundFrac == 0 {
+		return 0
+	}
+	return dm.SurfFrac / dm.SurfBoundFrac
+}
+
+// BallFrac returns the exact fraction of processors within (undoubled)
+// distance r of the mesh center. Used by the selection bound.
+func BallFrac(d, n, r int) float64 {
+	dist := DistDistribution(d, n)
+	frac := 0.0
+	for s := 0; s <= 2*r && s < len(dist); s++ {
+		frac += dist[s]
+	}
+	return frac
+}

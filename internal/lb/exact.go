@@ -1,0 +1,94 @@
+package lb
+
+import (
+	"math"
+	"math/big"
+)
+
+// Exact integer counting of the diamond volumes, via the same
+// per-dimension convolution as DistDistribution but over big.Int. The
+// float64 DP is what the bound tables use (it cannot overflow because it
+// works in fractions); this variant certifies it: tests compare the two
+// and the tables can quote exact counts when they fit.
+
+// DistCountsExact returns the exact number of points of [n]^d at every
+// doubled center distance, as big integers (entry s counts points with
+// dist2 = s).
+func DistCountsExact(d, n int) []*big.Int {
+	m := n - 1
+	w := make([]int64, m+1)
+	for x := 0; x < n; x++ {
+		s := 2*x - m
+		if s < 0 {
+			s = -s
+		}
+		w[s]++
+	}
+	cur := []*big.Int{big.NewInt(1)}
+	tmp := new(big.Int)
+	for i := 0; i < d; i++ {
+		next := make([]*big.Int, len(cur)+m)
+		for j := range next {
+			next[j] = new(big.Int)
+		}
+		for s, c := range cur {
+			if c.Sign() == 0 {
+				continue
+			}
+			for t, q := range w {
+				if q != 0 {
+					tmp.SetInt64(q)
+					tmp.Mul(tmp, c)
+					next[s+t].Add(next[s+t], tmp)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// VolumeExact returns the exact number of processors of the d-dimensional
+// mesh of side n within (undoubled) distance r of the center point.
+func VolumeExact(d, n, r int) *big.Int {
+	counts := DistCountsExact(d, n)
+	total := new(big.Int)
+	for s := 0; s <= 2*r && s < len(counts); s++ {
+		total.Add(total, counts[s])
+	}
+	return total
+}
+
+// VolFracExact returns VolumeExact / n^d as a float, computed from the
+// exact integers (for cross-checking the float DP).
+func VolFracExact(d, n, r int) float64 {
+	vol := VolumeExact(d, n, r)
+	den := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(int64(d)), nil)
+	f, _ := new(big.Rat).SetFrac(vol, den).Float64()
+	return f
+}
+
+// CheckFloatDP compares the float64 distribution against the exact
+// counts and returns the maximum relative error over the entries (0 for
+// a perfect match). Used by tests to certify the probabilistic DP.
+func CheckFloatDP(d, n int) float64 {
+	dist := DistDistribution(d, n)
+	counts := DistCountsExact(d, n)
+	den := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(int64(d)), nil)
+	worst := 0.0
+	for s := range counts {
+		exact, _ := new(big.Rat).SetFrac(counts[s], den).Float64()
+		if exact == 0 && dist[s] == 0 {
+			continue
+		}
+		denom := math.Max(math.Abs(exact), math.Abs(dist[s]))
+		if denom == 0 {
+			continue
+		}
+		rel := math.Abs(exact-dist[s]) / denom
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,247 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"meshsort/internal/grid"
+)
+
+func TestDistDistributionSumsToOne(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 4}, {2, 8}, {3, 5}, {8, 4}, {16, 8}, {64, 4}} {
+		dist := DistDistribution(c.d, c.n)
+		sum := 0.0
+		for _, p := range dist {
+			if p < 0 {
+				t.Fatalf("d=%d n=%d: negative probability", c.d, c.n)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("d=%d n=%d: probabilities sum to %v", c.d, c.n, sum)
+		}
+	}
+}
+
+func TestDistDistributionMatchesBruteForce(t *testing.T) {
+	// Exact enumeration over [n]^d using the grid package.
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {2, 5}, {3, 4}, {3, 3}} {
+		s := grid.New(c.d, c.n)
+		counts := make([]int, c.d*(c.n-1)+1)
+		for r := 0; r < s.N(); r++ {
+			counts[s.CenterDist2(r)]++
+		}
+		dist := DistDistribution(c.d, c.n)
+		if len(dist) != len(counts) {
+			t.Fatalf("d=%d n=%d: length %d, want %d", c.d, c.n, len(dist), len(counts))
+		}
+		total := float64(s.N())
+		for i := range counts {
+			if math.Abs(dist[i]-float64(counts[i])/total) > 1e-9 {
+				t.Errorf("d=%d n=%d: P(dist2=%d) = %v, brute force %v", c.d, c.n, i, dist[i], float64(counts[i])/total)
+			}
+		}
+	}
+}
+
+func TestDiamondHalfNetwork(t *testing.T) {
+	// With gamma = 0 the diamond has radius D/4 and contains close to
+	// half the processors — Section 3.1's observation. The statement is
+	// asymptotic in n: the mean center distance is dn/4 while the radius
+	// is d(n-1)/4, a gap of d/4 that only vanishes relative to the
+	// deviation scale for n >> d. Use n large relative to d.
+	for _, c := range []struct{ d, n int }{{2, 16}, {3, 32}, {4, 64}, {6, 64}} {
+		dm := NewDiamond(c.d, c.n, 0)
+		if dm.VolFrac < 0.4 || dm.VolFrac > 0.6 {
+			t.Errorf("d=%d n=%d: C_{d,0} holds fraction %.3f, want about 1/2", c.d, c.n, dm.VolFrac)
+		}
+	}
+}
+
+func TestLemma41HoldsAcrossGrid(t *testing.T) {
+	for _, d := range []int{2, 4, 8, 16, 32, 64} {
+		for _, n := range []int{4, 8, 16} {
+			for _, gamma := range []float64{0.1, 0.2, 0.3, 0.5} {
+				dm := NewDiamond(d, n, gamma)
+				if !dm.Lemma41Holds() {
+					t.Errorf("Lemma 4.1 violated at d=%d n=%d gamma=%.2f: vol %.3g vs %.3g, surf %.3g vs %.3g",
+						d, n, gamma, dm.VolFrac, dm.VolBoundFrac, dm.SurfFrac, dm.SurfBoundFrac)
+				}
+			}
+		}
+	}
+}
+
+func TestVolFracDecreasesWithDimension(t *testing.T) {
+	// Concentration of measure: for fixed gamma > 0 the diamond's
+	// fraction shrinks as d grows.
+	gamma := 0.3
+	prev := 1.0
+	for _, d := range []int{2, 4, 8, 16, 32, 64} {
+		dm := NewDiamond(d, 8, gamma)
+		if dm.VolFrac > prev+1e-12 {
+			t.Errorf("VolFrac grew with dimension at d=%d: %v -> %v", d, prev, dm.VolFrac)
+		}
+		prev = dm.VolFrac
+	}
+}
+
+func TestTightnessRatiosAtMostOne(t *testing.T) {
+	dm := NewDiamond(16, 8, 0.2)
+	if dm.VolTightness() > 1 || dm.SurfTightness() > 1 {
+		t.Error("tightness above 1 contradicts Lemma 4.1")
+	}
+	if dm.VolTightness() <= 0 {
+		t.Error("degenerate volume tightness")
+	}
+}
+
+func TestBallFracFullAtHalfDiameter(t *testing.T) {
+	// Every processor is within ceil(D/2) of the center, so that ball is
+	// everything.
+	for _, c := range []struct{ d, n int }{{2, 8}, {3, 8}, {4, 4}} {
+		D := c.d * (c.n - 1)
+		if f := BallFrac(c.d, c.n, (D+1)/2); math.Abs(f-1) > 1e-9 {
+			t.Errorf("d=%d n=%d: BallFrac(ceil(D/2)) = %v", c.d, c.n, f)
+		}
+	}
+	// For even n the center point is fractional: no processor at
+	// distance 0, the nearest 2^d processors at distance d/2.
+	if f := BallFrac(2, 8, 0); f != 0 {
+		t.Errorf("even n: BallFrac(0) = %v, want 0", f)
+	}
+	if f := BallFrac(2, 8, 1); f != 4.0/64 {
+		t.Errorf("even n: BallFrac(1) = %v, want 4/64", f)
+	}
+	// For odd n the center is a processor.
+	if f := BallFrac(3, 5, 0); math.Abs(f-1.0/125) > 1e-12 {
+		t.Errorf("odd n: BallFrac(0) = %v, want 1/125", f)
+	}
+}
+
+func TestLemma42Direction(t *testing.T) {
+	// At high dimension the condition holds and yields a bound close to
+	// (3/2 - eps)D; at d=2 it cannot (the diamond boundary is too
+	// large relative to the outside).
+	b := Lemma42(64, 8, 0.3, betaFor(64))
+	if !b.Holds {
+		t.Errorf("Lemma 4.2 condition fails at d=64: flux %.3g vs free %.3g", b.FluxFrac, b.FreeFrac)
+	}
+	// gamma = 0.3 gives the asymptotic coefficient 3/2 - 0.15 = 1.35.
+	if math.Abs(b.Coefficient-1.35) > 1e-9 {
+		t.Errorf("coefficient %.3f, want 1.35", b.Coefficient)
+	}
+	if b.LowerBoundFinite >= b.LowerBound {
+		t.Error("finite bound not below asymptotic bound")
+	}
+	b2 := Lemma42(2, 8, 0.3, betaFor(2))
+	if b2.Holds {
+		t.Error("Lemma 4.2 condition unexpectedly holds at d=2")
+	}
+}
+
+func TestTheorem41D0(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.2, 0.3} {
+		d0, b, ok := Theorem41D0(eps, 8, 512)
+		if !ok {
+			t.Errorf("eps=%.2f: no dimension found up to 512", eps)
+			continue
+		}
+		if !b.Holds || b.LowerBound <= 0 {
+			t.Errorf("eps=%.2f: returned bound invalid", eps)
+		}
+		// The asymptotic coefficient is exactly 3/2 - 3*eps/2 > 1.
+		if math.Abs(b.Coefficient-(1.5-1.5*eps)) > 1e-9 {
+			t.Errorf("eps=%.2f: coefficient %.3f, want %.3f", eps, b.Coefficient, 1.5-1.5*eps)
+		}
+		// Larger eps should need no more dimensions than smaller eps.
+		_ = d0
+	}
+	// d0 should be monotone: easier targets need fewer dimensions.
+	d1, _, ok1 := Theorem41D0(0.1, 8, 1024)
+	d2, _, ok2 := Theorem41D0(0.3, 8, 1024)
+	if ok1 && ok2 && d2 > d1 {
+		t.Errorf("d0 not monotone in eps: d0(0.1)=%d < d0(0.3)=%d", d1, d2)
+	}
+}
+
+func TestTheorem43Premise(t *testing.T) {
+	b := Theorem43Premise(128, 8, 0.1)
+	if !b.Premise {
+		t.Errorf("copying premise fails at d=128: vol %.3g flux %.3g", b.VolFrac, b.FluxFrac)
+	}
+	if b.MeshLB <= 0 || b.TorusLB <= 0 {
+		t.Error("degenerate lower bounds")
+	}
+	// At d=2 the premise must fail (no concentration).
+	if Theorem43Premise(2, 8, 0.1).Premise {
+		t.Error("copying premise unexpectedly holds at d=2")
+	}
+}
+
+func TestTheorem45(t *testing.T) {
+	// The exact flux premise needs several hundred dimensions at
+	// eps = 0.05 (the analytic route needs vastly more).
+	b := Theorem45(512, 8, 0.05)
+	if !b.Premise {
+		t.Errorf("selection premise fails at d=512: enter %.3g ruleout %.3g", b.EnterFrac, b.RuleOutFrac)
+	}
+	wantLB := (9.0/16 - 0.05) * float64(512*7)
+	if math.Abs(b.LowerBound-wantLB) > 1e-9 {
+		t.Errorf("selection LB = %v, want %v", b.LowerBound, wantLB)
+	}
+	if b.LowerBound >= b.UpperBound {
+		t.Error("lower bound not below the D upper bound")
+	}
+}
+
+func TestDistDistributionRejectsBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad parameters did not panic")
+		}
+	}()
+	DistDistribution(0, 4)
+}
+
+func TestExactCountsMatchBruteForce(t *testing.T) {
+	for _, c := range []struct{ d, n int }{{1, 5}, {2, 4}, {3, 4}} {
+		s := grid.New(c.d, c.n)
+		counts := DistCountsExact(c.d, c.n)
+		brute := make([]int64, c.d*(c.n-1)+1)
+		for r := 0; r < s.N(); r++ {
+			brute[s.CenterDist2(r)]++
+		}
+		for i := range brute {
+			if counts[i].Int64() != brute[i] {
+				t.Errorf("d=%d n=%d dist2=%d: exact %v, brute %d", c.d, c.n, i, counts[i], brute[i])
+			}
+		}
+	}
+}
+
+func TestFloatDPCertified(t *testing.T) {
+	// The probabilistic DP must agree with exact big-integer counting to
+	// near machine precision, including at dimensions where n^d
+	// overflows every fixed-width integer.
+	for _, c := range []struct{ d, n int }{{4, 8}, {16, 8}, {64, 8}, {128, 4}} {
+		if rel := CheckFloatDP(c.d, c.n); rel > 1e-9 {
+			t.Errorf("d=%d n=%d: float DP off by relative %.3g", c.d, c.n, rel)
+		}
+	}
+}
+
+func TestVolumeExactHalfAtQuarterRadius(t *testing.T) {
+	// Exact version of the Section 3.1 observation at a size where n is
+	// large relative to d.
+	d, n := 2, 64
+	r := d * (n - 1) / 4
+	frac := VolFracExact(d, n, r)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("exact C fraction = %.3f, want about 1/2", frac)
+	}
+	// And the big.Int volume agrees with the float DP ball.
+	if f2 := BallFrac(d, n, r); math.Abs(frac-f2) > 1e-9 {
+		t.Errorf("exact %.12f vs float %.12f", frac, f2)
+	}
+}

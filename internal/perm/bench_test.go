@@ -1,0 +1,25 @@
+package perm
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/index"
+	"meshsort/internal/xmath"
+)
+
+func BenchmarkRandomPermutation(b *testing.B) {
+	s := grid.New(3, 16)
+	rng := xmath.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = Random(s, rng)
+	}
+}
+
+func BenchmarkUnshuffle(b *testing.B) {
+	bl := index.BlockedSnake(grid.New(3, 16), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Unshuffle(bl)
+	}
+}

@@ -1,0 +1,216 @@
+// Package perm generates and validates the routing problems used by the
+// experiments: random permutations, structured worst-case permutations,
+// k-k relations, and the unshuffle permutation that the derandomization
+// technique of Kaufmann, Sibeyn, and Suel (and Section 2.1 of the paper)
+// substitutes for random intermediate destinations.
+package perm
+
+import (
+	"fmt"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/index"
+	"meshsort/internal/xmath"
+)
+
+// Problem is a routing problem: packet i originates at canonical rank
+// Src[i] and must be delivered to canonical rank Dst[i]. A 1-1 routing
+// problem (permutation) has every rank exactly once in both slices; a k-k
+// problem has every rank exactly k times in both.
+type Problem struct {
+	Name string
+	Src  []int
+	Dst  []int
+}
+
+// Size returns the number of packets.
+func (p Problem) Size() int { return len(p.Src) }
+
+// Identity returns the identity permutation on the shape (useful as a
+// degenerate baseline: zero routing work).
+func Identity(s grid.Shape) Problem {
+	n := s.N()
+	src := make([]int, n)
+	dst := make([]int, n)
+	for i := range src {
+		src[i] = i
+		dst[i] = i
+	}
+	return Problem{Name: "identity", Src: src, Dst: dst}
+}
+
+// Reversal returns the permutation sending every processor's packet to
+// the processor reflected through the mesh center. On the mesh this is a
+// classic hard instance for greedy routing: every packet crosses the
+// bisection and travels the maximal distance profile.
+func Reversal(s grid.Shape) Problem {
+	n := s.N()
+	src := make([]int, n)
+	dst := make([]int, n)
+	for i := range src {
+		src[i] = i
+		dst[i] = s.Reflect(i)
+	}
+	return Problem{Name: "reversal", Src: src, Dst: dst}
+}
+
+// Transpose returns the permutation that rotates the coordinate vector of
+// every processor by one position (the d-dimensional generalization of a
+// matrix transpose). It concentrates traffic heavily under naive
+// dimension-order routing.
+func Transpose(s grid.Shape) Problem {
+	n := s.N()
+	src := make([]int, n)
+	dst := make([]int, n)
+	coords := make([]int, s.Dim)
+	rot := make([]int, s.Dim)
+	for i := range src {
+		src[i] = i
+		s.Coords(i, coords)
+		for j := range coords {
+			rot[j] = coords[(j+1)%s.Dim]
+		}
+		dst[i] = s.Rank(rot)
+	}
+	return Problem{Name: "transpose", Src: src, Dst: dst}
+}
+
+// Random returns a uniformly random permutation of the processors.
+func Random(s grid.Shape, rng *xmath.RNG) Problem {
+	n := s.N()
+	src := make([]int, n)
+	for i := range src {
+		src[i] = i
+	}
+	return Problem{Name: "random", Src: src, Dst: rng.Perm(n)}
+}
+
+// RandomK returns a random k-k routing problem: the concatenation of k
+// independent random permutations, so every processor is the source and
+// the destination of exactly k packets.
+func RandomK(s grid.Shape, k int, rng *xmath.RNG) Problem {
+	n := s.N()
+	src := make([]int, 0, k*n)
+	dst := make([]int, 0, k*n)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			src = append(src, i)
+		}
+		dst = append(dst, rng.Perm(n)...)
+	}
+	return Problem{Name: fmt.Sprintf("random-%d%d", k, k), Src: src, Dst: dst}
+}
+
+// Unshuffle returns the unshuffle permutation of Section 2.1 with respect
+// to a blocked indexing scheme: the packet with local index i in the
+// block at outer-order position j moves to local position
+// j + floor(i/B)*B of the block at outer-order position i mod B, where B
+// is the number of blocks. Laid out along the indexing chain this is a
+// B-way unshuffle, and it distributes the contents of every block evenly
+// over all blocks.
+func Unshuffle(b *index.Blocked) Problem {
+	B := b.BlockCount()
+	V := b.BlockVolume()
+	if V%B != 0 {
+		panic(fmt.Sprintf("perm: unshuffle needs block volume %d divisible by block count %d", V, B))
+	}
+	n := b.N()
+	src := make([]int, n)
+	dst := make([]int, n)
+	idx := 0
+	for j := 0; j < B; j++ {
+		blockID := b.BlockAtOrder(j)
+		for i := 0; i < V; i++ {
+			src[idx] = b.ProcAtLocal(blockID, i)
+			destBlock := b.BlockAtOrder(i % B)
+			destPos := j + (i/B)*B
+			dst[idx] = b.ProcAtLocal(destBlock, destPos)
+			idx++
+		}
+	}
+	return Problem{Name: "unshuffle", Src: src, Dst: dst}
+}
+
+// Validate checks that the problem is a well-formed k-k relation on N
+// processors: every rank appears exactly k times among sources and k
+// times among destinations.
+func (p Problem) Validate(n, k int) error {
+	if len(p.Src) != len(p.Dst) {
+		return fmt.Errorf("perm: %s has %d sources but %d destinations", p.Name, len(p.Src), len(p.Dst))
+	}
+	if len(p.Src) != n*k {
+		return fmt.Errorf("perm: %s has %d packets, want %d", p.Name, len(p.Src), n*k)
+	}
+	srcCount := make([]int, n)
+	dstCount := make([]int, n)
+	for i := range p.Src {
+		if p.Src[i] < 0 || p.Src[i] >= n || p.Dst[i] < 0 || p.Dst[i] >= n {
+			return fmt.Errorf("perm: %s packet %d out of range", p.Name, i)
+		}
+		srcCount[p.Src[i]]++
+		dstCount[p.Dst[i]]++
+	}
+	for r := 0; r < n; r++ {
+		if srcCount[r] != k {
+			return fmt.Errorf("perm: %s rank %d is source of %d packets, want %d", p.Name, r, srcCount[r], k)
+		}
+		if dstCount[r] != k {
+			return fmt.Errorf("perm: %s rank %d is destination of %d packets, want %d", p.Name, r, dstCount[r], k)
+		}
+	}
+	return nil
+}
+
+// Inverse returns the inverse routing problem (sources and destinations
+// swapped).
+func (p Problem) Inverse() Problem {
+	return Problem{Name: p.Name + "-inverse", Src: append([]int(nil), p.Dst...), Dst: append([]int(nil), p.Src...)}
+}
+
+// Concat returns the union of several problems routed simultaneously.
+func Concat(name string, ps ...Problem) Problem {
+	out := Problem{Name: name}
+	for _, p := range ps {
+		out.Src = append(out.Src, p.Src...)
+		out.Dst = append(out.Dst, p.Dst...)
+	}
+	return out
+}
+
+// HotSpot returns a permutation engineered against the standard greedy
+// scheme (all packets in class 0, dimensions in order): the packets of
+// the line x = (*, 0, ..., 0) swap with the line (a, *, 0, ..., 0),
+// a = n/2. Every packet of the first line then turns its corner at the
+// single processor (a, 0, ..., 0) — which receives from two directions
+// but drains toward its destinations through one — so greedy queues grow
+// like n/2 there. Spreading classes (extended greedy) or two-phase
+// routing dissolves the hot spot.
+func HotSpot(s grid.Shape) Problem {
+	if s.Dim < 2 {
+		panic("perm: HotSpot needs at least 2 dimensions")
+	}
+	n := s.N()
+	src := make([]int, n)
+	dst := make([]int, n)
+	for i := range src {
+		src[i] = i
+		dst[i] = i
+	}
+	a := s.Side / 2
+	coords := make([]int, s.Dim)
+	for v := 0; v < s.Side; v++ {
+		if v == a {
+			continue
+		}
+		// (v, 0, 0, ...) <-> (a, v, 0, ...)
+		for i := range coords {
+			coords[i] = 0
+		}
+		coords[0] = v
+		p := s.Rank(coords)
+		coords[0], coords[1] = a, v
+		q := s.Rank(coords)
+		dst[p], dst[q] = q, p
+	}
+	return Problem{Name: "hotspot", Src: src, Dst: dst}
+}

@@ -1,0 +1,197 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/index"
+	"meshsort/internal/xmath"
+)
+
+var permShapes = []grid.Shape{
+	grid.New(2, 8), grid.New(3, 4), grid.New(3, 6), grid.NewTorus(2, 8), grid.NewTorus(3, 4),
+}
+
+func TestGeneratorsAreValidPermutations(t *testing.T) {
+	for _, s := range permShapes {
+		rng := xmath.NewRNG(1)
+		for _, p := range []Problem{
+			Identity(s), Reversal(s), Transpose(s), Random(s, rng),
+		} {
+			if err := p.Validate(s.N(), 1); err != nil {
+				t.Errorf("%v %s: %v", s, p.Name, err)
+			}
+		}
+	}
+}
+
+func TestRandomKIsValidKK(t *testing.T) {
+	for _, s := range permShapes {
+		for k := 1; k <= 3; k++ {
+			p := RandomK(s, k, xmath.NewRNG(uint64(k)))
+			if err := p.Validate(s.N(), k); err != nil {
+				t.Errorf("%v k=%d: %v", s, k, err)
+			}
+		}
+	}
+}
+
+func TestRandomPermQuick(t *testing.T) {
+	s := grid.New(2, 8)
+	f := func(seed uint64) bool {
+		p := Random(s, xmath.NewRNG(seed))
+		return p.Validate(s.N(), 1) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityFixesEverything(t *testing.T) {
+	p := Identity(grid.New(2, 4))
+	for i := range p.Src {
+		if p.Src[i] != p.Dst[i] {
+			t.Fatal("identity moves a packet")
+		}
+	}
+}
+
+func TestReversalIsInvolution(t *testing.T) {
+	s := grid.New(3, 4)
+	p := Reversal(s)
+	for i := range p.Src {
+		if s.Reflect(p.Dst[i]) != p.Src[i] {
+			t.Fatal("reversal is not the reflection")
+		}
+	}
+}
+
+func TestTransposeOrder(t *testing.T) {
+	// Applying the rotation d times is the identity.
+	s := grid.New(3, 4)
+	p := Transpose(s)
+	next := make(map[int]int)
+	for i := range p.Src {
+		next[p.Src[i]] = p.Dst[i]
+	}
+	for r := 0; r < s.N(); r++ {
+		v := r
+		for i := 0; i < s.Dim; i++ {
+			v = next[v]
+		}
+		if v != r {
+			t.Fatalf("rotation^d != identity at %d", r)
+		}
+	}
+}
+
+func TestUnshuffleIsPermutation(t *testing.T) {
+	cases := []struct {
+		shape grid.Shape
+		b     int
+	}{
+		{grid.New(2, 8), 4}, {grid.New(3, 8), 4}, {grid.New(2, 16), 4}, {grid.NewTorus(3, 8), 4},
+	}
+	for _, c := range cases {
+		bl := index.BlockedSnake(c.shape, c.b)
+		p := Unshuffle(bl)
+		if err := p.Validate(c.shape.N(), 1); err != nil {
+			t.Errorf("%v b=%d: %v", c.shape, c.b, err)
+		}
+	}
+}
+
+func TestUnshuffleDistributesEvenly(t *testing.T) {
+	// The defining property (Section 2.1): the packets of every source
+	// block are spread evenly over all blocks — exactly V/B per
+	// destination block.
+	c := struct {
+		shape grid.Shape
+		b     int
+	}{grid.New(3, 8), 4}
+	bl := index.BlockedSnake(c.shape, c.b)
+	p := Unshuffle(bl)
+	B := bl.BlockCount()
+	V := bl.BlockVolume()
+	counts := make(map[[2]int]int)
+	for i := range p.Src {
+		counts[[2]int{bl.Spec.BlockOf(p.Src[i]), bl.Spec.BlockOf(p.Dst[i])}]++
+	}
+	for src := 0; src < B; src++ {
+		for dst := 0; dst < B; dst++ {
+			if got := counts[[2]int{src, dst}]; got != V/B {
+				t.Fatalf("source block %d sends %d packets to block %d, want %d", src, got, dst, V/B)
+			}
+		}
+	}
+}
+
+func TestUnshuffleRejectsSmallBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unshuffle with V < B did not panic")
+		}
+	}()
+	// n=8, b=2: B = 64 blocks of volume 8.
+	Unshuffle(index.BlockedSnake(grid.New(2, 8), 2))
+}
+
+func TestInverse(t *testing.T) {
+	s := grid.New(2, 8)
+	p := Random(s, xmath.NewRNG(5))
+	inv := p.Inverse()
+	if err := inv.Validate(s.N(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Src {
+		if inv.Src[i] != p.Dst[i] || inv.Dst[i] != p.Src[i] {
+			t.Fatal("inverse mismatch")
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	s := grid.New(2, 4)
+	p := Concat("two", Identity(s), Reversal(s))
+	if err := p.Validate(s.N(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2*s.N() {
+		t.Fatal("concat size")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	n := 4
+	bad := []Problem{
+		{Name: "short", Src: []int{0}, Dst: []int{0, 1}},
+		{Name: "wrong-size", Src: []int{0, 1}, Dst: []int{0, 1}},
+		{Name: "out-of-range", Src: []int{0, 1, 2, 3}, Dst: []int{0, 1, 2, 9}},
+		{Name: "dup-dst", Src: []int{0, 1, 2, 3}, Dst: []int{0, 1, 2, 2}},
+		{Name: "dup-src", Src: []int{0, 1, 2, 2}, Dst: []int{0, 1, 2, 3}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(n, 1); err == nil {
+			t.Errorf("%s: Validate accepted invalid problem", p.Name)
+		}
+	}
+}
+
+func TestHotSpotIsPermutation(t *testing.T) {
+	for _, s := range []grid.Shape{grid.New(2, 8), grid.New(3, 8), grid.NewTorus(2, 16)} {
+		p := HotSpot(s)
+		if err := p.Validate(s.N(), 1); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestHotSpotRejects1D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("HotSpot accepted a 1-d shape")
+		}
+	}()
+	HotSpot(grid.New(1, 8))
+}

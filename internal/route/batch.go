@@ -1,0 +1,152 @@
+package route
+
+import (
+	"sort"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/xmath"
+)
+
+// Batch routes whole routing problems through fresh networks and reports
+// distance-optimality statistics. It is the workhorse of experiment E5
+// (Lemmas 2.1-2.3) and of the greedy baselines in E6.
+
+// BatchOpts configures RunProblem.
+type BatchOpts struct {
+	Mode      ClassMode
+	BlockSide int    // block side for ClassLocalRank (must divide n); 0 disables blocking (per-processor classes)
+	Seed      uint64 // seed for ClassRandom
+	MaxSteps  int    // engine safety limit; 0 for default
+	Workers   int    // engine shard workers; 0 for GOMAXPROCS
+}
+
+// RunProblem injects the routing problem into a fresh network of the
+// given shape, assigns classes per the options, routes with the greedy
+// policy, and returns the phase statistics together with the network
+// (holding the delivered packets, for callers that want to inspect the
+// outcome).
+func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteResult, *engine.Net, error) {
+	net := engine.New(s)
+	net.Workers = opts.Workers
+	pkts := make([]*engine.Packet, prob.Size())
+	for i := range pkts {
+		p := net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
+		p.Dst = prob.Dst[i]
+		pkts[i] = p
+	}
+	AssignClasses(s, pkts, nil, opts.Mode, opts.BlockSide, opts.Seed)
+	net.Inject(pkts)
+	res, err := net.Route(NewGreedy(s), engine.RouteOpts{MaxSteps: opts.MaxSteps})
+	return res, net, err
+}
+
+// AssignClasses sets Packet.Class for a batch of packets. locs gives the
+// current processor of each packet (parallel to pkts); nil means the
+// packets sit at their Src processors.
+//
+// For ClassLocalRank, packets are grouped by the block of their current
+// processor (blocks of the given side; side 0 or 1 groups per processor),
+// ordered within each group by destination, and given class = position
+// mod d. This mirrors the deterministic class assignment of Section 2.2:
+// the o(n)-cost local sort that realizes it is charged by the caller as
+// part of its local phases.
+func AssignClasses(s grid.Shape, pkts []*engine.Packet, locs []int, mode ClassMode, blockSide int, seed uint64) {
+	d := s.Dim
+	locOf := func(i int) int { return pkts[i].Src }
+	if locs != nil {
+		locOf = func(i int) int { return locs[i] }
+	}
+	switch mode {
+	case ClassZero:
+		for _, p := range pkts {
+			p.Class = 0
+		}
+	case ClassRandom:
+		rng := xmath.NewRNG(seed).Split(0xc1a55)
+		for _, p := range pkts {
+			p.Class = rng.Intn(d)
+		}
+	case ClassLocalRank:
+		groupOf := func(rank int) int { return rank }
+		if blockSide > 1 {
+			bs := grid.Blocks(s, blockSide)
+			groupOf = bs.BlockOf
+		}
+		groups := make(map[int][]*engine.Packet)
+		for i, p := range pkts {
+			g := groupOf(locOf(i))
+			groups[g] = append(groups[g], p)
+		}
+		for _, g := range groups {
+			sort.Slice(g, func(i, j int) bool {
+				if g[i].Dst != g[j].Dst {
+					return g[i].Dst < g[j].Dst
+				}
+				return g[i].ID < g[j].ID
+			})
+			for i, p := range g {
+				p.Class = i % d
+			}
+		}
+	}
+}
+
+// OptimalityReport summarizes how close a routing run came to
+// distance-optimality: a scheme is distance-optimal when every packet
+// arrives within S + o(n) steps of its activation, S being its
+// source-destination distance. MaxOvershoot is the worst slack observed.
+type OptimalityReport struct {
+	K            int     // number of simultaneous permutations
+	Steps        int     // total steps of the phase
+	MaxDist      int     // max source-destination distance
+	MaxOvershoot int     // max (delivery time - distance) over packets
+	AvgOvershoot float64 // mean slack
+	MaxQueue     int     // peak per-processor occupancy
+}
+
+// MeasureMultiPerm routes k simultaneous random permutations on the
+// shape under the extended greedy scheme and reports distance-optimality
+// statistics (experiment E5, Lemmas 2.1-2.3).
+func MeasureMultiPerm(s grid.Shape, k int, opts BatchOpts) (OptimalityReport, error) {
+	rng := xmath.NewRNG(opts.Seed)
+	prob := perm.RandomK(s, k, rng)
+	res, _, err := RunProblem(s, prob, opts)
+	if err != nil {
+		return OptimalityReport{}, err
+	}
+	return OptimalityReport{
+		K:            k,
+		Steps:        res.Steps,
+		MaxDist:      res.MaxDist,
+		MaxOvershoot: res.MaxOvershoot,
+		AvgOvershoot: res.AvgOvershoot(),
+		MaxQueue:     res.MaxQueue,
+	}, nil
+}
+
+// MeasureUnshuffles routes k simultaneous copies of the unshuffle
+// permutation (the deterministic substitute for random permutations; see
+// Section 2.1) and reports the same statistics. The k copies are launched
+// with classes spread deterministically, mirroring how the sorting
+// algorithms consume routing bandwidth.
+func MeasureUnshuffles(s grid.Shape, prob perm.Problem, k int, opts BatchOpts) (OptimalityReport, error) {
+	probs := make([]perm.Problem, k)
+	for i := range probs {
+		probs[i] = prob
+	}
+	all := perm.Concat(prob.Name, probs...)
+	res, _, err := RunProblem(s, all, opts)
+	if err != nil {
+		return OptimalityReport{}, err
+	}
+	return OptimalityReport{
+		K:            k,
+		Steps:        res.Steps,
+		MaxDist:      res.MaxDist,
+		MaxOvershoot: res.MaxOvershoot,
+		AvgOvershoot: res.AvgOvershoot(),
+		MaxQueue:     res.MaxQueue,
+	}, nil
+}

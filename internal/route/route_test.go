@@ -1,0 +1,185 @@
+package route
+
+import (
+	"testing"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/index"
+	"meshsort/internal/perm"
+	"meshsort/internal/xmath"
+)
+
+func TestGreedyNextLinkMovesToward(t *testing.T) {
+	for _, s := range []grid.Shape{grid.New(3, 8), grid.NewTorus(3, 8)} {
+		g := NewGreedy(s)
+		net := engine.New(s)
+		rng := xmath.NewRNG(1)
+		for trial := 0; trial < 500; trial++ {
+			r := rng.Intn(s.N())
+			p := net.NewPacket(0, r)
+			p.Dst = rng.Intn(s.N())
+			p.Class = rng.Intn(s.Dim)
+			l := g.NextLink(r, p)
+			if r == p.Dst {
+				if l != -1 {
+					t.Fatalf("%v: at destination but wants to move", s)
+				}
+				continue
+			}
+			if l < 0 {
+				t.Fatalf("%v: not at destination but refuses to move", s)
+			}
+			q, ok := s.Step(r, engine.LinkDim(l), engine.LinkDir(l))
+			if !ok {
+				t.Fatalf("%v: greedy walked off the boundary", s)
+			}
+			if s.Dist(q, p.Dst) != s.Dist(r, p.Dst)-1 {
+				t.Fatalf("%v: move from %d toward %d is not productive", s, r, p.Dst)
+			}
+		}
+	}
+}
+
+func TestGreedyHonorsClassOrder(t *testing.T) {
+	// A class-c packet must first fix dimension c.
+	s := grid.New(3, 4)
+	g := NewGreedy(s)
+	net := engine.New(s)
+	p := net.NewPacket(0, s.Rank([]int{1, 1, 1}))
+	p.Dst = s.Rank([]int{2, 2, 2})
+	for class := 0; class < 3; class++ {
+		p.Class = class
+		l := g.NextLink(s.Rank([]int{1, 1, 1}), p)
+		if engine.LinkDim(l) != class {
+			t.Errorf("class %d packet moved along dimension %d first", class, engine.LinkDim(l))
+		}
+	}
+	// With dimension Class already correct, the next one is used.
+	p.Dst = s.Rank([]int{1, 2, 2})
+	p.Class = 0
+	if l := g.NextLink(s.Rank([]int{1, 1, 1}), p); engine.LinkDim(l) != 1 {
+		t.Error("greedy did not skip the already-correct dimension")
+	}
+}
+
+func TestGreedyTorusTakesShortWay(t *testing.T) {
+	s := grid.NewTorus(1, 8)
+	g := NewGreedy(s)
+	net := engine.New(s)
+	p := net.NewPacket(0, 1)
+	p.Dst = 7 // short way is -1 (distance 2) not +1 (distance 6)
+	if l := g.NextLink(1, p); engine.LinkDir(l) != -1 {
+		t.Error("greedy took the long way around the ring")
+	}
+	p.Dst = 5 // exactly opposite: tie broken toward +1
+	if l := g.NextLink(1, p); engine.LinkDir(l) != 1 {
+		t.Error("greedy tie-break changed")
+	}
+}
+
+func TestRunProblemDelivers(t *testing.T) {
+	for _, s := range []grid.Shape{grid.New(2, 8), grid.New(3, 6), grid.NewTorus(3, 6)} {
+		for _, mode := range []ClassMode{ClassZero, ClassRandom, ClassLocalRank} {
+			prob := perm.Random(s, xmath.NewRNG(3))
+			res, net, err := RunProblem(s, prob, BatchOpts{Mode: mode, BlockSide: 2, Seed: 1})
+			if err != nil {
+				t.Fatalf("%v %v: %v", s, mode, err)
+			}
+			for r := 0; r < s.N(); r++ {
+				if len(net.Held(r)) != 1 {
+					t.Fatalf("%v %v: rank %d holds %d packets", s, mode, r, len(net.Held(r)))
+				}
+			}
+			if res.Steps > 4*s.Diameter() {
+				t.Errorf("%v %v: random permutation took %d steps (D=%d)", s, mode, res.Steps, s.Diameter())
+			}
+		}
+	}
+}
+
+func TestAssignClassesSpread(t *testing.T) {
+	s := grid.New(3, 6)
+	net := engine.New(s)
+	pkts := make([]*engine.Packet, s.N())
+	rng := xmath.NewRNG(8)
+	dst := rng.Perm(s.N())
+	for i := range pkts {
+		pkts[i] = net.NewPacket(0, i)
+		pkts[i].Dst = dst[i]
+	}
+	AssignClasses(s, pkts, nil, ClassLocalRank, 3, 0)
+	counts := make([]int, s.Dim)
+	for _, p := range pkts {
+		if p.Class < 0 || p.Class >= s.Dim {
+			t.Fatal("class out of range")
+		}
+		counts[p.Class]++
+	}
+	for _, c := range counts {
+		if c < s.N()/s.Dim-s.N()/10 || c > s.N()/s.Dim+s.N()/10 {
+			t.Errorf("classes unbalanced: %v", counts)
+		}
+	}
+}
+
+func TestAssignClassesZero(t *testing.T) {
+	s := grid.New(2, 4)
+	net := engine.New(s)
+	pkts := []*engine.Packet{net.NewPacket(0, 0), net.NewPacket(0, 1)}
+	pkts[0].Class = 1
+	AssignClasses(s, pkts, nil, ClassZero, 0, 0)
+	if pkts[0].Class != 0 || pkts[1].Class != 0 {
+		t.Error("ClassZero did not reset classes")
+	}
+}
+
+func TestMeasureMultiPermOptimality(t *testing.T) {
+	// Lemma 2.1 (torus, k <= 2d) and Lemma 2.3 (mesh, k <= d/2):
+	// overshoot should be a small fraction of the distance bound. At
+	// these tiny sizes we assert loose envelopes; the experiment harness
+	// reports the precise trends.
+	torus := grid.NewTorus(3, 8)
+	rep, err := MeasureMultiPerm(torus, 2, BatchOpts{Mode: ClassLocalRank, BlockSide: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxOvershoot > torus.Diameter() {
+		t.Errorf("torus k=2 overshoot %d exceeds D", rep.MaxOvershoot)
+	}
+	mesh := grid.New(4, 6)
+	rep, err = MeasureMultiPerm(mesh, 2, BatchOpts{Mode: ClassLocalRank, BlockSide: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxOvershoot > mesh.Diameter() {
+		t.Errorf("mesh k=2 overshoot %d exceeds D", rep.MaxOvershoot)
+	}
+	if rep.Steps < rep.MaxDist {
+		t.Error("impossible: fewer steps than max distance")
+	}
+}
+
+func TestMeasureUnshuffles(t *testing.T) {
+	s := grid.New(3, 8)
+	prob := perm.Unshuffle(indexBlockedSnake(s, 4))
+	rep, err := MeasureUnshuffles(s, prob, 2, BatchOpts{Mode: ClassLocalRank, BlockSide: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.K != 2 || rep.Steps == 0 {
+		t.Error("unshuffle measurement empty")
+	}
+}
+
+func TestClassModeString(t *testing.T) {
+	if ClassZero.String() != "zero" || ClassRandom.String() != "random" || ClassLocalRank.String() != "local-rank" {
+		t.Error("ClassMode strings")
+	}
+	if ClassMode(99).String() != "unknown" {
+		t.Error("unknown ClassMode string")
+	}
+}
+
+// indexBlockedSnake avoids repeating the import dance in tests.
+func indexBlockedSnake(s grid.Shape, b int) *index.Blocked { return index.BlockedSnake(s, b) }

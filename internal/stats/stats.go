@@ -1,0 +1,157 @@
+// Package stats provides small helpers for collecting experiment results
+// across seeds and formatting them as aligned text tables and CSV, used
+// by cmd/experiments and the benchmarks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is an ordered collection of rows under named columns.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// Add appends a row. Cells beyond the column count are dropped; missing
+// cells are blank.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Cols))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row built from formatted values: each argument is
+// rendered with %v.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, FormatFloat(v))
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.Add(row...)
+}
+
+// FormatFloat renders a float compactly (3 decimal places, trimmed).
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting: callers
+// only emit numeric and identifier cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Cols, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary aggregates a sequence of float64 observations.
+type Summary struct {
+	N    int
+	Min  float64
+	Max  float64
+	Sum  float64
+	Sum2 float64
+}
+
+// Observe adds a value.
+func (s *Summary) Observe(v float64) {
+	if s.N == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.N == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.N++
+	s.Sum += v
+	s.Sum2 += v * v
+}
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Std returns the population standard deviation (0 when fewer than two
+// observations).
+func (s *Summary) Std() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.Sum2/float64(s.N) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// String renders min/mean/max compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("min=%s mean=%s max=%s", FormatFloat(s.Min), FormatFloat(s.Mean()), FormatFloat(s.Max))
+}

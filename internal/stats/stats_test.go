@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("title", "alg", "steps", "ratio")
+	tb.Add("simple", "120", "1.43")
+	tb.Add("full", "200", "2.01")
+	out := tb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "simple") {
+		t.Error("table text missing content")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5", len(lines))
+	}
+	// Columns align: every data line is at least as long as the header.
+	if len(lines[3]) < len("alg") {
+		t.Error("row too short")
+	}
+}
+
+func TestTableAddPadsAndTruncates(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("only")
+	tb.Add("x", "y", "z-dropped")
+	if tb.Rows[0][1] != "" {
+		t.Error("missing cell not padded")
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "n", "v", "f")
+	tb.Addf(3, "x", 1.23456)
+	if tb.Rows[0][0] != "3" || tb.Rows[0][1] != "x" || tb.Rows[0][2] != "1.235" {
+		t.Errorf("Addf row = %v", tb.Rows[0])
+	}
+	tb.Addf(1, 2, 4.0)
+	if tb.Rows[1][2] != "4" {
+		t.Errorf("whole float rendered as %q", tb.Rows[1][2])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("1", "2")
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 6} {
+		s.Observe(v)
+	}
+	if s.N != 3 || s.Min != 2 || s.Max != 6 || s.Mean() != 4 {
+		t.Errorf("summary wrong: %+v mean=%v", s, s.Mean())
+	}
+	if s.Std() <= 0 {
+		t.Error("std should be positive")
+	}
+	var empty Summary
+	if empty.Mean() != 0 || empty.Std() != 0 {
+		t.Error("empty summary should be zeros")
+	}
+	if !strings.Contains(s.String(), "mean=4") {
+		t.Errorf("summary string: %s", s.String())
+	}
+}

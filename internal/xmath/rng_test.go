@@ -1,0 +1,139 @@
+package xmath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched %d/64 outputs", same)
+	}
+}
+
+func TestRNGSplitOrderIndependent(t *testing.T) {
+	parent := NewRNG(99)
+	c1 := parent.Split(7)
+	c2 := parent.Split(7)
+	if c1.Uint64() != c2.Uint64() {
+		t.Error("repeated Split with same stream id differs")
+	}
+	// Splitting does not advance the parent.
+	p2 := NewRNG(99)
+	if parent.Uint64() != p2.Uint64() {
+		t.Error("Split advanced the parent state")
+	}
+}
+
+func TestRNGSplitStreamsIndependent(t *testing.T) {
+	parent := NewRNG(5)
+	a, b := parent.Split(1), parent.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams matched %d/64 outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	rng := NewRNG(3)
+	for n := 1; n <= 20; n++ {
+		for i := 0; i < 50; i++ {
+			v := rng.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	rng := NewRNG(777)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[rng.Intn(n)]++
+	}
+	for v, c := range counts {
+		if c < trials/n*8/10 || c > trials/n*12/10 {
+			t.Errorf("value %d drawn %d times, expected about %d", v, c, trials/n)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%64 + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	rng := NewRNG(11)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := SumInt(xs)
+	rng.Shuffle(xs)
+	if SumInt(xs) != sum || len(xs) != 7 {
+		t.Error("Shuffle changed the multiset")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	rng := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestZeroValueRNGUsable(t *testing.T) {
+	var r RNG
+	if r.Intn(10) < 0 {
+		t.Error("zero-value RNG unusable")
+	}
+}

@@ -1,0 +1,138 @@
+// Package xmath provides small integer-math and geometry helpers shared by
+// the mesh simulator, the routing and sorting algorithms, and the
+// lower-bound calculators. Everything operates on int (64-bit on the
+// supported platforms) and panics on overflow-prone misuse rather than
+// silently wrapping, because the simulator's correctness depends on exact
+// index arithmetic.
+package xmath
+
+import "fmt"
+
+// Abs returns the absolute value of x.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CeilDiv returns ceil(a/b) for b > 0.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("xmath: CeilDiv with non-positive divisor %d", b))
+	}
+	if a >= 0 {
+		return (a + b - 1) / b
+	}
+	return a / b
+}
+
+// Ipow returns base**exp for exp >= 0, panicking on overflow.
+func Ipow(base, exp int) int {
+	if exp < 0 {
+		panic(fmt.Sprintf("xmath: Ipow with negative exponent %d", exp))
+	}
+	result := 1
+	for i := 0; i < exp; i++ {
+		next := result * base
+		if base != 0 && next/base != result {
+			panic(fmt.Sprintf("xmath: Ipow(%d, %d) overflows int", base, exp))
+		}
+		result = next
+	}
+	return result
+}
+
+// Gcd returns the greatest common divisor of a and b (non-negative result).
+func Gcd(a, b int) int {
+	a, b = Abs(a), Abs(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Mod returns a mod m with a result in [0, m), unlike Go's % operator
+// which can return negatives.
+func Mod(a, m int) int {
+	if m <= 0 {
+		panic(fmt.Sprintf("xmath: Mod with non-positive modulus %d", m))
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// SumInt returns the sum of the slice.
+func SumInt(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MaxInt returns the maximum of a non-empty slice.
+func MaxInt(xs []int) int {
+	if len(xs) == 0 {
+		panic("xmath: MaxInt of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// L1Dist returns the L1 (Manhattan) distance between two points of equal
+// dimension.
+func L1Dist(a, b []int) int {
+	if len(a) != len(b) {
+		panic("xmath: L1Dist dimension mismatch")
+	}
+	s := 0
+	for i := range a {
+		s += Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// RingDist returns the distance between positions a and b on a ring of
+// size n (used for torus coordinates).
+func RingDist(a, b, n int) int {
+	d := Abs(a - b)
+	return Min(d, n-d)
+}
+
+// L1TorusDist returns the L1 distance between two points on a d-dimensional
+// torus of side n.
+func L1TorusDist(a, b []int, n int) int {
+	if len(a) != len(b) {
+		panic("xmath: L1TorusDist dimension mismatch")
+	}
+	s := 0
+	for i := range a {
+		s += RingDist(a[i], b[i], n)
+	}
+	return s
+}

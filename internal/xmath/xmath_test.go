@@ -1,0 +1,168 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbs(t *testing.T) {
+	cases := []struct{ in, want int }{{0, 0}, {5, 5}, {-5, 5}, {-1, 1}, {math.MaxInt32, math.MaxInt32}}
+	for _, c := range cases {
+		if got := Abs(c.in); got != c.want {
+			t.Errorf("Abs(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Min(-1, -2) != -2 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(-1, -2) != -1 {
+		t.Error("Max broken")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 3, 0}, {1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {6, 3, 2}, {7, 3, 3},
+		{-3, 3, -1}, {-4, 3, -1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv(1, 0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestIpow(t *testing.T) {
+	cases := []struct{ b, e, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {10, 6, 1000000}, {1, 100, 1}, {0, 3, 0}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Ipow(c.b, c.e); got != c.want {
+			t.Errorf("Ipow(%d,%d) = %d, want %d", c.b, c.e, got, c.want)
+		}
+	}
+}
+
+func TestIpowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ipow(10, 40) did not panic on overflow")
+		}
+	}()
+	Ipow(10, 40)
+}
+
+func TestIpowNegativeExponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ipow(2, -1) did not panic")
+		}
+	}()
+	Ipow(2, -1)
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct{ a, m, want int }{
+		{7, 3, 1}, {-7, 3, 2}, {-3, 3, 0}, {0, 5, 0}, {-1, 5, 4},
+	}
+	for _, c := range cases {
+		if got := Mod(c.a, c.m); got != c.want {
+			t.Errorf("Mod(%d,%d) = %d, want %d", c.a, c.m, got, c.want)
+		}
+	}
+}
+
+func TestModPropertyInRange(t *testing.T) {
+	f := func(a int16, m uint8) bool {
+		mm := int(m)%64 + 1
+		r := Mod(int(a), mm)
+		return r >= 0 && r < mm && (int(a)-r)%mm == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGcd(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {8, 12, 4}, {7, 3, 1}, {0, 5, 5}, {5, 0, 5}, {-12, 8, 4},
+	}
+	for _, c := range cases {
+		if got := Gcd(c.a, c.b); got != c.want {
+			t.Errorf("Gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSumMaxInt(t *testing.T) {
+	if SumInt([]int{1, 2, 3}) != 6 || SumInt(nil) != 0 {
+		t.Error("SumInt broken")
+	}
+	if MaxInt([]int{3, 9, 2}) != 9 || MaxInt([]int{-5}) != -5 {
+		t.Error("MaxInt broken")
+	}
+}
+
+func TestL1Dist(t *testing.T) {
+	if L1Dist([]int{0, 0}, []int{3, 4}) != 7 {
+		t.Error("L1Dist broken")
+	}
+	if L1Dist([]int{5}, []int{5}) != 0 {
+		t.Error("L1Dist zero broken")
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	cases := []struct{ a, b, n, want int }{
+		{0, 1, 8, 1}, {0, 7, 8, 1}, {0, 4, 8, 4}, {2, 6, 8, 4}, {1, 5, 9, 4}, {0, 5, 9, 4},
+	}
+	for _, c := range cases {
+		if got := RingDist(c.a, c.b, c.n); got != c.want {
+			t.Errorf("RingDist(%d,%d,%d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRingDistProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n := 16
+		x, y := int(a)%n, int(b)%n
+		d := RingDist(x, y, n)
+		return d == RingDist(y, x, n) && d >= 0 && d <= n/2 && (d == 0) == (x == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1TorusDist(t *testing.T) {
+	if L1TorusDist([]int{0, 0}, []int{7, 4}, 8) != 5 {
+		t.Error("L1TorusDist broken")
+	}
+}
+
+func TestL1TorusTriangle(t *testing.T) {
+	f := func(a, b, c [3]uint8) bool {
+		n := 8
+		p := []int{int(a[0]) % n, int(a[1]) % n, int(a[2]) % n}
+		q := []int{int(b[0]) % n, int(b[1]) % n, int(b[2]) % n}
+		r := []int{int(c[0]) % n, int(c[1]) % n, int(c[2]) % n}
+		return L1TorusDist(p, r, n) <= L1TorusDist(p, q, n)+L1TorusDist(q, r, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
