@@ -52,8 +52,11 @@ func main() {
 	} else {
 		shape = grid.New(*d, *n)
 	}
+	// One persistent worker pool serves every routing phase of the run.
+	pool := engine.NewPool(*work)
+	defer pool.Close()
 	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
-		RealLocalSort: *real, AltEstimator: *alt, Workers: *work}
+		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, Pool: pool}
 	keys := core.RandomKeys(shape, max(1, *k), *seed+1)
 	D := shape.Diameter()
 	fmt.Printf("%v: N=%d D=%d block=%d\n", shape, shape.N(), D, *b)
@@ -81,7 +84,7 @@ func main() {
 			res.Rounds, res.Sorted, float64(res.Rounds)/float64(D))
 	case "route":
 		prob := pickPerm(*pperm, shape, *seed)
-		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed}, prob)
+		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed, Workers: *work, Pool: pool}, prob)
 		fail(err)
 		fmt.Printf("two-phase routing: %d routing steps (bound D+2nu = %d), nu=%d effective=%d, delivered=%v\n",
 			res.RouteSteps, res.Bound, res.Nu, res.EffectiveNu, res.Delivered)
@@ -92,7 +95,8 @@ func main() {
 		prob := pickPerm(*pperm, shape, *seed)
 		net := engine.New(shape)
 		net.Workers = *work
-		net.CountLoads = *heat
+		net.Pool = pool
+		net.SetCountLoads(*heat)
 		pkts := make([]*engine.Packet, prob.Size())
 		for i := range pkts {
 			pkts[i] = net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
@@ -173,6 +177,10 @@ func pickPerm(name string, shape grid.Shape, seed uint64) perm.Problem {
 // printHeatmap renders per-processor link load as an ASCII grid (2-d
 // meshes; higher dimensions print per-dimension totals instead).
 func printHeatmap(net *engine.Net) {
+	if !net.CountingLoads() {
+		fmt.Println("congestion: load counting was not enabled")
+		return
+	}
 	s := net.Shape
 	prof := net.LoadProfile()
 	if s.Dim != 2 {

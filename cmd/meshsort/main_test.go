@@ -23,7 +23,7 @@ func TestPrintHeatmapRuns(t *testing.T) {
 	// in 2 and 3 dimensions without panicking.
 	for _, s := range []grid.Shape{grid.New(2, 8), grid.New(3, 4)} {
 		net := engine.New(s)
-		net.CountLoads = true
+		net.SetCountLoads(true)
 		prob := pickPerm("reversal", s, 1)
 		pkts := make([]*engine.Packet, prob.Size())
 		for i := range pkts {

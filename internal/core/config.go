@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/index"
 )
@@ -83,7 +84,14 @@ type Config struct {
 
 	Seed    uint64
 	Workers int // engine shard workers; 0 means GOMAXPROCS
-	Cost    CostModel
+
+	// Pool optionally supplies a persistent engine worker pool shared by
+	// every routing phase of the run (and by other runs using the same
+	// pool). The caller owns its lifecycle. Nil means the engine manages
+	// a transient pool per phase, sized by Workers.
+	Pool *engine.Pool
+
+	Cost CostModel
 }
 
 func (c Config) k() int {
@@ -139,6 +147,24 @@ type PhaseStat struct {
 	MaxDist      int // max activation distance
 	MaxOvershoot int // max delivery slack beyond the packet's distance
 	MaxQueue     int // peak per-processor occupancy
+	Hops         int // total link traversals
+
+	// Engine throughput for the phase (wall-clock; varies run to run):
+	StepsPerSec    float64 // simulated steps per wall-second
+	PacketsPerStep float64 // mean link traversals per simulated step
+	WorkerUtil     float64 // worker pool utilization in [0,1]
+}
+
+// routePhase converts an engine phase result into a PhaseStat.
+func routePhase(name string, rr engine.RouteResult) PhaseStat {
+	return PhaseStat{
+		Name: name, Kind: "route", Steps: rr.Steps,
+		MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot,
+		MaxQueue: rr.MaxQueue, Hops: rr.Hops,
+		StepsPerSec:    rr.StepsPerSec(),
+		PacketsPerStep: rr.PacketsPerStep(),
+		WorkerUtil:     rr.WorkerUtilization(),
+	}
 }
 
 // Result reports a completed sorting (or selection/routing) run.
@@ -178,11 +204,11 @@ func (r Result) RouteRatio() float64 { return float64(r.RouteSteps) / float64(r.
 // TotalRatio returns TotalSteps normalized by the diameter.
 func (r Result) TotalRatio() float64 { return float64(r.TotalSteps) / float64(r.Diameter()) }
 
-func (r *Result) addRoute(name string, steps, maxDist, maxOvershoot, maxQueue int) {
-	r.Phases = append(r.Phases, PhaseStat{Name: name, Kind: "route", Steps: steps, MaxDist: maxDist, MaxOvershoot: maxOvershoot, MaxQueue: maxQueue})
-	r.RouteSteps += steps
-	if maxQueue > r.MaxQueue {
-		r.MaxQueue = maxQueue
+func (r *Result) addRoute(name string, rr engine.RouteResult) {
+	r.Phases = append(r.Phases, routePhase(name, rr))
+	r.RouteSteps += rr.Steps
+	if rr.MaxQueue > r.MaxQueue {
+		r.MaxQueue = rr.MaxQueue
 	}
 }
 

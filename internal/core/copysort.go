@@ -84,6 +84,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 
 	net := engine.New(s)
 	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
 	originals, err := makeInput(net, 1, keys)
 	if err != nil {
 		return res, err
@@ -121,7 +122,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 2: %w", name, err)
 	}
-	res.addRoute("unshuffle-with-copies", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	res.addRoute("unshuffle-with-copies", rr)
 
 	// Step (3): local sort inside every region block.
 	regionSorted := localSortBlocks(net, blocked, regionBlocks, cfg, &res, "local-sort-region")
@@ -203,7 +204,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 4: %w", name, err)
 	}
-	res.addRoute("route-survivors", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	res.addRoute("route-survivors", rr)
 
 	// Step (5): odd-even block merges until sorted.
 	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, 1, cfg.Cost, &res, 0)

@@ -53,6 +53,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 
 	net := engine.New(s)
 	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
 	if _, err := makeInput(net, k, keys); err != nil {
 		return res, err
 	}
@@ -78,7 +79,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: RandSimpleSort step 2: %w", err)
 	}
-	res.addRoute("random-to-center", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	res.addRoute("random-to-center", rr)
 
 	// Step (3): local sort inside every center block. Block loads are
 	// only approximately kN/R, so the estimate uses the actual load.
@@ -104,7 +105,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: RandSimpleSort step 4: %w", err)
 	}
-	res.addRoute("route-to-destination", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	res.addRoute("route-to-destination", rr)
 
 	// Step (5): merge cleanup.
 	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, k, cfg.Cost, &res, 0)
@@ -139,6 +140,7 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 	rng := xmath.NewRNG(cfg.Seed).Split(0x29)
 	net := engine.New(s)
 	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
 	pkts := make([]*engine.Packet, prob.Size())
 	for i := range pkts {
 		pkts[i] = net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
@@ -175,7 +177,7 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 	if err != nil {
 		return res, fmt.Errorf("core: randomized routing phase 1: %w", err)
 	}
-	res.Phases = append(res.Phases, PhaseStat{Name: "to-intermediate", Kind: "route", Steps: rr.Steps, MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot, MaxQueue: rr.MaxQueue})
+	res.Phases = append(res.Phases, routePhase("to-intermediate", rr))
 	res.RouteSteps += rr.Steps
 	res.MaxQueue = rr.MaxQueue
 
@@ -187,7 +189,7 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 	if err != nil {
 		return res, fmt.Errorf("core: randomized routing phase 2: %w", err)
 	}
-	res.Phases = append(res.Phases, PhaseStat{Name: "to-destination", Kind: "route", Steps: rr.Steps, MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot, MaxQueue: rr.MaxQueue})
+	res.Phases = append(res.Phases, routePhase("to-destination", rr))
 	res.RouteSteps += rr.Steps
 	if rr.MaxQueue > res.MaxQueue {
 		res.MaxQueue = rr.MaxQueue

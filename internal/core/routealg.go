@@ -30,7 +30,10 @@ type RouteConfig struct {
 	Nu      int
 	Seed    uint64
 	Workers int
-	Cost    CostModel
+	// Pool optionally supplies a persistent engine worker pool shared by
+	// both routing phases; nil means a transient pool per phase.
+	Pool *engine.Pool
+	Cost CostModel
 }
 
 func (c RouteConfig) nu() int {
@@ -83,6 +86,7 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 
 	net := engine.New(s)
 	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
 	pkts := make([]*engine.Packet, prob.Size())
 	for i := range pkts {
 		p := net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
@@ -174,7 +178,7 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: two-phase routing phase 1: %w", err)
 	}
-	res.Phases = append(res.Phases, PhaseStat{Name: "to-intermediate", Kind: "route", Steps: rr.Steps, MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot, MaxQueue: rr.MaxQueue})
+	res.Phases = append(res.Phases, routePhase("to-intermediate", rr))
 	res.RouteSteps += rr.Steps
 	if rr.MaxQueue > res.MaxQueue {
 		res.MaxQueue = rr.MaxQueue
@@ -196,7 +200,7 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: two-phase routing phase 2: %w", err)
 	}
-	res.Phases = append(res.Phases, PhaseStat{Name: "to-destination", Kind: "route", Steps: rr.Steps, MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot, MaxQueue: rr.MaxQueue})
+	res.Phases = append(res.Phases, routePhase("to-destination", rr))
 	res.RouteSteps += rr.Steps
 	if rr.MaxQueue > res.MaxQueue {
 		res.MaxQueue = rr.MaxQueue

@@ -72,6 +72,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 
 	net := engine.New(s)
 	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
 	if _, err := makeInput(net, 1, keys); err != nil {
 		return res, err
 	}
@@ -92,7 +93,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: select concentration: %w", err)
 	}
-	sres.addRoute("unshuffle-to-center", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	sres.addRoute("unshuffle-to-center", rr)
 	centerSorted := localSortBlocks(net, blocked, region.Blocks, cfg, &sres, "local-sort-center")
 
 	// Identify the target packet. The estimate window: local rank i in
@@ -122,7 +123,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: select delivery: %w", err)
 	}
-	sres.addRoute("deliver-target", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	sres.addRoute("deliver-target", rr)
 
 	res.Value = targetPkt.Key
 	res.TotalSteps = net.Clock()

@@ -79,6 +79,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 
 	net := engine.New(s)
 	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
 	if _, err := makeInput(net, k, keys); err != nil {
 		return res, err
 	}
@@ -102,7 +103,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 2: %w", name, err)
 	}
-	res.addRoute("unshuffle-to-center", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	res.addRoute("unshuffle-to-center", rr)
 
 	// Step (3): local sort inside every center block.
 	centerSorted := localSortBlocks(net, blocked, region.Blocks, cfg, &res, "local-sort-center")
@@ -132,7 +133,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 4: %w", name, err)
 	}
-	res.addRoute("route-to-destination", rr.Steps, rr.MaxDist, rr.MaxOvershoot, rr.MaxQueue)
+	res.addRoute("route-to-destination", rr)
 
 	// Step (5): odd-even block merges until sorted.
 	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, k, cfg.Cost, &res, 0)

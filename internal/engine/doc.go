@@ -1,0 +1,77 @@
+// Package engine implements the synchronous multi-packet mesh model of
+// the paper: N = n^d processors operating in lock-step, each holding a
+// small number of packets, each able to transmit one packet per directed
+// link per step.
+//
+// The engine separates what the machine does (move packets along links
+// under a routing policy, one per link per step) from what the algorithms
+// decide (destinations, routing classes, local rearrangements). Global
+// routing phases are simulated step-accurately; local "oracle" phases
+// (block-local sorts, whose o(n) cost the paper treats as a black box)
+// rearrange held packets atomically and advance the clock by a charged
+// cost (see internal/core).
+//
+// # The two-phase barrier model
+//
+// Each simulated step runs in two phases separated by barriers:
+//
+//   - Send: every processor with moving packets asks the Policy for the
+//     link each packet wants, grants each link to the highest-priority
+//     requester (farthest-to-go first, ties to the lowest id — the
+//     paper's contention rule), and parks the winners in per-link out
+//     slots. Only processor-owned state is written.
+//   - Deliver: every processor with an incoming packet pulls from the
+//     out slots of its neighbors that point at it. Each (sender, link)
+//     slot is drained by exactly one receiver, so only receiver-owned
+//     state is written. On a 2-side torus both directions of a dimension
+//     reach the same neighbor; the two pulls drain that neighbor's two
+//     distinct link slots, modeling the double edge.
+//
+// Because each phase writes disjoint, single-owner state, sharded
+// parallel execution is observationally identical to sequential
+// execution: Route returns bit-identical results and final packet
+// placements for any worker count.
+//
+// # Worker pool and active-shard tracking
+//
+// Processors are grouped into contiguous shards, the unit of scheduling.
+// The step loop tracks which shards are live: the send phase visits only
+// shards holding moving packets (a per-shard count maintained by the
+// shard's owning worker), and the delivery phase visits only shards that
+// a sender flagged as receiving this step. Late in a phase, when most of
+// the n^d processors are idle, a step touches only the few shards where
+// packets remain instead of scanning the whole network.
+//
+// Shard work executes on a Pool of persistent workers parked on a
+// channel barrier; the Route caller participates as worker 0, and
+// work-stealing over the live-shard list balances uneven shards. A pool
+// can (and should) be shared across all phases of a multi-phase
+// algorithm via Net.Pool or RouteOpts.Pool; when neither is set, Route
+// manages a transient pool per phase. With one worker — or one live
+// shard — the step loop runs entirely inline with no goroutines or
+// channel operations.
+//
+// # Exact vs. sampled statistics
+//
+// All statistics on RouteResult are exact, not sampled: Steps,
+// Delivered, Hops, MaxDist and the overshoot aggregates are maintained
+// per event. MaxQueue is exact too, but subtly so: per-processor
+// occupancy only grows at activation or on receiving, so sampling every
+// processor once at activation and every receiver after its pulls
+// captures the true high-water mark. Link-load counters (SetCountLoads)
+// are exact per traversal but cover only the phases routed while
+// counting was enabled. The wall-clock throughput counters (Elapsed,
+// WorkerBusy, and the derived StepsPerSec/WorkerUtilization) measure the
+// host machine, vary run to run, and are excluded from the determinism
+// guarantee.
+//
+// # Policy purity
+//
+// Policies are called concurrently from shard workers and may be called
+// any number of times per packet per step, so NextLink must be a pure
+// function of (rank, packet) with no side effects and no dependence on
+// call order. It must also be monotone — every requested move reduces
+// the packet's distance to its destination — and must never route off a
+// mesh boundary; the engine checks both and panics on violations, since
+// either indicates an algorithm bug rather than a runtime condition.
+package engine

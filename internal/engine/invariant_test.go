@@ -162,7 +162,7 @@ func TestCausality(t *testing.T) {
 func TestLoadProfileMatchesHops(t *testing.T) {
 	s := grid.New(3, 6)
 	net := New(s)
-	net.CountLoads = true
+	net.SetCountLoads(true)
 	rng := xmath.NewRNG(31)
 	dsts := rng.Perm(s.N())
 	pkts := make([]*Packet, s.N())
@@ -193,7 +193,9 @@ func TestLoadProfileMatchesHops(t *testing.T) {
 	}
 }
 
-// TestLoadCountingOffByDefault: no counters unless requested.
+// TestLoadCountingOffByDefault: no counters unless requested, and
+// querying them without enabling counting panics instead of returning
+// misleading zeros.
 func TestLoadCountingOffByDefault(t *testing.T) {
 	s := grid.New(2, 4)
 	net := New(s)
@@ -203,10 +205,47 @@ func TestLoadCountingOffByDefault(t *testing.T) {
 	if _, err := net.Route(greedyTestPolicy{s}, RouteOpts{}); err != nil {
 		t.Fatal(err)
 	}
-	if net.LinkLoad(0, 1) != 0 {
-		t.Error("loads counted without CountLoads")
+	if net.CountingLoads() {
+		t.Error("load counting on without SetCountLoads")
 	}
-	if net.LoadProfile().Total != 0 {
-		t.Error("profile nonzero without CountLoads")
+	mustPanic(t, "LinkLoad without counting", func() { net.LinkLoad(0, 1) })
+	mustPanic(t, "LoadProfile without counting", func() { net.LoadProfile() })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestLoadCountingEnabledLate: enabling counting after a phase has
+// already run counts exactly the phases routed from that point on — the
+// earlier phase is not silently reported as zero-load anymore (the
+// counters exist and match the later phase's hops exactly).
+func TestLoadCountingEnabledLate(t *testing.T) {
+	s := grid.New(2, 6)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = s.N() - 1
+	net.Inject([]*Packet{p})
+	if _, err := net.Route(greedyTestPolicy{s}, RouteOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	net.SetCountLoads(true)
+	if got := net.LoadProfile().Total; got != 0 {
+		t.Fatalf("counters nonzero (%d) immediately after enabling", got)
+	}
+	// Route a second phase; only its hops may be counted.
+	p.Dst = 0
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.LoadProfile().Total; got != int64(res.Hops) {
+		t.Errorf("late-enabled counters saw %d traversals, want %d", got, res.Hops)
 	}
 }

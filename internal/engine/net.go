@@ -2,8 +2,8 @@ package engine
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"meshsort/internal/grid"
 )
@@ -59,35 +59,60 @@ type Net struct {
 	clock  int
 	nextID int
 
-	// Workers is the number of shard goroutines used per step; 0 means
-	// GOMAXPROCS.
+	// Workers sizes the transient worker pool Route creates when neither
+	// Pool (below) nor RouteOpts.Pool provides one; 0 means GOMAXPROCS.
 	Workers int
+
+	// Pool, if non-nil, supplies the persistent workers for every phase
+	// routed through this network (RouteOpts.Pool takes precedence). The
+	// caller owns the pool's lifecycle; Route never closes it.
+	Pool *Pool
 
 	// MaxQueue is the high-water mark of packets co-resident at a single
 	// processor (moving + held) observed during routing phases.
 	MaxQueue int
 
-	// CountLoads enables per-link traversal counting (LinkLoad); off by
-	// default because the counters add a write per hop.
-	CountLoads bool
-	loads      []int64 // rank*2d + link -> traversals
+	loads []int64 // rank*2d + link -> traversals; nil when counting is off
 }
 
 // New returns an empty network of the given shape.
 func New(s grid.Shape) *Net {
 	n := &Net{Shape: s, procs: make([]proc, s.N())}
 	links := 2 * s.Dim
+	// One backing array for every processor's out slots keeps the per-Net
+	// allocation count independent of N.
+	backing := make([]*Packet, s.N()*links)
 	for i := range n.procs {
-		n.procs[i].out = make([]*Packet, links)
+		n.procs[i].out = backing[i*links : (i+1)*links : (i+1)*links]
 	}
 	return n
 }
 
+// SetCountLoads enables or disables per-link traversal counting (LinkLoad,
+// LoadProfile); off by default because the counters add a write per hop.
+// The counters are allocated immediately, so counting covers exactly the
+// phases routed between SetCountLoads(true) and SetCountLoads(false) —
+// enabling after a phase has already run does not retroactively count it.
+// Disabling discards the counters.
+func (n *Net) SetCountLoads(on bool) {
+	if !on {
+		n.loads = nil
+		return
+	}
+	if n.loads == nil {
+		n.loads = make([]int64, len(n.procs)*2*n.Shape.Dim)
+	}
+}
+
+// CountingLoads reports whether per-link traversal counting is enabled.
+func (n *Net) CountingLoads() bool { return n.loads != nil }
+
 // LinkLoad returns the number of packets that traversed the directed
-// link of the given processor so far (requires CountLoads).
+// link of the given processor while counting was enabled. It panics if
+// counting was never enabled (a silent zero would be misleading).
 func (n *Net) LinkLoad(rank, link int) int64 {
 	if n.loads == nil {
-		return 0
+		panic("engine: LinkLoad without SetCountLoads(true)")
 	}
 	return n.loads[rank*2*n.Shape.Dim+link]
 }
@@ -100,8 +125,12 @@ type LoadProfile struct {
 	ByDim []int64
 }
 
-// LoadProfile computes the congestion summary (requires CountLoads).
+// LoadProfile computes the congestion summary. It panics if counting was
+// never enabled (see SetCountLoads).
 func (n *Net) LoadProfile() LoadProfile {
+	if n.loads == nil {
+		panic("engine: LoadProfile without SetCountLoads(true)")
+	}
 	p := LoadProfile{ByDim: make([]int64, n.Shape.Dim)}
 	links := 2 * n.Shape.Dim
 	for i, v := range n.loads {
@@ -181,6 +210,10 @@ type RouteOpts struct {
 	// quiescent, so it may inspect state (e.g. Snapshot) but must not
 	// modify it.
 	OnStep func(step int)
+	// Pool, if non-nil, supplies the workers for this phase, overriding
+	// Net.Pool. When both are nil Route creates a transient pool sized by
+	// Net.Workers and closes it when the phase ends.
+	Pool *Pool
 }
 
 // RouteResult reports the outcome of a routing phase.
@@ -195,6 +228,12 @@ type RouteResult struct {
 	MaxOvershoot int
 	SumOvershoot int // for averaging
 	MaxQueue     int // high-water mark of per-processor occupancy this phase
+
+	// Engine throughput counters (wall-clock, not simulated time; they
+	// vary run to run and are excluded from determinism guarantees).
+	Workers    int           // worker count the phase ran with
+	Elapsed    time.Duration // wall-clock duration of the step loop
+	WorkerBusy time.Duration // shard-work time summed over all workers
 }
 
 // AvgOvershoot returns the mean overshoot per delivered packet.
@@ -205,12 +244,43 @@ func (r RouteResult) AvgOvershoot() float64 {
 	return float64(r.SumOvershoot) / float64(r.Delivered)
 }
 
+// StepsPerSec returns the simulated-steps-per-wall-second throughput of
+// the phase.
+func (r RouteResult) StepsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.Elapsed.Seconds()
+}
+
+// PacketsPerStep returns the mean number of packet moves per simulated
+// step (link traversals per step).
+func (r RouteResult) PacketsPerStep() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Hops) / float64(r.Steps)
+}
+
+// WorkerUtilization returns the fraction of the phase's worker-seconds
+// spent executing shard work: WorkerBusy / (Workers * Elapsed). Low
+// values mean the phase was dominated by idle workers or barrier
+// overhead rather than packet movement.
+func (r RouteResult) WorkerUtilization() float64 {
+	if r.Workers == 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.WorkerBusy) / (float64(r.Workers) * float64(r.Elapsed))
+}
+
 // Route activates every held packet whose Dst differs from its current
 // processor and runs the synchronous step loop under the given policy
 // until all of them are delivered. It returns the phase statistics.
 func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	var res RouteResult
+	st := newStepState(n, policy)
 	active := 0
+	actQueue := 0
 	for r := range n.procs {
 		pr := &n.procs[r]
 		kept := pr.held[:0]
@@ -229,37 +299,51 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			active++
 		}
 		pr.held = kept
+		if len(pr.moving) > 0 {
+			// Between phases every moving queue is empty, so this is the
+			// empty -> non-empty transition for the processor.
+			st.movingProcs[r>>st.shardShift]++
+		}
+		// Occupancy high-water mark: a processor can be fullest at
+		// activation and only drain afterwards, so sample before the
+		// step loop ever moves a packet.
+		if q := len(pr.moving) + len(pr.held); q > actQueue {
+			actQueue = q
+		}
 	}
 	if active == 0 {
 		return res, nil
 	}
+	res.MaxQueue = actQueue
 
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 64*n.Shape.Diameter() + 1024
 	}
 
-	workers := n.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := opts.Pool
+	if pool == nil {
+		pool = n.Pool
 	}
-	if workers > len(n.procs) {
-		workers = len(n.procs)
+	if pool == nil {
+		transient := NewPool(n.Workers)
+		defer transient.Close()
+		pool = transient
 	}
+	st.attach(pool)
+	res.Workers = pool.Workers()
 
-	if n.CountLoads && n.loads == nil {
-		n.loads = make([]int64, len(n.procs)*2*n.Shape.Dim)
-	}
-	st := &stepState{net: n, policy: policy, workers: workers}
+	start := time.Now()
 	for active > 0 {
 		if res.Steps >= maxSteps {
+			res.Elapsed = time.Since(start)
+			res.WorkerBusy = st.busyTotal()
 			return res, fmt.Errorf("engine: routing exceeded %d steps with %d packets undelivered", maxSteps, active)
 		}
 		n.clock++
 		res.Steps++
-		st.run(phaseSend)
-		st.run(phaseDeliver)
-		for w := 0; w < workers; w++ {
+		st.step()
+		for w := 0; w < st.workers; w++ {
 			active -= st.delivered[w]
 			res.Delivered += st.delivered[w]
 			res.SumOvershoot += st.sumOver[w]
@@ -275,133 +359,257 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			opts.OnStep(res.Steps)
 		}
 	}
+	res.Elapsed = time.Since(start)
+	res.WorkerBusy = st.busyTotal()
 	if res.MaxQueue > n.MaxQueue {
 		n.MaxQueue = res.MaxQueue
 	}
 	return res, nil
 }
 
-type stepPhase int
-
-const (
-	phaseSend stepPhase = iota
-	phaseDeliver
-)
-
-// stepState carries the per-step scratch shared by shard workers.
+// stepState carries the per-phase scratch shared by shard workers: the
+// shard layout, the active-shard bookkeeping, and per-worker statistic
+// slots (merged deterministically by the coordinator after each step).
 type stepState struct {
-	net     *Net
-	policy  Policy
-	workers int
+	net    *Net
+	policy Policy
+	pool   *Pool
 
+	// Shard layout: processors are grouped into contiguous shards of
+	// 1<<shardShift ranks; a shard is the unit of scheduling and of
+	// active-set tracking.
+	shardShift uint
+	shardSize  int
+	numShards  int
+
+	// movingProcs counts, per shard, the processors whose moving queue is
+	// non-empty. It is only ever mutated by the worker that owns the
+	// shard in the current phase, and read by the coordinator between
+	// barriers, so no atomics are needed.
+	movingProcs []int32
+
+	// pending flags, per shard, that some processor in the shard has an
+	// incoming packet parked in a neighbor's out slot. Senders in other
+	// shards set flags concurrently during the send phase (atomically);
+	// the coordinator harvests and clears them between barriers.
+	pending []int32
+	// pendingProc flags individual receivers the same way, so the
+	// delivery phase skips the (expensive) neighbor scan for every
+	// processor that is not receiving this step. A receiver clears its
+	// own flag as it processes its pulls.
+	pendingProc []int32
+
+	// divs caches side^(d-1-dim) per dimension: the rank stride of one
+	// hop along dim, precomputed so the hot loops never call Ipow.
+	divs []int
+
+	sendList    []int32 // scratch: shards scheduled for the current send phase
+	deliverList []int32 // scratch: shards scheduled for the current delivery phase
+	curList     []int32 // list the workers are currently draining
+	curSend     bool
+	next        atomic.Int64 // work-stealing cursor into curList
+
+	workers   int
 	delivered []int
 	sumOver   []int
 	maxOver   []int
 	maxQueue  []int
 	hops      []int
-
-	panicMu  sync.Mutex
-	panicVal interface{}
+	busy      []int64 // nanoseconds of shard work, per worker
 }
 
-// run executes one phase of one step across all shards and waits for
-// completion.
-func (st *stepState) run(ph stepPhase) {
-	n := st.net
-	if st.delivered == nil {
-		st.delivered = make([]int, st.workers)
-		st.sumOver = make([]int, st.workers)
-		st.maxOver = make([]int, st.workers)
-		st.maxQueue = make([]int, st.workers)
-		st.hops = make([]int, st.workers)
+func newStepState(n *Net, policy Policy) *stepState {
+	st := &stepState{net: n, policy: policy}
+	// Shards default to 128 processors and shrink (to a floor of 16) on
+	// small networks so the active-set tracking still has resolution.
+	st.shardShift = 7
+	for st.shardShift > 4 && len(n.procs)>>st.shardShift < 8 {
+		st.shardShift--
 	}
-	if ph == phaseSend {
-		for w := 0; w < st.workers; w++ {
-			st.delivered[w] = 0
-			st.sumOver[w] = 0
-			st.maxOver[w] = 0
-			st.maxQueue[w] = 0
-			st.hops[w] = 0
-		}
+	st.shardSize = 1 << st.shardShift
+	st.numShards = (len(n.procs) + st.shardSize - 1) >> st.shardShift
+	st.movingProcs = make([]int32, st.numShards)
+	st.pending = make([]int32, st.numShards)
+	st.pendingProc = make([]int32, len(n.procs))
+	st.sendList = make([]int32, 0, st.numShards)
+	st.deliverList = make([]int32, 0, st.numShards)
+	st.divs = make([]int, n.Shape.Dim)
+	div := 1
+	for dim := n.Shape.Dim - 1; dim >= 0; dim-- {
+		st.divs[dim] = div
+		div *= n.Shape.Side
 	}
-	total := len(n.procs)
-	chunk := (total + st.workers - 1) / st.workers
-	var wg sync.WaitGroup
+	return st
+}
+
+// attach binds the phase to its worker pool and sizes the per-worker
+// statistic slots.
+func (st *stepState) attach(pool *Pool) {
+	st.pool = pool
+	st.workers = pool.Workers()
+	st.delivered = make([]int, st.workers)
+	st.sumOver = make([]int, st.workers)
+	st.maxOver = make([]int, st.workers)
+	st.maxQueue = make([]int, st.workers)
+	st.hops = make([]int, st.workers)
+	st.busy = make([]int64, st.workers)
+}
+
+func (st *stepState) busyTotal() time.Duration {
+	var total int64
+	for _, b := range st.busy {
+		total += b
+	}
+	return time.Duration(total)
+}
+
+// step advances the simulation by one synchronous step: a send phase over
+// the shards that hold moving packets, a barrier, and a delivery phase
+// over the shards flagged as receivers during the send.
+func (st *stepState) step() {
 	for w := 0; w < st.workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			// Re-panic on the caller's goroutine: engine panics signal
-			// algorithm bugs and must be catchable by tests.
-			defer func() {
-				if r := recover(); r != nil {
-					st.panicMu.Lock()
-					if st.panicVal == nil {
-						st.panicVal = r
-					}
-					st.panicMu.Unlock()
-				}
-			}()
-			if ph == phaseSend {
-				st.sendRange(lo, hi)
-			} else {
-				st.deliverRange(w, lo, hi)
-			}
-		}(w, lo, hi)
+		st.delivered[w] = 0
+		st.sumOver[w] = 0
+		st.maxOver[w] = 0
+		st.maxQueue[w] = 0
+		st.hops[w] = 0
 	}
-	wg.Wait()
-	if st.panicVal != nil {
-		panic(st.panicVal)
+	st.sendList = st.sendList[:0]
+	for sh, c := range st.movingProcs {
+		if c > 0 {
+			st.sendList = append(st.sendList, int32(sh))
+		}
 	}
+	st.runPhase(st.sendList, true)
+	st.deliverList = st.deliverList[:0]
+	for sh := range st.pending {
+		if st.pending[sh] != 0 {
+			st.pending[sh] = 0
+			st.deliverList = append(st.deliverList, int32(sh))
+		}
+	}
+	st.runPhase(st.deliverList, false)
 }
 
-// sendRange implements the send phase for processors [lo, hi): each
+// runPhase drains the shard list across the pool's workers via
+// work-stealing. Shards touch disjoint state within a phase, so the
+// assignment of shards to workers cannot affect the outcome; the
+// per-worker statistic slots are merged with commutative operations.
+func (st *stepState) runPhase(list []int32, send bool) {
+	if len(list) == 0 {
+		return
+	}
+	st.curList = list
+	st.curSend = send
+	st.next.Store(0)
+	if st.workers == 1 || len(list) == 1 {
+		// Inline fast path: no reason to cross the pool barrier when the
+		// caller's worker slot can drain the whole list alone.
+		st.phaseWorker(0)
+		return
+	}
+	st.pool.Run(st.phaseWorker)
+}
+
+func (st *stepState) phaseWorker(w int) {
+	t0 := time.Now()
+	nprocs := len(st.net.procs)
+	for {
+		i := st.next.Add(1) - 1
+		if i >= int64(len(st.curList)) {
+			break
+		}
+		sh := int(st.curList[i])
+		lo := sh << st.shardShift
+		hi := lo + st.shardSize
+		if hi > nprocs {
+			hi = nprocs
+		}
+		if st.curSend {
+			st.sendShard(sh, lo, hi)
+		} else {
+			st.deliverShard(w, sh, lo, hi)
+		}
+	}
+	st.busy[w] += time.Since(t0).Nanoseconds()
+}
+
+// sendShard implements the send phase for processors [lo, hi): each
 // processor lets every moving packet request a link and grants each link
 // to the highest-priority requester (farthest distance to go, then lowest
-// id — the paper's contention rule).
-func (st *stepState) sendRange(lo, hi int) {
+// id — the paper's contention rule). Receiving shards are flagged for the
+// delivery phase.
+func (st *stepState) sendShard(sh, lo, hi int) {
 	n := st.net
+	emptied := int32(0)
 	for r := lo; r < hi; r++ {
 		pr := &n.procs[r]
 		if len(pr.moving) == 0 {
 			continue
 		}
-		for i := range pr.out {
-			pr.out[i] = nil
-		}
-		// Grant each link to the best requester.
+		// Grant each link to the best requester. The out slots are
+		// already nil: the delivery phase consumes every granted slot
+		// (each receiver is flagged at grant time), so slots never
+		// survive a step.
+		granted := 0
 		for _, p := range pr.moving {
 			l := st.policy.NextLink(r, p)
 			if l < 0 {
 				continue
 			}
 			cur := pr.out[l]
-			if cur == nil || p.togo > cur.togo || (p.togo == cur.togo && p.ID < cur.ID) {
+			if cur == nil {
+				granted++
+				pr.out[l] = p
+			} else if p.togo > cur.togo || (p.togo == cur.togo && p.ID < cur.ID) {
 				pr.out[l] = p
 			}
 		}
-		// Remove winners from the moving queue.
-		if !anySet(pr.out) {
+		if granted == 0 {
 			continue
 		}
+		// Validate the grants, stamp the winners for removal below, and
+		// flag each receiver (and its shard) for the delivery phase; the
+		// receiver may live in a shard with no moving packets of its own.
+		side := n.Shape.Side
 		for l, p := range pr.out {
-			if p != nil {
-				if _, ok := n.Shape.Step(r, LinkDim(l), LinkDir(l)); !ok {
+			if p == nil {
+				continue
+			}
+			p.sentStep = n.clock
+			div := st.divs[LinkDim(l)]
+			c := (r / div) % side
+			recv := r
+			switch {
+			case LinkDir(l) > 0:
+				if c < side-1 {
+					recv = r + div
+				} else if n.Shape.Torus {
+					recv = r - (side-1)*div
+				} else {
+					panic(fmt.Sprintf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
+				}
+			default:
+				if c > 0 {
+					recv = r - div
+				} else if n.Shape.Torus {
+					recv = r + (side-1)*div
+				} else {
 					panic(fmt.Sprintf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
 				}
 			}
+			if atomic.LoadInt32(&st.pendingProc[recv]) == 0 {
+				atomic.StoreInt32(&st.pendingProc[recv], 1)
+				dest := recv >> st.shardShift
+				if atomic.LoadInt32(&st.pending[dest]) == 0 {
+					atomic.StoreInt32(&st.pending[dest], 1)
+				}
+			}
 		}
+		// Remove winners (stamped above) from the moving queue.
 		kept := pr.moving[:0]
 		for _, p := range pr.moving {
-			if !isWinner(pr.out, p) {
+			if p.sentStep != n.clock {
 				kept = append(kept, p)
 			}
 		}
@@ -410,42 +618,55 @@ func (st *stepState) sendRange(lo, hi int) {
 			pr.moving[i] = nil
 		}
 		pr.moving = kept
-	}
-}
-
-func anySet(out []*Packet) bool {
-	for _, p := range out {
-		if p != nil {
-			return true
+		if len(kept) == 0 {
+			emptied++
 		}
 	}
-	return false
-}
-
-func isWinner(out []*Packet, p *Packet) bool {
-	for _, q := range out {
-		if q == p {
-			return true
-		}
+	if emptied > 0 {
+		st.movingProcs[sh] -= emptied
 	}
-	return false
 }
 
-// deliverRange implements the delivery phase for processors [lo, hi):
+// deliverShard implements the delivery phase for processors [lo, hi):
 // each processor pulls the packet (if any) from each neighboring
-// processor's outgoing slot that points at it.
-func (st *stepState) deliverRange(w, lo, hi int) {
+// processor's outgoing slot that points at it. On a 2-side torus both
+// directions of a dimension reach the same neighbor; the two pulls then
+// drain that neighbor's two distinct link slots, modeling the double
+// edge.
+func (st *stepState) deliverShard(w, sh, lo, hi int) {
 	n := st.net
 	s := n.Shape
+	side := s.Side
 	for r := lo; r < hi; r++ {
+		if st.pendingProc[r] == 0 {
+			continue
+		}
+		st.pendingProc[r] = 0
 		pr := &n.procs[r]
+		wasEmpty := len(pr.moving) == 0
 		for dim := 0; dim < s.Dim; dim++ {
+			div := st.divs[dim]
+			c := (r / div) % side
 			for _, dir := range [2]int{-1, 1} {
 				// The neighbor one hop in direction -dir sends to us via
 				// its link (dim, dir).
-				sender, ok := s.Step(r, dim, -dir)
-				if !ok || sender == r {
-					continue
+				sender := r
+				if dir > 0 { // sender sits one hop below along dim
+					if c > 0 {
+						sender = r - div
+					} else if s.Torus {
+						sender = r + (side-1)*div
+					} else {
+						continue
+					}
+				} else { // sender sits one hop above along dim
+					if c < side-1 {
+						sender = r + div
+					} else if s.Torus {
+						sender = r - (side-1)*div
+					} else {
+						continue
+					}
 				}
 				slot := LinkFor(dim, dir)
 				p := n.procs[sender].out[slot]
@@ -477,8 +698,14 @@ func (st *stepState) deliverRange(w, lo, hi int) {
 				}
 			}
 		}
+		// Occupancy can only grow by receiving (or at activation), so
+		// sampling receivers right after their pulls preserves the exact
+		// high-water mark.
 		if q := len(pr.moving) + len(pr.held); q > st.maxQueue[w] {
 			st.maxQueue[w] = q
+		}
+		if wasEmpty && len(pr.moving) > 0 {
+			st.movingProcs[sh]++
 		}
 	}
 }

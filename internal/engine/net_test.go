@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -321,5 +323,234 @@ func TestTorusWrapRouting(t *testing.T) {
 	}
 	if res.Steps != 1 {
 		t.Errorf("wrap routing took %d steps, want 1", res.Steps)
+	}
+}
+
+// TestRouteDeterministicAcrossWorkers is the cross-worker determinism
+// contract: the full RouteResult (minus wall-clock fields) and the final
+// packet placement must be identical for every worker count, on meshes
+// and tori. Run it under -race to also exercise the memory model.
+func TestRouteDeterministicAcrossWorkers(t *testing.T) {
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0), 5}
+	shapes := []grid.Shape{grid.New(3, 6), grid.NewTorus(3, 6), grid.NewTorus(3, 2)}
+	for _, s := range shapes {
+		run := func(workers int) (RouteResult, string) {
+			net := New(s)
+			net.Workers = workers
+			rng := xmath.NewRNG(99)
+			dsts := rng.Perm(s.N())
+			pkts := make([]*Packet, s.N())
+			for i := range pkts {
+				pkts[i] = net.NewPacket(int64(i), i)
+				pkts[i].Dst = dsts[i]
+				pkts[i].Class = i % s.Dim
+			}
+			net.Inject(pkts)
+			res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Workers != workers {
+				t.Errorf("%v workers=%d: RouteResult.Workers = %d", s, workers, res.Workers)
+			}
+			var fp strings.Builder
+			for r := 0; r < s.N(); r++ {
+				fmt.Fprintf(&fp, "%d:", r)
+				for _, p := range net.Held(r) {
+					fmt.Fprintf(&fp, " %d(src %d)", p.ID, p.Src)
+				}
+				fp.WriteByte('\n')
+			}
+			return normalizeResult(res), fp.String()
+		}
+		baseRes, baseFP := run(workerCounts[0])
+		for _, w := range workerCounts[1:] {
+			res, fp := run(w)
+			if res != baseRes {
+				t.Errorf("%v: RouteResult differs between %d and %d workers:\n%+v\n%+v",
+					s, workerCounts[0], w, baseRes, res)
+			}
+			if fp != baseFP {
+				t.Errorf("%v: final placement differs between %d and %d workers", s, workerCounts[0], w)
+			}
+		}
+	}
+}
+
+// TestMaxQueueCountsInitialOccupancy is the regression test for the
+// under-count bug: occupancy used to be sampled only during the deliver
+// phase, after the first send phase had already stripped each link winner
+// from its moving queue — so the stack a phase starts with was never
+// observed at full height.
+func TestMaxQueueCountsInitialOccupancy(t *testing.T) {
+	s := grid.New(2, 4)
+	net := New(s)
+	var pkts []*Packet
+	// Three movers stacked on rank 0, draining along row 0. After the
+	// first send phase the stack is already down to two, and no receiver
+	// ever holds more than one packet, so deliver-phase sampling alone
+	// tops out at 2.
+	for _, dst := range []int{1, 2, 3} {
+		p := net.NewPacket(int64(dst), 0)
+		p.Dst = dst
+		pkts = append(pkts, p)
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueue != 3 {
+		t.Errorf("MaxQueue = %d, want 3 (the stack at phase start)", res.MaxQueue)
+	}
+	if net.MaxQueue != 3 {
+		t.Errorf("Net.MaxQueue = %d, want 3", net.MaxQueue)
+	}
+}
+
+// TestMaxQueueSeesAtRestPile: the deliver phase now visits only
+// processors flagged as receivers, so a pile of at-rest packets that
+// never receives anything is observable only through the activation
+// sweep. Guard that the sweep covers it.
+func TestMaxQueueSeesAtRestPile(t *testing.T) {
+	s := grid.New(2, 4)
+	net := New(s)
+	var pkts []*Packet
+	mover := net.NewPacket(0, 0)
+	mover.Dst = 1
+	pkts = append(pkts, mover)
+	// Five at-rest packets parked on rank (3,0), which the mover never
+	// visits.
+	rest := s.Rank([]int{3, 0})
+	for i := 0; i < 5; i++ {
+		pkts = append(pkts, net.NewPacket(0, rest)) // Dst defaults to Src: stays held
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueue != 5 {
+		t.Errorf("MaxQueue = %d, want 5 (the at-rest pile)", res.MaxQueue)
+	}
+}
+
+// TestTwoSideTorusDoubleEdge: on a side-2 torus both directions out of a
+// node reach the same neighbor over two distinct physical links. Two
+// packets must be able to cross in the same step, one per link.
+func TestTwoSideTorusDoubleEdge(t *testing.T) {
+	s := grid.NewTorus(1, 2)
+	net := New(s)
+	net.SetCountLoads(true)
+	a := net.NewPacket(1, 0)
+	a.Dst = 1
+	b := net.NewPacket(2, 0)
+	b.Dst = 1
+	net.Inject([]*Packet{a, b})
+	split := policyFunc(func(rank int, p *Packet) int {
+		if p == a {
+			return LinkFor(0, 1)
+		}
+		return LinkFor(0, -1)
+	})
+	res, err := net.Route(split, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || res.Delivered != 2 || res.Hops != 2 {
+		t.Errorf("double-edge crossing: steps=%d delivered=%d hops=%d, want 1/2/2",
+			res.Steps, res.Delivered, res.Hops)
+	}
+	if len(net.Held(1)) != 2 {
+		t.Errorf("rank 1 holds %d packets, want 2", len(net.Held(1)))
+	}
+	// Each physical link of the double edge carried exactly one packet.
+	if got := net.LinkLoad(0, LinkFor(0, 1)); got != 1 {
+		t.Errorf("load on (0,+1) link = %d, want 1", got)
+	}
+	if got := net.LinkLoad(0, LinkFor(0, -1)); got != 1 {
+		t.Errorf("load on (0,-1) link = %d, want 1", got)
+	}
+	prof := net.LoadProfile()
+	if prof.Total != 2 || prof.Max != 1 || prof.ByDim[0] != 2 {
+		t.Errorf("LoadProfile = %+v, want Total=2 Max=1 ByDim=[2]", prof)
+	}
+}
+
+// TestTwoSideTorusAntipodalPermutation routes every packet to the
+// opposite corner of a 2^3 torus: all 8 packets move simultaneously with
+// zero contention, so steps, hops, and the load profile are all exact.
+func TestTwoSideTorusAntipodalPermutation(t *testing.T) {
+	s := grid.NewTorus(3, 2)
+	net := New(s)
+	net.SetCountLoads(true)
+	pkts := make([]*Packet, s.N())
+	for r := 0; r < s.N(); r++ {
+		c := make([]int, s.Dim)
+		for dim := 0; dim < s.Dim; dim++ {
+			c[dim] = 1 - s.Coord(r, dim)
+		}
+		pkts[r] = net.NewPacket(int64(r), r)
+		pkts[r].Dst = s.Rank(c)
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 3 || res.Delivered != 8 || res.Hops != 24 || res.MaxOvershoot != 0 {
+		t.Errorf("antipodal perm: steps=%d delivered=%d hops=%d overshoot=%d, want 3/8/24/0",
+			res.Steps, res.Delivered, res.Hops, res.MaxOvershoot)
+	}
+	for r := 0; r < s.N(); r++ {
+		held := net.Held(r)
+		if len(held) != 1 || held[0].Dst != r {
+			t.Fatalf("rank %d holds %d packets after antipodal perm", r, len(held))
+		}
+	}
+	// Dimension-order routing uses each node's +1 link in each dimension
+	// exactly once: 24 loaded links, none loaded twice.
+	prof := net.LoadProfile()
+	if prof.Total != 24 || prof.Max != 1 {
+		t.Errorf("LoadProfile Total=%d Max=%d, want 24/1", prof.Total, prof.Max)
+	}
+	for dim := 0; dim < s.Dim; dim++ {
+		if prof.ByDim[dim] != 8 {
+			t.Errorf("ByDim[%d] = %d, want 8", dim, prof.ByDim[dim])
+		}
+	}
+}
+
+// TestRouteThroughputCounters sanity-checks the wall-clock side of
+// RouteResult: populated, positive, and internally consistent.
+func TestRouteThroughputCounters(t *testing.T) {
+	s := grid.New(3, 6)
+	net := New(s)
+	rng := xmath.NewRNG(7)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	for i := range pkts {
+		pkts[i] = net.NewPacket(0, i)
+		pkts[i].Dst = dsts[i]
+	}
+	net.Inject(pkts)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", res.Elapsed)
+	}
+	if res.Workers < 1 {
+		t.Errorf("Workers = %d, want >= 1", res.Workers)
+	}
+	if res.StepsPerSec() <= 0 {
+		t.Errorf("StepsPerSec = %v, want > 0", res.StepsPerSec())
+	}
+	if want := float64(res.Hops) / float64(res.Steps); res.PacketsPerStep() != want {
+		t.Errorf("PacketsPerStep = %v, want %v", res.PacketsPerStep(), want)
+	}
+	if u := res.WorkerUtilization(); u < 0 || u > 1 {
+		t.Errorf("WorkerUtilization = %v, want within [0, 1]", u)
 	}
 }

@@ -1,20 +1,3 @@
-// Package engine implements the synchronous multi-packet mesh model of
-// the paper: N = n^d processors operating in lock-step, each holding a
-// small number of packets, each able to transmit one packet per directed
-// link per step.
-//
-// The engine separates what the machine does (move packets along links
-// under a routing policy, one per link per step) from what the algorithms
-// decide (destinations, routing classes, local rearrangements). Global
-// routing phases are simulated step-accurately; local "oracle" phases
-// (block-local sorts, whose o(n) cost the paper treats as a black box)
-// rearrange held packets atomically and advance the clock by a charged
-// cost (see internal/core).
-//
-// The step loop is sharded over a pool of goroutines with two barriers
-// per step. Shard workers only ever write processor-owned state in the
-// send phase and receiver-owned state in the delivery phase, so parallel
-// execution is observationally identical to sequential execution.
 package engine
 
 // Packet is a unit of routable data. Exactly one goroutine touches a
@@ -40,6 +23,10 @@ type Packet struct {
 	// togo is the remaining distance to Dst, maintained by the engine
 	// during a routing phase.
 	togo int
+	// sentStep is the clock value of the last step this packet won a
+	// link grant; the send phase uses it to strip winners from the
+	// moving queue without re-scanning the out slots.
+	sentStep int
 	// startStep and startDist record when and how far from its
 	// destination the packet was activated, for distance-optimality
 	// accounting.

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a persistent set of worker goroutines that execute the shard
+// work of routing phases. A Pool replaces the per-step goroutine spawning
+// of the naive step loop: workers are launched once, park on a channel
+// barrier between phases, and are woken twice per simulated step (once
+// for the send phase, once for the delivery phase).
+//
+// A single Pool may be shared by any number of Net values and routing
+// phases, as long as Run is never called concurrently (routing phases are
+// sequential by construction, so sharing one pool across the phases of a
+// multi-phase algorithm — or across algorithms — is the intended use).
+// Create one with NewPool, attach it via Net.Pool or RouteOpts.Pool, and
+// release its goroutines with Close when done. A nil *Pool is valid
+// everywhere a pool is accepted and means "let Route manage a transient
+// pool for the phase".
+//
+// The calling goroutine participates as worker 0, so a 1-worker pool
+// performs no channel operations and spawns no goroutines at all.
+type Pool struct {
+	workers int
+
+	fn    func(w int)     // body of the current Run, read by workers
+	start []chan struct{} // one wake channel per spawned worker (1..workers-1)
+	done  chan struct{}   // completion signals from spawned workers
+
+	mu       sync.Mutex
+	panicVal interface{}
+	closed   bool
+}
+
+// NewPool starts a pool with the given number of workers; 0 or negative
+// means GOMAXPROCS. The pool holds workers-1 parked goroutines (the
+// caller of Run acts as the remaining worker).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, done: make(chan struct{}, workers)}
+	p.start = make([]chan struct{}, workers-1)
+	for i := range p.start {
+		p.start[i] = make(chan struct{}, 1)
+		go p.worker(i + 1)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (including the caller slot).
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(w) once for every worker index w in [0, Workers()) and
+// returns after all of them complete. fn(0) runs on the calling
+// goroutine. A panic in any worker is re-raised on the caller after the
+// barrier (workers themselves survive and stay parked for the next Run).
+// Run must not be called concurrently with itself or Close.
+func (p *Pool) Run(fn func(w int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	if p.closed {
+		panic("engine: Run on closed Pool")
+	}
+	p.fn = fn
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	// Participate as worker 0, but always drain the barrier even if our
+	// own share panics, so the pool stays consistent for the next Run.
+	var callerPanic interface{}
+	func() {
+		defer func() { callerPanic = recover() }()
+		fn(0)
+	}()
+	for i := 1; i < p.workers; i++ {
+		<-p.done
+	}
+	p.fn = nil
+	if callerPanic != nil {
+		panic(callerPanic)
+	}
+	p.mu.Lock()
+	pv := p.panicVal
+	p.panicVal = nil
+	p.mu.Unlock()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// Close releases the pool's goroutines. The pool must be idle (no Run in
+// flight). Close is idempotent; Run after Close panics. Closing a nil
+// pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	for _, c := range p.start {
+		close(c)
+	}
+}
+
+func (p *Pool) worker(w int) {
+	for range p.start[w-1] {
+		func() {
+			// Record panics instead of crashing the process: engine panics
+			// signal algorithm bugs and must be catchable by the Route
+			// caller (Run re-raises them there).
+			defer func() {
+				if r := recover(); r != nil {
+					p.mu.Lock()
+					if p.panicVal == nil {
+						p.panicVal = r
+					}
+					p.mu.Unlock()
+				}
+			}()
+			p.fn(w)
+		}()
+		p.done <- struct{}{}
+	}
+}

@@ -20,6 +20,9 @@ type BatchOpts struct {
 	Seed      uint64 // seed for ClassRandom
 	MaxSteps  int    // engine safety limit; 0 for default
 	Workers   int    // engine shard workers; 0 for GOMAXPROCS
+	// Pool optionally supplies a persistent engine worker pool shared
+	// across problems; nil means a transient pool per phase.
+	Pool *engine.Pool
 }
 
 // RunProblem injects the routing problem into a fresh network of the
@@ -30,6 +33,7 @@ type BatchOpts struct {
 func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteResult, *engine.Net, error) {
 	net := engine.New(s)
 	net.Workers = opts.Workers
+	net.Pool = opts.Pool
 	pkts := make([]*engine.Packet, prob.Size())
 	for i := range pkts {
 		p := net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
