@@ -7,6 +7,13 @@
 //	meshsort -alg torus -d 3 -n 16 -b 8 -seed 7
 //	meshsort -alg route -d 3 -n 16 -b 4
 //	meshsort -alg select -d 3 -n 16 -b 4
+//	meshsort -alg greedyroute -d 3 -n 16 -faults 0.01 -fault-seed 7
+//
+// The -faults flag injects a deterministic random fault plan (a
+// fraction of the links permanently failed) and switches routing to the
+// fault-aware detouring policy; see the engine package docs for the
+// fault model. -patience and -paranoid expose the engine's stranding
+// budget and invariant checker.
 //
 // Algorithms: simple (Thm 3.1), copy (Thm 3.2), torussort (Thm 3.3),
 // full (the 2D baseline), oddeven (transposition-sort baseline), route
@@ -15,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +51,11 @@ func main() {
 		pperm = flag.String("perm", "random", "permutation for routing algorithms: random|reversal|transpose|hotspot")
 		heat  = flag.Bool("heat", false, "print an ASCII congestion heatmap after greedyroute (2-d meshes only)")
 		mode  = flag.String("classes", "local", "greedyroute class assignment: zero|random|local (zero = plain greedy)")
+
+		faults   = flag.Float64("faults", 0, "fraction of links to fail permanently (fault injection; 0 = perfect network)")
+		fseed    = flag.Uint64("fault-seed", 1, "seed of the random fault plan")
+		patience = flag.Int("patience", 0, "steps without progress before a packet is stranded (0 = auto when faults are on, negative = never)")
+		paranoid = flag.Bool("paranoid", false, "run the engine's per-step invariant checker (slow)")
 	)
 	flag.Parse()
 
@@ -55,11 +68,19 @@ func main() {
 	// One persistent worker pool serves every routing phase of the run.
 	pool := engine.NewPool(*work)
 	defer pool.Close()
+	fo := core.FaultOpts{Patience: *patience, Paranoid: *paranoid}
+	if *faults > 0 {
+		fo.Faults = engine.RandomFaultPlan(shape, *faults, *fseed)
+	}
 	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
-		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, Pool: pool}
+		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, Pool: pool,
+		FaultOpts: fo}
 	keys := core.RandomKeys(shape, max(1, *k), *seed+1)
 	D := shape.Diameter()
 	fmt.Printf("%v: N=%d D=%d block=%d\n", shape, shape.N(), D, *b)
+	if fo.Faults != nil {
+		fmt.Printf("fault injection: %v\n", fo.Faults)
+	}
 
 	switch *alg {
 	case "simple", "copy", "torussort", "full":
@@ -84,10 +105,15 @@ func main() {
 			res.Rounds, res.Sorted, float64(res.Rounds)/float64(D))
 	case "route":
 		prob := pickPerm(*pperm, shape, *seed)
-		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed, Workers: *work, Pool: pool}, prob)
+		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed,
+			Workers: *work, Pool: pool, FaultOpts: fo}, prob)
 		fail(err)
-		fmt.Printf("two-phase routing: %d routing steps (bound D+2nu = %d), nu=%d effective=%d, delivered=%v\n",
+		fmt.Printf("two-phase routing: %d routing steps (bound D+2nu = %d), nu=%d effective=%d, delivered=%v",
 			res.RouteSteps, res.Bound, res.Nu, res.EffectiveNu, res.Delivered)
+		if res.Stranded > 0 {
+			fmt.Printf(", stranded=%d", res.Stranded)
+		}
+		fmt.Println()
 		for _, ph := range res.Phases {
 			printPhase(ph)
 		}
@@ -111,10 +137,21 @@ func main() {
 		}
 		route.AssignClasses(shape, pkts, nil, cm, *b, *seed)
 		net.Inject(pkts)
-		res, err := net.Route(route.NewGreedy(shape), engine.RouteOpts{})
+		res, err := net.Route(fo.Policy(shape), fo.RouteOpts())
 		fail(err)
-		fmt.Printf("greedy routing of %s: %d steps (D=%d), max overshoot %d, max queue %d\n",
+		fmt.Printf("greedy routing of %s: %d steps (D=%d), max overshoot %d, max queue %d",
 			prob.Name, res.Steps, D, res.MaxOvershoot, res.MaxQueue)
+		if len(res.Stranded) > 0 {
+			fmt.Printf(", stranded %d", len(res.Stranded))
+		}
+		fmt.Println()
+		for i, d := range res.Stranded {
+			if i == 4 {
+				fmt.Printf("  ... and %d more\n", len(res.Stranded)-i)
+				break
+			}
+			fmt.Printf("  stranded: %v\n", d)
+		}
 		if *heat {
 			printHeatmap(net)
 		}
@@ -139,6 +176,9 @@ func printSort(res core.Result) {
 	fmt.Printf("  local (o(n))-charged steps: %d\n", res.OracleSteps)
 	fmt.Printf("  total: %d (%.3f x D), merge rounds: %d, max queue: %d\n",
 		res.TotalSteps, res.TotalRatio(), res.MergeRounds, res.MaxQueue)
+	if res.Stranded > 0 {
+		fmt.Printf("  stranded: %d packets parked by the patience budget (degraded run)\n", res.Stranded)
+	}
 	if res.MaxPairDist > 0 {
 		fmt.Printf("  max pair distance after center sort: %d (%.3f x D; Lemma 3.3/3.4 bound ~0.5)\n",
 			res.MaxPairDist, float64(res.MaxPairDist)/float64(D))
@@ -150,8 +190,12 @@ func printSort(res core.Result) {
 
 func printPhase(ph core.PhaseStat) {
 	if ph.Kind == "route" {
-		fmt.Printf("  phase %-22s %5d steps  maxdist=%d overshoot=%d maxqueue=%d\n",
-			ph.Name, ph.Steps, ph.MaxDist, ph.MaxOvershoot, ph.MaxQueue)
+		stranded := ""
+		if ph.Stranded > 0 {
+			stranded = fmt.Sprintf(" stranded=%d", ph.Stranded)
+		}
+		fmt.Printf("  phase %-22s %5d steps  maxdist=%d overshoot=%d maxqueue=%d%s\n",
+			ph.Name, ph.Steps, ph.MaxDist, ph.MaxOvershoot, ph.MaxQueue, stranded)
 	} else {
 		fmt.Printf("  phase %-22s %5d steps  (charged %s)\n", ph.Name, ph.Steps, ph.Kind)
 	}
@@ -211,11 +255,21 @@ func printHeatmap(net *engine.Net) {
 	}
 }
 
+// fail exits nonzero with a one-line diagnostic instead of printing
+// partial statistics. Degraded-routing aborts already carry their
+// stranded/stuck counts; the first stuck packet's diagnosis is appended
+// as the starting point for debugging.
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	var de *engine.DegradedError
+	if errors.As(err, &de) && len(de.Stuck) > 0 {
+		fmt.Fprintf(os.Stderr, "error: %v; first stuck: %v\n", err, de.Stuck[0])
+	} else {
+		fmt.Fprintln(os.Stderr, "error:", err)
+	}
+	os.Exit(1)
 }
 
 func max(a, b int) int {

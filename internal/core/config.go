@@ -18,6 +18,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/index"
+	"meshsort/internal/route"
 )
 
 // CostModel charges the o(n)-term local operations. Defaults correspond
@@ -48,6 +49,45 @@ func (c CostModel) mergeCost(d, b int) int {
 		f = 4
 	}
 	return f * d * b
+}
+
+// FaultOpts bundles the fault-injection and graceful-degradation
+// settings shared by Config and RouteConfig; the zero value means a
+// perfect network. When a plan is set, every routing phase of the run
+// consults it and the greedy policy is replaced by its fault-aware
+// detouring variant (route.FaultGreedy). Packets that still cannot reach
+// their destinations are stranded per engine.RouteOpts.Patience and
+// surface in the per-phase and total Stranded counts — a degraded run
+// completes instead of erroring, while livelocks and MaxSteps overruns
+// return *engine.DegradedError. Local oracle phases (block-local sorts,
+// merge cleanup) model perfect intra-block hardware and ignore the
+// plan, so a cleanup may even repair stranded keys' placement; the
+// Stranded counts are the degradation signal.
+type FaultOpts struct {
+	Faults     *engine.FaultPlan
+	Patience   int  // see engine.RouteOpts.Patience
+	NoProgress int  // see engine.RouteOpts.NoProgress
+	Paranoid   bool // per-step engine invariant checking
+}
+
+// RouteOpts returns the engine options shared by every routing phase of
+// a run, ready for per-phase fields to be filled in.
+func (f FaultOpts) RouteOpts() engine.RouteOpts {
+	return engine.RouteOpts{
+		Faults:     f.Faults,
+		Patience:   f.Patience,
+		NoProgress: f.NoProgress,
+		Paranoid:   f.Paranoid,
+	}
+}
+
+// Policy returns the routing policy for the shape: fault-aware detouring
+// when a plan is set, the plain greedy scheme otherwise.
+func (f FaultOpts) Policy(s grid.Shape) engine.Policy {
+	if f.Faults != nil {
+		return route.NewFaultGreedy(s, f.Faults)
+	}
+	return route.NewGreedy(s)
 }
 
 // Config describes one run of a sorting algorithm.
@@ -92,6 +132,8 @@ type Config struct {
 	Pool *engine.Pool
 
 	Cost CostModel
+
+	FaultOpts
 }
 
 func (c Config) k() int {
@@ -148,6 +190,7 @@ type PhaseStat struct {
 	MaxOvershoot int // max delivery slack beyond the packet's distance
 	MaxQueue     int // peak per-processor occupancy
 	Hops         int // total link traversals
+	Stranded     int // packets parked by the patience budget this phase
 
 	// Engine throughput for the phase (wall-clock; varies run to run):
 	StepsPerSec    float64 // simulated steps per wall-second
@@ -161,6 +204,7 @@ func routePhase(name string, rr engine.RouteResult) PhaseStat {
 		Name: name, Kind: "route", Steps: rr.Steps,
 		MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot,
 		MaxQueue: rr.MaxQueue, Hops: rr.Hops,
+		Stranded:       len(rr.Stranded),
 		StepsPerSec:    rr.StepsPerSec(),
 		PacketsPerStep: rr.PacketsPerStep(),
 		WorkerUtil:     rr.WorkerUtilization(),
@@ -177,6 +221,7 @@ type Result struct {
 	OracleSteps int // steps charged for local (oracle) phases
 	MergeRounds int // odd-even block merge rounds needed by the cleanup phase
 	MaxQueue    int // peak per-processor packet count across the run
+	Stranded    int // packets stranded by the patience budget, summed over phases
 
 	// MaxPairDist is CopySort/TorusSort specific: the maximum over all
 	// packets of min(dist(original, destination), dist(copy,
@@ -207,6 +252,7 @@ func (r Result) TotalRatio() float64 { return float64(r.TotalSteps) / float64(r.
 func (r *Result) addRoute(name string, rr engine.RouteResult) {
 	r.Phases = append(r.Phases, routePhase(name, rr))
 	r.RouteSteps += rr.Steps
+	r.Stranded += len(rr.Stranded)
 	if rr.MaxQueue > r.MaxQueue {
 		r.MaxQueue = rr.MaxQueue
 	}

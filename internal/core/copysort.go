@@ -5,7 +5,6 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
-	"meshsort/internal/route"
 	"meshsort/internal/xmath"
 )
 
@@ -89,7 +88,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	policy := route.NewGreedy(s)
+	policy := cfg.Policy(s)
 
 	// Step (1): local sort inside every block.
 	sorted := localSortBlocks(net, blocked, allBlocks(blocked), cfg, &res, "local-sort-1")
@@ -118,7 +117,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		}
 	}
 	net.Inject(copies)
-	rr, err := net.Route(policy, engine.RouteOpts{})
+	rr, err := net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 2: %w", name, err)
 	}
@@ -200,7 +199,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	if survivors != N {
 		return res, fmt.Errorf("core: %s pair resolution kept %d packets, want %d", name, survivors, N)
 	}
-	rr, err = net.Route(policy, engine.RouteOpts{})
+	rr, err = net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 4: %w", name, err)
 	}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/xmath"
+)
+
+// TestSimpleSortSurvivesLinkFailures: with 1% of edges permanently down
+// and the detour policy engaged, the full sorting pipeline still sorts —
+// every routing phase delivers around the failures.
+func TestSimpleSortSurvivesLinkFailures(t *testing.T) {
+	cfg := Config{Shape: grid.New(2, 16), BlockSide: 4, Seed: 3}
+	cfg.Faults = engine.RandomFaultPlan(cfg.Shape, 0.01, 21)
+	if cfg.Faults.DownEdges() == 0 {
+		t.Fatal("fault plan is empty; the test would be vacuous")
+	}
+	cfg.Paranoid = true
+	keys := make([]int64, cfg.Shape.N())
+	rng := xmath.NewRNG(9)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(1000))
+	}
+	res, err := SimpleSort(cfg, keys)
+	if err != nil {
+		t.Fatalf("faulted SimpleSort: %v", err)
+	}
+	if res.Stranded != 0 {
+		t.Fatalf("%d packets stranded; the detour policy should deliver all of them", res.Stranded)
+	}
+	if !res.Sorted {
+		t.Fatal("faulted SimpleSort did not sort")
+	}
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if res.Final[i] != want[i] {
+			t.Fatalf("final[%d] = %d, want %d", i, res.Final[i], want[i])
+		}
+	}
+	// Degraded runs must cost more than perfect ones only moderately.
+	base, err := SimpleSort(Config{Shape: cfg.Shape, BlockSide: 4, Seed: 3}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteSteps < base.RouteSteps {
+		t.Errorf("faulted run took fewer route steps (%d) than the perfect run (%d)",
+			res.RouteSteps, base.RouteSteps)
+	}
+}
+
+// TestTwoPhaseRouteSurvivesLinkFailures: the Section 5 router threads the
+// same fault machinery through RouteConfig.
+func TestTwoPhaseRouteSurvivesLinkFailures(t *testing.T) {
+	cfg := RouteConfig{Shape: grid.New(2, 16), BlockSide: 4, Seed: 1}
+	cfg.Faults = engine.RandomFaultPlan(cfg.Shape, 0.01, 21)
+	cfg.Paranoid = true
+	prob := perm.Random(cfg.Shape, xmath.NewRNG(2))
+	res, err := TwoPhaseRoute(cfg, prob)
+	if err != nil {
+		t.Fatalf("faulted TwoPhaseRoute: %v", err)
+	}
+	if res.Stranded != 0 || !res.Delivered {
+		t.Fatalf("stranded=%d delivered=%v, want a clean degraded delivery", res.Stranded, res.Delivered)
+	}
+}
+
+// TestSimpleSortCutDestinationDegrades: an unreachable processor cannot
+// crash or hang the pipeline — the run either strands the affected
+// packets (visible as Stranded > 0) or aborts with an error, always
+// terminating. Note the oracle phases (local sorts, merge cleanup) model
+// perfect intra-block hardware and ignore the fault plan, so the cleanup
+// may still repair the stranded keys' placement afterwards; the strand
+// counts are the degradation signal, not Sorted.
+func TestSimpleSortCutDestinationDegrades(t *testing.T) {
+	cfg := Config{Shape: grid.New(2, 8), BlockSide: 4, Seed: 3}
+	f := engine.NewFaultPlan(cfg.Shape)
+	f.FailProcessor(cfg.Shape.Rank([]int{3, 3}))
+	cfg.Faults = f
+	keys := make([]int64, cfg.Shape.N())
+	for i := range keys {
+		keys[i] = int64(i % 17)
+	}
+	res, err := SimpleSort(cfg, keys)
+	if err != nil {
+		// An abort is acceptable degradation; a panic would have failed
+		// the test harness already.
+		t.Logf("degraded with error (acceptable): %v", err)
+		return
+	}
+	if res.Stranded == 0 {
+		t.Error("dead processor but nothing stranded and no error")
+	}
+	for _, ph := range res.Phases {
+		if ph.Kind == "route" && ph.Steps >= 64*cfg.Shape.Diameter()+1024 {
+			t.Errorf("phase %q ran to the MaxSteps cliff (%d steps)", ph.Name, ph.Steps)
+		}
+	}
+}

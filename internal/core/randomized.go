@@ -6,7 +6,6 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/perm"
-	"meshsort/internal/route"
 	"meshsort/internal/xmath"
 )
 
@@ -57,7 +56,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	if _, err := makeInput(net, k, keys); err != nil {
 		return res, err
 	}
-	policy := route.NewGreedy(s)
+	policy := cfg.Policy(s)
 
 	// Step (1) is not needed in the randomized form (no local ranks are
 	// used for the spreading), but the packets still pay the local sort
@@ -75,7 +74,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 			}
 		}
 	}
-	rr, err := net.Route(policy, engine.RouteOpts{})
+	rr, err := net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: RandSimpleSort step 2: %w", err)
 	}
@@ -101,7 +100,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 			p.Class = rng.Intn(d)
 		}
 	}
-	rr, err = net.Route(policy, engine.RouteOpts{})
+	rr, err = net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: RandSimpleSort step 4: %w", err)
 	}
@@ -146,7 +145,7 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 		pkts[i] = net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
 	}
 	net.Inject(pkts)
-	policy := route.NewGreedy(s)
+	policy := cfg.Policy(s)
 
 	limit := D/2 + nu
 	for i, p := range pkts {
@@ -173,7 +172,7 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 	}
 	res.Bound = D + 2*res.EffectiveNu
 
-	rr, err := net.Route(policy, engine.RouteOpts{})
+	rr, err := net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: randomized routing phase 1: %w", err)
 	}
@@ -185,7 +184,7 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 		p.Dst = prob.Dst[i]
 		p.Class = rng.Intn(s.Dim)
 	}
-	rr, err = net.Route(policy, engine.RouteOpts{})
+	rr, err = net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: randomized routing phase 2: %w", err)
 	}

@@ -34,6 +34,8 @@ type RouteConfig struct {
 	// both routing phases; nil means a transient pool per phase.
 	Pool *engine.Pool
 	Cost CostModel
+
+	FaultOpts
 }
 
 func (c RouteConfig) nu() int {
@@ -56,6 +58,7 @@ type RouteAlgResult struct {
 	RouteSteps  int
 	OracleSteps int
 	MaxQueue    int
+	Stranded    int // packets stranded by the patience budget, summed over phases
 	Phases      []PhaseStat
 	Delivered   bool
 }
@@ -93,7 +96,7 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 		pkts[i] = p
 	}
 	net.Inject(pkts)
-	policy := route.NewGreedy(s)
+	policy := cfg.Policy(s)
 
 	// Phase 1 destination assignment. sizeOf caches |S_nu(X,Y)| and the
 	// per-pair slack; pick round-robins over the members.
@@ -174,12 +177,13 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 	res.OracleSteps += c
 	res.Phases = append(res.Phases, PhaseStat{Name: "spread-classes-1", Kind: "oracle", Steps: c})
 
-	rr, err := net.Route(policy, engine.RouteOpts{})
+	rr, err := net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: two-phase routing phase 1: %w", err)
 	}
 	res.Phases = append(res.Phases, routePhase("to-intermediate", rr))
 	res.RouteSteps += rr.Steps
+	res.Stranded += len(rr.Stranded)
 	if rr.MaxQueue > res.MaxQueue {
 		res.MaxQueue = rr.MaxQueue
 	}
@@ -196,23 +200,26 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 	res.OracleSteps += c
 	res.Phases = append(res.Phases, PhaseStat{Name: "spread-classes-2", Kind: "oracle", Steps: c})
 
-	rr, err = net.Route(policy, engine.RouteOpts{})
+	rr, err = net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: two-phase routing phase 2: %w", err)
 	}
 	res.Phases = append(res.Phases, routePhase("to-destination", rr))
 	res.RouteSteps += rr.Steps
+	res.Stranded += len(rr.Stranded)
 	if rr.MaxQueue > res.MaxQueue {
 		res.MaxQueue = rr.MaxQueue
 	}
 
 	res.TotalSteps = net.Clock()
+	// Delivered means every packet actually rests at its destination —
+	// a stranded packet is held wherever its patience ran out.
 	res.Delivered = true
-	for i, p := range pkts {
-		if p.Dst != prob.Dst[i] {
+	net.ForEachHeld(func(rank int, p *engine.Packet) {
+		if p.Dst != rank {
 			res.Delivered = false
 		}
-	}
+	})
 	return res, nil
 }
 

@@ -6,7 +6,6 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
-	"meshsort/internal/route"
 )
 
 // SelectResult reports a distributed selection run.
@@ -76,7 +75,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	if _, err := makeInput(net, 1, keys); err != nil {
 		return res, err
 	}
-	policy := route.NewGreedy(s)
+	policy := cfg.Policy(s)
 	sres := Result{}
 
 	// Phases (1)-(3) of SimpleSort: concentrate into C, sort locally.
@@ -89,7 +88,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 			p.Class = i % d
 		}
 	}
-	rr, err := net.Route(policy, engine.RouteOpts{})
+	rr, err := net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: select concentration: %w", err)
 	}
@@ -119,7 +118,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	// at most ~D/4 + o(n).
 	targetPkt.Dst = target
 	targetPkt.Class = 0
-	rr, err = net.Route(policy, engine.RouteOpts{})
+	rr, err = net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: select delivery: %w", err)
 	}

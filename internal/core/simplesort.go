@@ -5,7 +5,6 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
-	"meshsort/internal/route"
 	"meshsort/internal/xmath"
 )
 
@@ -83,7 +82,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	if _, err := makeInput(net, k, keys); err != nil {
 		return res, err
 	}
-	policy := route.NewGreedy(s)
+	policy := cfg.Policy(s)
 
 	// Step (1): local sort inside every block.
 	sorted := localSortBlocks(net, blocked, allBlocks(blocked), cfg, &res, "local-sort-1")
@@ -99,7 +98,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 			p.Class = i % d
 		}
 	}
-	rr, err := net.Route(policy, engine.RouteOpts{})
+	rr, err := net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 2: %w", name, err)
 	}
@@ -129,7 +128,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 			p.Class = i % d
 		}
 	}
-	rr, err = net.Route(policy, engine.RouteOpts{})
+	rr, err = net.Route(policy, cfg.RouteOpts())
 	if err != nil {
 		return res, fmt.Errorf("core: %s step 4: %w", name, err)
 	}

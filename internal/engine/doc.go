@@ -71,7 +71,54 @@
 // any number of times per packet per step, so NextLink must be a pure
 // function of (rank, packet) with no side effects and no dependence on
 // call order. It must also be monotone — every requested move reduces
-// the packet's distance to its destination — and must never route off a
-// mesh boundary; the engine checks both and panics on violations, since
-// either indicates an algorithm bug rather than a runtime condition.
+// the packet's distance to its destination — unless it implements
+// DetourPolicy, which switches the engine to recomputing distances after
+// every hop. It must never route off a mesh boundary. The engine checks
+// monotonicity and boundary legality and converts violations — and any
+// panic escaping NextLink — into an error returned from Route: a buggy
+// policy fails one run, never the process. No code path panics the
+// process from a worker goroutine.
+//
+// # Fault model and graceful degradation
+//
+// A FaultPlan injects failures into a phase (RouteOpts.Faults):
+// permanent link failures, transient link outages over clock intervals,
+// and dead processors (all incident edges down). Faults live on physical
+// edges — failing a link takes down both directed sides — and are
+// enforced at grant time: a packet whose requested link is down simply
+// does not move that step, so waiting is the automatic response to a
+// transient outage. Plans are immutable during routing and every
+// constructor is deterministic, so faulted runs keep the bit-identical
+// cross-worker guarantee. Policies that want to route around failures
+// query PermDown (permanent faults only — transient outages stay
+// invisible, keeping policies pure) and typically implement
+// DetourPolicy.
+//
+// Degradation is layered so a blocked phase always terminates in a
+// diagnosable state rather than spinning to the MaxSteps cliff:
+//
+//   - Patience (per packet): a packet that goes Patience consecutive
+//     steps without a new personal-best distance — whether parked or
+//     circling a blocked region — is parked in the held queue as
+//     stranded and reported in RouteResult.Stranded with diagnostics
+//     (rank, remaining distance, wanted and blocked links). Stranding is
+//     not an error: the phase continues, and a later phase re-activates
+//     stranded packets automatically. Route returns a nil error when
+//     every packet is delivered or stranded.
+//   - NoProgress (per phase): if the total remaining distance over all
+//     moving packets stops reaching new minima for NoProgress steps, the
+//     phase aborts with a *DegradedError carrying a quiescent snapshot
+//     of the stuck packets (RouteResult.Stuck). Stranding lowers the
+//     total, so with patience enabled the watchdog only fires if
+//     degradation itself stalls. The MaxSteps abort returns the same
+//     error shape, alongside the partial RouteResult.
+//   - Paranoid (per step): an opt-in invariant checker — packet
+//     conservation, no packet left on a link across a barrier, held
+//     packets at their destination or explicitly stranded, distance
+//     budgets equal to true distances — for debugging policies and the
+//     engine itself.
+//
+// After a degraded abort the network is quiescent and conserved (no
+// packet mid-link), so callers can inspect it, repair the plan, and
+// route again.
 package engine

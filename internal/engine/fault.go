@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"fmt"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// FaultPlan is a deterministic description of the failures injected into
+// a routing phase: permanent link failures, transient link outages over
+// clock intervals, and dead processors. The step loop consults the plan
+// at grant time — a packet granted a down link simply does not move that
+// step — so a plan turns any policy into a degraded run without touching
+// the policy itself (see RouteOpts.Faults).
+//
+// Faults are expressed on physical links: failing a link takes down both
+// directed sides of the edge. A dead processor is the failure of every
+// edge incident to it, which makes it unable to send or receive; packets
+// held at or destined for a dead processor are eventually stranded by
+// the patience mechanism (see RouteOpts.Patience).
+//
+// A plan is immutable during routing: build it (FailLink, FailProcessor,
+// Outage, or RandomFaultPlan), then route with it. All constructors are
+// deterministic, so runs with the same plan and seed are bit-identical
+// for every worker count. A nil *FaultPlan is valid everywhere a plan is
+// accepted and means "no faults".
+type FaultPlan struct {
+	shape grid.Shape
+	links int // directed links per processor, 2*Dim
+
+	perm      []uint64         // bitset over directed links: permanently down
+	transient []uint64         // bitset: link has at least one outage window
+	outages   map[int][]Outage // directed link index -> outage windows
+
+	downEdges int   // physical edges failed permanently
+	dead      []int // processors failed via FailProcessor, in call order
+}
+
+// Outage is a transient link failure over the clock interval [From, To)
+// in simulated steps.
+type Outage struct {
+	From, To int
+}
+
+// NewFaultPlan returns an empty plan for the given shape.
+func NewFaultPlan(s grid.Shape) *FaultPlan {
+	links := 2 * s.Dim
+	words := (s.N()*links + 63) / 64
+	return &FaultPlan{
+		shape:     s,
+		links:     links,
+		perm:      make([]uint64, words),
+		transient: make([]uint64, words),
+		outages:   make(map[int][]Outage),
+	}
+}
+
+// RandomFaultPlan fails each physical edge of the shape independently
+// with the given probability, deterministically in the seed. A rate of 0
+// returns a valid empty plan.
+func RandomFaultPlan(s grid.Shape, rate float64, seed uint64) *FaultPlan {
+	f := NewFaultPlan(s)
+	if rate <= 0 {
+		return f
+	}
+	rng := xmath.NewRNG(seed).Split(0xfa017)
+	// Enumerate each physical edge exactly once: the (dim, +1) link of
+	// every rank where it is legal. On a torus this includes the wrap
+	// edges; on a side-2 torus the two directed links of a dimension are
+	// two distinct physical edges and both are enumerated.
+	for rank := 0; rank < s.N(); rank++ {
+		for dim := 0; dim < s.Dim; dim++ {
+			if !s.Torus && s.Coord(rank, dim) == s.Side-1 {
+				continue
+			}
+			if rng.Float64() < rate {
+				f.FailLink(rank, LinkFor(dim, 1))
+			}
+		}
+	}
+	return f
+}
+
+func (f *FaultPlan) idx(rank, link int) int { return rank*f.links + link }
+
+func (f *FaultPlan) setPerm(idx int) bool {
+	w, b := idx>>6, uint(idx)&63
+	if f.perm[w]&(1<<b) != 0 {
+		return false
+	}
+	f.perm[w] |= 1 << b
+	return true
+}
+
+// reverse returns the directed link on the far side of (rank, link): the
+// neighbor reached through it and that neighbor's link pointing back.
+// The second return is false if the link leads off a mesh boundary.
+func (f *FaultPlan) reverse(rank, link int) (int, int, bool) {
+	nb, ok := f.shape.Step(rank, LinkDim(link), LinkDir(link))
+	if !ok {
+		return 0, 0, false
+	}
+	return nb, LinkFor(LinkDim(link), -LinkDir(link)), true
+}
+
+// FailLink permanently fails the physical edge behind the directed link
+// (both directions). It panics if the link leads off a mesh boundary —
+// there is no edge there to fail.
+func (f *FaultPlan) FailLink(rank, link int) {
+	nb, back, ok := f.reverse(rank, link)
+	if !ok {
+		panic(fmt.Sprintf("engine: FailLink(%d, %d): no edge off the mesh boundary", rank, link))
+	}
+	fresh := f.setPerm(f.idx(rank, link))
+	f.setPerm(f.idx(nb, back))
+	if fresh {
+		f.downEdges++
+	}
+}
+
+// FailProcessor permanently fails every edge incident to the processor,
+// making it unable to send or receive. Packets held at or destined for
+// it can never be delivered; the patience mechanism strands them (see
+// RouteOpts.Patience).
+func (f *FaultPlan) FailProcessor(rank int) {
+	for dim := 0; dim < f.shape.Dim; dim++ {
+		for _, dir := range [2]int{-1, 1} {
+			if _, ok := f.shape.Step(rank, dim, dir); ok {
+				f.FailLink(rank, LinkFor(dim, dir))
+			}
+		}
+	}
+	f.dead = append(f.dead, rank)
+}
+
+// Outage fails the physical edge behind the directed link for the clock
+// interval [from, to), in simulated steps (Net.Clock time, which runs
+// across phases). Like FailLink it panics on a boundary link.
+func (f *FaultPlan) Outage(rank, link, from, to int) {
+	if from >= to {
+		panic(fmt.Sprintf("engine: Outage(%d, %d): empty interval [%d, %d)", rank, link, from, to))
+	}
+	nb, back, ok := f.reverse(rank, link)
+	if !ok {
+		panic(fmt.Sprintf("engine: Outage(%d, %d): no edge off the mesh boundary", rank, link))
+	}
+	for _, i := range [2]int{f.idx(rank, link), f.idx(nb, back)} {
+		f.transient[i>>6] |= 1 << (uint(i) & 63)
+		f.outages[i] = append(f.outages[i], Outage{From: from, To: to})
+	}
+}
+
+// LinkDown reports whether the directed link is unusable at the given
+// clock step (permanent failure or an active outage window). Nil-safe;
+// this is the grant-time query on the engine's hot path.
+func (f *FaultPlan) LinkDown(rank, link, clock int) bool {
+	if f == nil {
+		return false
+	}
+	i := f.idx(rank, link)
+	w, b := i>>6, uint(i)&63
+	if f.perm[w]&(1<<b) != 0 {
+		return true
+	}
+	if f.transient[w]&(1<<b) == 0 {
+		return false
+	}
+	for _, o := range f.outages[i] {
+		if clock >= o.From && clock < o.To {
+			return true
+		}
+	}
+	return false
+}
+
+// PermDown reports whether the directed link is permanently failed.
+// Nil-safe. Fault-aware policies use this (rather than LinkDown) so they
+// stay pure functions of (rank, packet): transient outages are invisible
+// to policies and enforced only at grant time, which makes waiting — the
+// right response to a transient fault — the automatic behavior.
+func (f *FaultPlan) PermDown(rank, link int) bool {
+	if f == nil {
+		return false
+	}
+	i := f.idx(rank, link)
+	return f.perm[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// DownEdges returns the number of permanently failed physical edges.
+func (f *FaultPlan) DownEdges() int {
+	if f == nil {
+		return 0
+	}
+	return f.downEdges
+}
+
+// DeadProcessors returns the processors failed via FailProcessor.
+func (f *FaultPlan) DeadProcessors() []int {
+	if f == nil {
+		return nil
+	}
+	return append([]int(nil), f.dead...)
+}
+
+// String implements fmt.Stringer.
+func (f *FaultPlan) String() string {
+	if f == nil {
+		return "no faults"
+	}
+	return fmt.Sprintf("faults(%v): %d edges down, %d outage windows, %d dead processors",
+		f.shape, f.downEdges, len(f.outages)/2, len(f.dead))
+}
+
+// PacketDiag describes one packet that a routing phase could not
+// deliver: where it sits, how far it still has to go, and which links it
+// would need. Captured when a packet is stranded (RouteResult.Stranded)
+// or when a phase aborts with packets still moving (RouteResult.Stuck).
+type PacketDiag struct {
+	ID     int   // packet id
+	Key    int64 // packet key, for caller-side correlation
+	Rank   int   // processor where the packet sits
+	Dst    int   // destination it could not reach
+	Dist   int   // remaining distance to Dst
+	Waited int   // consecutive steps without progress when captured
+
+	// Wants lists the links at Rank that would reduce Dist (the packet's
+	// profitable links); Blocked is the subset unusable under the fault
+	// plan at capture time. Wants == Blocked means the packet was boxed
+	// in; Wants empty means it sat at its destination's rank already
+	// (impossible for stranded packets) or had no profitable move.
+	Wants   []int
+	Blocked []int
+}
+
+// String implements fmt.Stringer.
+func (d PacketDiag) String() string {
+	return fmt.Sprintf("packet %d at rank %d: %d hops from destination %d after %d steps without progress (wants links %v, blocked %v)",
+		d.ID, d.Rank, d.Dist, d.Dst, d.Waited, d.Wants, d.Blocked)
+}
+
+// DegradedError reports a routing phase that ended abnormally — the
+// no-progress watchdog fired or MaxSteps was exceeded — together with a
+// quiescent-state snapshot of the packets still in flight. The partial
+// RouteResult returned alongside it is valid: the network is consistent
+// (all packets accounted for, none mid-link), so callers can inspect,
+// report, and retry.
+type DegradedError struct {
+	Reason      string       // what aborted the phase, e.g. "made no progress for 64 steps"
+	Steps       int          // steps the phase ran
+	Undelivered int          // packets still moving at abort time
+	Stranded    int          // packets stranded before the abort
+	Stuck       []PacketDiag // snapshot of the still-moving packets, in rank order
+}
+
+// Error implements error as a single line including the stranded/stuck
+// counts, so command-line consumers get a complete diagnostic for free.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("engine: routing %s: %d packets undelivered after %d steps (%d stranded, %d stuck)",
+		e.Reason, e.Undelivered+e.Stranded, e.Steps, e.Stranded, e.Undelivered)
+}

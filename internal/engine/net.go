@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,12 +18,27 @@ import (
 // Policies must be pure functions of (rank, packet): they are called
 // concurrently from shard workers. They must also be monotone: every move
 // they request must reduce the packet's distance to its destination by
-// one (all dimension-order greedy variants qualify). The engine checks
-// both monotonicity and mesh-boundary legality and panics on violations,
-// since either one indicates an algorithm bug rather than a runtime
+// one (all dimension-order greedy variants qualify) — unless the policy
+// implements DetourPolicy and opts into detour accounting. The engine
+// checks monotonicity and mesh-boundary legality; a violation aborts the
+// phase with an error returned from Route (never a process-killing
+// panic), since it indicates an algorithm bug rather than a runtime
 // condition.
 type Policy interface {
 	NextLink(rank int, p *Packet) int
+}
+
+// DetourPolicy is implemented by policies that may request moves that do
+// not reduce a packet's distance to its destination — fault-aware
+// policies routing around failed links. When Detours reports true the
+// engine recomputes each packet's remaining distance after every hop
+// instead of decrementing a budget, and the monotonicity check is off.
+// Detouring policies should be used together with the patience budget
+// and the no-progress watchdog (RouteOpts), which turn any livelock they
+// could produce into stranded packets or a diagnosed abort.
+type DetourPolicy interface {
+	Policy
+	Detours() bool
 }
 
 // LinkFor encodes a (dimension, direction) pair as a link id.
@@ -214,6 +231,41 @@ type RouteOpts struct {
 	// Net.Pool. When both are nil Route creates a transient pool sized by
 	// Net.Workers and closes it when the phase ends.
 	Pool *Pool
+
+	// Faults, if non-nil, injects the plan's failures into the phase: the
+	// send phase consults the plan at grant time, and a packet whose
+	// granted link is down simply does not move that step. The plan is
+	// read-only during the phase, so fault injection preserves the
+	// cross-worker determinism guarantee.
+	Faults *FaultPlan
+
+	// Patience is the graceful-degradation budget: a packet that goes
+	// this many consecutive steps without reducing its best-yet distance
+	// to its destination is parked as stranded (RouteResult.Stranded)
+	// with full diagnostics, instead of spinning until MaxSteps. Waiting
+	// out contention, a transient outage, or a detour all consume
+	// patience; any step that sets a new best distance refunds it in
+	// full. 0 means a default of 2*Diameter + 64 when Faults is set and
+	// disabled otherwise; negative disables stranding entirely.
+	Patience int
+
+	// NoProgress is the livelock watchdog: if the total remaining
+	// distance over all undelivered packets fails to reach a new minimum
+	// for this many consecutive steps, the phase aborts with a
+	// *DegradedError carrying a quiescent snapshot of the stuck packets
+	// (RouteResult.Stuck). Stranding counts as progress, so with patience
+	// enabled the watchdog only fires if degradation itself stalls. 0
+	// means a default of max(4*Diameter + 64, 2*Patience); negative
+	// disables the watchdog.
+	NoProgress int
+
+	// Paranoid runs the engine invariant checker after every step:
+	// packet conservation, no packet left on a link across a step
+	// barrier, every held packet delivered at its destination or
+	// explicitly stranded, and every moving packet's distance budget
+	// equal to its true distance. A violation aborts the phase with an
+	// error. Costs a full network scan per step; off by default.
+	Paranoid bool
 }
 
 // RouteResult reports the outcome of a routing phase.
@@ -228,6 +280,16 @@ type RouteResult struct {
 	MaxOvershoot int
 	SumOvershoot int // for averaging
 	MaxQueue     int // high-water mark of per-processor occupancy this phase
+
+	// Graceful degradation (see RouteOpts.Faults, Patience, NoProgress).
+	// Stranded lists the packets parked after exhausting their patience
+	// budget, in stranding order (step by step, by id within a step).
+	// Stuck is the quiescent snapshot of packets still moving when the
+	// phase aborted (watchdog or MaxSteps), in rank order; nil when the
+	// phase ran to completion. Both are part of the determinism
+	// guarantee.
+	Stranded []PacketDiag
+	Stuck    []PacketDiag
 
 	// Engine throughput counters (wall-clock, not simulated time; they
 	// vary run to run and are excluded from determinism guarantees).
@@ -275,12 +337,48 @@ func (r RouteResult) WorkerUtilization() float64 {
 
 // Route activates every held packet whose Dst differs from its current
 // processor and runs the synchronous step loop under the given policy
-// until all of them are delivered. It returns the phase statistics.
+// until every one of them is delivered or stranded. It returns the phase
+// statistics.
+//
+// Route never panics on policy misbehavior: boundary violations,
+// monotonicity violations, and panics raised inside NextLink are all
+// converted into an error returned here, together with the partial
+// RouteResult accumulated so far. The same holds for the MaxSteps and
+// no-progress aborts, whose error is a *DegradedError carrying a
+// snapshot of the stuck packets. After a degraded abort the network is
+// quiescent and conserved (no packet is mid-link), so it can be
+// inspected and even routed again; after a boundary or monotonicity
+// error the step was still completed and the network conserved, but the
+// policy bug makes further routing meaningless; after a policy panic the
+// network state is unspecified and only the process is guaranteed to
+// survive.
 func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	var res RouteResult
 	st := newStepState(n, policy)
+	st.faults = opts.Faults
+	st.patience = opts.Patience
+	if st.patience == 0 {
+		if opts.Faults != nil {
+			st.patience = 2*n.Shape.Diameter() + 64
+		} else {
+			st.patience = -1
+		}
+	}
+	if st.patience < 0 {
+		st.patience = 0 // disabled
+	}
+	watchdog := opts.NoProgress
+	if watchdog == 0 {
+		watchdog = 4*n.Shape.Diameter() + 64
+		if 2*st.patience > watchdog {
+			watchdog = 2 * st.patience
+		}
+	}
+
 	active := 0
 	actQueue := 0
+	totalPackets := 0 // for the paranoid conservation check
+	totalTogo := 0    // remaining distance over all active packets
 	for r := range n.procs {
 		pr := &n.procs[r]
 		kept := pr.held[:0]
@@ -292,6 +390,10 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			p.togo = n.Shape.Dist(r, p.Dst)
 			p.startStep = n.clock
 			p.startDist = p.togo
+			p.bestTogo = p.togo
+			p.stall = 0
+			p.stranded = false
+			totalTogo += p.togo
 			if p.togo > res.MaxDist {
 				res.MaxDist = p.togo
 			}
@@ -299,6 +401,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			active++
 		}
 		pr.held = kept
+		totalPackets += len(pr.moving) + len(pr.held)
 		if len(pr.moving) > 0 {
 			// Between phases every moving queue is empty, so this is the
 			// empty -> non-empty transition for the processor.
@@ -333,26 +436,75 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	st.attach(pool)
 	res.Workers = pool.Workers()
 
+	abort := func(start time.Time, reason string) (RouteResult, error) {
+		res.Elapsed = time.Since(start)
+		res.WorkerBusy = st.busyTotal()
+		res.Stuck = st.stuckSnapshot()
+		return res, &DegradedError{
+			Reason:      reason,
+			Steps:       res.Steps,
+			Undelivered: active,
+			Stranded:    len(res.Stranded),
+			Stuck:       res.Stuck,
+		}
+	}
+
+	bestTotal := totalTogo
+	lastImprove := 0
 	start := time.Now()
 	for active > 0 {
 		if res.Steps >= maxSteps {
-			res.Elapsed = time.Since(start)
-			res.WorkerBusy = st.busyTotal()
-			return res, fmt.Errorf("engine: routing exceeded %d steps with %d packets undelivered", maxSteps, active)
+			return abort(start, fmt.Sprintf("exceeded %d steps", maxSteps))
 		}
 		n.clock++
 		res.Steps++
-		st.step()
+		if err := st.runStep(); err != nil {
+			res.Elapsed = time.Since(start)
+			res.WorkerBusy = st.busyTotal()
+			return res, err
+		}
 		for w := 0; w < st.workers; w++ {
 			active -= st.delivered[w]
 			res.Delivered += st.delivered[w]
 			res.SumOvershoot += st.sumOver[w]
 			res.Hops += st.hops[w]
+			totalTogo -= st.togoDrop[w]
 			if st.maxOver[w] > res.MaxOvershoot {
 				res.MaxOvershoot = st.maxOver[w]
 			}
 			if st.maxQueue[w] > res.MaxQueue {
 				res.MaxQueue = st.maxQueue[w]
+			}
+		}
+		// Park this step's stranded packets: merge the per-worker lists
+		// deterministically (by id; work-stealing makes the raw order
+		// scheduling-dependent) and drop them from the active pool.
+		var strands []PacketDiag
+		for w := 0; w < st.workers; w++ {
+			strands = append(strands, st.strand[w]...)
+		}
+		if len(strands) > 0 {
+			sort.Slice(strands, func(i, j int) bool { return strands[i].ID < strands[j].ID })
+			for _, d := range strands {
+				totalTogo -= d.Dist
+			}
+			active -= len(strands)
+			res.Stranded = append(res.Stranded, strands...)
+		}
+		// Livelock watchdog: abort when the total remaining distance
+		// stops reaching new minima. Deliveries, monotone hops, and
+		// stranding all lower it; pure circling does not.
+		if totalTogo < bestTotal {
+			bestTotal = totalTogo
+			lastImprove = res.Steps
+		} else if watchdog > 0 && res.Steps-lastImprove >= watchdog {
+			return abort(start, fmt.Sprintf("made no progress for %d steps", watchdog))
+		}
+		if opts.Paranoid {
+			if err := st.checkInvariants(totalPackets); err != nil {
+				res.Elapsed = time.Since(start)
+				res.WorkerBusy = st.busyTotal()
+				return res, err
 			}
 		}
 		if opts.OnStep != nil {
@@ -374,6 +526,19 @@ type stepState struct {
 	net    *Net
 	policy Policy
 	pool   *Pool
+
+	// Fault injection and graceful degradation (see RouteOpts).
+	faults   *FaultPlan
+	patience int  // 0 = stranding disabled
+	detour   bool // policy opted into non-monotone accounting
+
+	// Worker errors. The engine's own validity checks (boundary,
+	// monotonicity, link range) record errors here instead of panicking;
+	// the lowest-rank error wins so single-worker runs and multi-worker
+	// runs that complete the step report the same failure.
+	errMu   sync.Mutex
+	err     error
+	errRank int
 
 	// Shard layout: processors are grouped into contiguous shards of
 	// 1<<shardShift ranks; a shard is the unit of scheduling and of
@@ -415,11 +580,16 @@ type stepState struct {
 	maxOver   []int
 	maxQueue  []int
 	hops      []int
-	busy      []int64 // nanoseconds of shard work, per worker
+	togoDrop  []int          // net decrease in remaining distance, per worker
+	strand    [][]PacketDiag // packets stranded this step, per worker
+	busy      []int64        // nanoseconds of shard work, per worker
 }
 
 func newStepState(n *Net, policy Policy) *stepState {
 	st := &stepState{net: n, policy: policy}
+	if dp, ok := policy.(DetourPolicy); ok && dp.Detours() {
+		st.detour = true
+	}
 	// Shards default to 128 processors and shrink (to a floor of 16) on
 	// small networks so the active-set tracking still has resolution.
 	st.shardShift = 7
@@ -452,6 +622,8 @@ func (st *stepState) attach(pool *Pool) {
 	st.maxOver = make([]int, st.workers)
 	st.maxQueue = make([]int, st.workers)
 	st.hops = make([]int, st.workers)
+	st.togoDrop = make([]int, st.workers)
+	st.strand = make([][]PacketDiag, st.workers)
 	st.busy = make([]int64, st.workers)
 }
 
@@ -463,16 +635,29 @@ func (st *stepState) busyTotal() time.Duration {
 	return time.Duration(total)
 }
 
-// step advances the simulation by one synchronous step: a send phase over
-// the shards that hold moving packets, a barrier, and a delivery phase
-// over the shards flagged as receivers during the send.
-func (st *stepState) step() {
+// runStep advances the simulation by one synchronous step: a send phase
+// over the shards that hold moving packets, a barrier, and a delivery
+// phase over the shards flagged as receivers during the send. Errors the
+// workers recorded (boundary or monotonicity violations) and panics that
+// escape the policy are returned, never propagated as panics. Recorded
+// errors leave the network conserved (the workers finish the step before
+// the error is read at the barrier); a policy panic abandons the
+// panicking worker's remaining shards, so the network state is unusable
+// afterwards — but the process survives.
+func (st *stepState) runStep() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: routing step panicked: %v", r)
+		}
+	}()
 	for w := 0; w < st.workers; w++ {
 		st.delivered[w] = 0
 		st.sumOver[w] = 0
 		st.maxOver[w] = 0
 		st.maxQueue[w] = 0
 		st.hops[w] = 0
+		st.togoDrop[w] = 0
+		st.strand[w] = st.strand[w][:0]
 	}
 	st.sendList = st.sendList[:0]
 	for sh, c := range st.movingProcs {
@@ -489,6 +674,22 @@ func (st *stepState) step() {
 		}
 	}
 	st.runPhase(st.deliverList, false)
+	// Workers are parked behind the pool barrier here, so the error slot
+	// needs no lock to read.
+	return st.err
+}
+
+// recordErr notes an engine-detected violation at the given rank. Workers
+// keep draining their shards after recording (an early exit would leave
+// packets mid-link); the lowest-rank error wins so single-worker runs and
+// multi-worker runs report the same failure.
+func (st *stepState) recordErr(rank int, err error) {
+	st.errMu.Lock()
+	if st.err == nil || rank < st.errRank {
+		st.err = err
+		st.errRank = rank
+	}
+	st.errMu.Unlock()
 }
 
 // runPhase drains the shard list across the pool's workers via
@@ -526,7 +727,7 @@ func (st *stepState) phaseWorker(w int) {
 			hi = nprocs
 		}
 		if st.curSend {
-			st.sendShard(sh, lo, hi)
+			st.sendShard(w, sh, lo, hi)
 		} else {
 			st.deliverShard(w, sh, lo, hi)
 		}
@@ -537,9 +738,11 @@ func (st *stepState) phaseWorker(w int) {
 // sendShard implements the send phase for processors [lo, hi): each
 // processor lets every moving packet request a link and grants each link
 // to the highest-priority requester (farthest distance to go, then lowest
-// id — the paper's contention rule). Receiving shards are flagged for the
-// delivery phase.
-func (st *stepState) sendShard(sh, lo, hi int) {
+// id — the paper's contention rule). Links down under the fault plan
+// reject requests at grant time, and packets whose patience budget ran
+// out are parked as stranded instead of requesting. Receiving shards are
+// flagged for the delivery phase.
+func (st *stepState) sendShard(w, sh, lo, hi int) {
 	n := st.net
 	emptied := int32(0)
 	for r := lo; r < hi; r++ {
@@ -552,9 +755,34 @@ func (st *stepState) sendShard(sh, lo, hi int) {
 		// (each receiver is flagged at grant time), so slots never
 		// survive a step.
 		granted := 0
+		expired := false
 		for _, p := range pr.moving {
+			if st.patience > 0 {
+				// Personal-best accounting: only a new best distance
+				// refunds patience, so a packet circling a blocked region
+				// runs out just like one that cannot move at all.
+				if p.togo < p.bestTogo {
+					p.bestTogo = p.togo
+					p.stall = 0
+				} else {
+					p.stall++
+				}
+				if p.stall > st.patience {
+					// Out of patience: stop requesting links; the queue
+					// rebuild below strands it.
+					expired = true
+					continue
+				}
+			}
 			l := st.policy.NextLink(r, p)
 			if l < 0 {
+				continue
+			}
+			if l >= len(pr.out) {
+				st.recordErr(r, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", l, p.ID, r))
+				continue
+			}
+			if st.faults != nil && st.faults.LinkDown(r, l, n.clock) {
 				continue
 			}
 			cur := pr.out[l]
@@ -565,7 +793,7 @@ func (st *stepState) sendShard(sh, lo, hi int) {
 				pr.out[l] = p
 			}
 		}
-		if granted == 0 {
+		if granted == 0 && !expired {
 			continue
 		}
 		// Validate the grants, stamp the winners for removal below, and
@@ -576,10 +804,10 @@ func (st *stepState) sendShard(sh, lo, hi int) {
 			if p == nil {
 				continue
 			}
-			p.sentStep = n.clock
 			div := st.divs[LinkDim(l)]
 			c := (r / div) % side
 			recv := r
+			legal := true
 			switch {
 			case LinkDir(l) > 0:
 				if c < side-1 {
@@ -587,7 +815,7 @@ func (st *stepState) sendShard(sh, lo, hi int) {
 				} else if n.Shape.Torus {
 					recv = r - (side-1)*div
 				} else {
-					panic(fmt.Sprintf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
+					legal = false
 				}
 			default:
 				if c > 0 {
@@ -595,9 +823,18 @@ func (st *stepState) sendShard(sh, lo, hi int) {
 				} else if n.Shape.Torus {
 					recv = r + (side-1)*div
 				} else {
-					panic(fmt.Sprintf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
+					legal = false
 				}
 			}
+			if !legal {
+				// Leave the packet in its queue (unstamped) and drop the
+				// grant: the error aborts the phase at the step barrier
+				// with the network conserved.
+				st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
+				pr.out[l] = nil
+				continue
+			}
+			p.sentStep = n.clock
 			if atomic.LoadInt32(&st.pendingProc[recv]) == 0 {
 				atomic.StoreInt32(&st.pendingProc[recv], 1)
 				dest := recv >> st.shardShift
@@ -606,12 +843,20 @@ func (st *stepState) sendShard(sh, lo, hi int) {
 				}
 			}
 		}
-		// Remove winners (stamped above) from the moving queue.
+		// Remove winners (stamped above) from the moving queue and park
+		// packets whose patience ran out.
 		kept := pr.moving[:0]
 		for _, p := range pr.moving {
-			if p.sentStep != n.clock {
-				kept = append(kept, p)
+			if p.sentStep == n.clock {
+				continue
 			}
+			if st.patience > 0 && p.stall > st.patience {
+				p.stranded = true
+				st.strand[w] = append(st.strand[w], st.diagnose(r, p))
+				pr.held = append(pr.held, p)
+				continue
+			}
+			kept = append(kept, p)
 		}
 		// Null out the tail so dropped pointers don't linger.
 		for i := len(kept); i < len(pr.moving); i++ {
@@ -681,11 +926,22 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 					// touched by exactly one receiver per step.
 					n.loads[sender*2*s.Dim+slot]++
 				}
-				p.togo--
-				if p.togo <= 0 && p.Dst != r {
-					panic(fmt.Sprintf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", p.ID))
+				old := p.togo
+				if st.detour {
+					// Detouring policies may move packets away from their
+					// destinations; recompute instead of decrementing.
+					p.togo = s.Dist(r, p.Dst)
+				} else {
+					p.togo--
+					if p.togo <= 0 && p.Dst != r {
+						st.recordErr(r, fmt.Errorf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", p.ID))
+						st.togoDrop[w] += old - p.togo
+						pr.moving = append(pr.moving, p)
+						continue
+					}
 				}
-				if p.togo == 0 && p.Dst == r {
+				st.togoDrop[w] += old - p.togo
+				if p.togo == 0 {
 					pr.held = append(pr.held, p)
 					st.delivered[w]++
 					over := (n.clock - p.startStep) - p.startDist
@@ -708,6 +964,100 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 			st.movingProcs[sh]++
 		}
 	}
+}
+
+// diagnose captures a PacketDiag for a packet at the given rank: its
+// profitable links (the ones that would reduce its distance) and which of
+// them the fault plan blocks right now. Read-only with respect to shared
+// state, so shard workers may call it concurrently.
+func (st *stepState) diagnose(rank int, p *Packet) PacketDiag {
+	d := PacketDiag{ID: p.ID, Key: p.Key, Rank: rank, Dst: p.Dst, Dist: p.togo, Waited: p.stall}
+	s := st.net.Shape
+	for dim := 0; dim < s.Dim; dim++ {
+		div := st.divs[dim]
+		c := (rank / div) % s.Side
+		t := (p.Dst / div) % s.Side
+		if c == t {
+			continue
+		}
+		var links []int
+		if s.Torus {
+			fwd := ((t-c)%s.Side + s.Side) % s.Side // hops in the +1 direction
+			back := s.Side - fwd
+			switch {
+			case fwd < back:
+				links = []int{LinkFor(dim, 1)}
+			case back < fwd:
+				links = []int{LinkFor(dim, -1)}
+			default:
+				links = []int{LinkFor(dim, -1), LinkFor(dim, 1)}
+			}
+		} else if t > c {
+			links = []int{LinkFor(dim, 1)}
+		} else {
+			links = []int{LinkFor(dim, -1)}
+		}
+		for _, l := range links {
+			d.Wants = append(d.Wants, l)
+			if st.faults.LinkDown(rank, l, st.net.clock) {
+				d.Blocked = append(d.Blocked, l)
+			}
+		}
+	}
+	return d
+}
+
+// stuckSnapshot diagnoses every packet still moving, in (rank, id) order.
+// Only called from the coordinator with the network quiescent.
+func (st *stepState) stuckSnapshot() []PacketDiag {
+	var out []PacketDiag
+	for r := range st.net.procs {
+		for _, p := range st.net.procs[r].moving {
+			out = append(out, st.diagnose(r, p))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// checkInvariants is the paranoid per-step checker (RouteOpts.Paranoid):
+// no packet left on a link across the step barrier (which also enforces
+// one packet per link per step — a surviving slot would mean a second
+// grant landed on an unconsumed one), packet conservation against the
+// activation-time census, every held packet at its destination or
+// explicitly stranded, and every moving packet's distance budget equal to
+// its true distance.
+func (st *stepState) checkInvariants(total int) error {
+	n := st.net
+	count := 0
+	for r := range n.procs {
+		pr := &n.procs[r]
+		for l, p := range pr.out {
+			if p != nil {
+				return fmt.Errorf("engine: invariant violated: packet %d left on link %d of rank %d across a step barrier", p.ID, l, r)
+			}
+		}
+		count += len(pr.moving) + len(pr.held)
+		for _, p := range pr.held {
+			if p.Dst != r && !p.stranded {
+				return fmt.Errorf("engine: invariant violated: packet %d held at rank %d away from destination %d without being stranded", p.ID, r, p.Dst)
+			}
+		}
+		for _, p := range pr.moving {
+			if want := n.Shape.Dist(r, p.Dst); p.togo != want {
+				return fmt.Errorf("engine: invariant violated: packet %d at rank %d carries distance budget %d but is %d hops from its destination", p.ID, r, p.togo, want)
+			}
+		}
+	}
+	if count != total {
+		return fmt.Errorf("engine: invariant violated: %d packets in the network, %d activated", count, total)
+	}
+	return nil
 }
 
 // Snapshot returns the current processor of every packet in the network

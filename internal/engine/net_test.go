@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -185,22 +186,36 @@ type policyFunc func(rank int, p *Packet) int
 
 func (f policyFunc) NextLink(rank int, p *Packet) int { return f(rank, p) }
 
-func TestOffGridSendPanics(t *testing.T) {
+func TestOffGridSendErrors(t *testing.T) {
 	s := grid.New(1, 4)
 	net := New(s)
 	p := net.NewPacket(0, 0)
 	p.Dst = 3
 	net.Inject([]*Packet{p})
 	bad := policyFunc(func(rank int, p *Packet) int { return LinkFor(0, -1) }) // off the low edge
-	defer func() {
-		if recover() == nil {
-			t.Error("off-grid send did not panic")
-		}
-	}()
-	net.Route(bad, RouteOpts{})
+	_, err := net.Route(bad, RouteOpts{})
+	if err == nil || !strings.Contains(err.Error(), "off the mesh boundary") {
+		t.Errorf("off-grid send: got %v, want boundary error", err)
+	}
+	if net.TotalPackets() != 1 {
+		t.Error("packet not conserved across the boundary-violation abort")
+	}
 }
 
-func TestNonMonotonePolicyPanics(t *testing.T) {
+func TestInvalidLinkErrors(t *testing.T) {
+	s := grid.New(1, 4)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = 3
+	net.Inject([]*Packet{p})
+	bad := policyFunc(func(rank int, p *Packet) int { return 99 })
+	_, err := net.Route(bad, RouteOpts{})
+	if err == nil || !strings.Contains(err.Error(), "invalid link") {
+		t.Errorf("invalid link: got %v, want invalid-link error", err)
+	}
+}
+
+func TestNonMonotonePolicyErrors(t *testing.T) {
 	s := grid.New(1, 8)
 	net := New(s)
 	p := net.NewPacket(0, 4)
@@ -208,12 +223,31 @@ func TestNonMonotonePolicyPanics(t *testing.T) {
 	net.Inject([]*Packet{p})
 	// Always move left: walks away from the destination.
 	bad := policyFunc(func(rank int, p *Packet) int { return LinkFor(0, -1) })
-	defer func() {
-		if recover() == nil {
-			t.Error("non-monotone policy did not panic")
+	_, err := net.Route(bad, RouteOpts{})
+	if err == nil || !strings.Contains(err.Error(), "non-monotone") {
+		t.Errorf("non-monotone policy: got %v, want monotonicity error", err)
+	}
+	if net.TotalPackets() != 1 {
+		t.Error("packet not conserved across the monotonicity abort")
+	}
+}
+
+func TestPolicyPanicBecomesError(t *testing.T) {
+	s := grid.New(1, 8)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = 7
+	net.Inject([]*Packet{p})
+	bad := policyFunc(func(rank int, p *Packet) int {
+		if rank == 3 {
+			panic("policy bug")
 		}
-	}()
-	net.Route(bad, RouteOpts{})
+		return LinkFor(0, 1)
+	})
+	_, err := net.Route(bad, RouteOpts{})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("policy panic: got %v, want panic-converted error", err)
+	}
 }
 
 func TestContentionFarthestFirst(t *testing.T) {
@@ -366,7 +400,7 @@ func TestRouteDeterministicAcrossWorkers(t *testing.T) {
 		baseRes, baseFP := run(workerCounts[0])
 		for _, w := range workerCounts[1:] {
 			res, fp := run(w)
-			if res != baseRes {
+			if !reflect.DeepEqual(res, baseRes) {
 				t.Errorf("%v: RouteResult differs between %d and %d workers:\n%+v\n%+v",
 					s, workerCounts[0], w, baseRes, res)
 			}

@@ -32,6 +32,17 @@ type Packet struct {
 	// accounting.
 	startStep int
 	startDist int
+	// bestTogo is the smallest togo the packet has reached this phase and
+	// stall the number of consecutive send-phase evaluations since it last
+	// improved; together they implement the patience budget (a packet that
+	// moves without getting closer — circling a blocked region — runs out
+	// of patience just like one that cannot move at all).
+	bestTogo int
+	stall    int
+	// stranded marks a packet parked in the held queue by the patience
+	// mechanism with its destination unreached; cleared at activation so
+	// later phases retry it.
+	stranded bool
 }
 
 // Tag values used by the sorting algorithms.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"reflect"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -106,7 +107,7 @@ func TestSharedPoolAcrossPhasesAndNets(t *testing.T) {
 	defer pool.Close()
 	shared := run(pool)
 	transient := run(nil)
-	if shared != transient {
+	if !reflect.DeepEqual(shared, transient) {
 		t.Errorf("shared pool changed the simulation:\nshared    %+v\ntransient %+v", shared, transient)
 	}
 }

@@ -193,6 +193,25 @@ func TestE12QueuesConstant(t *testing.T) {
 	}
 }
 
+func TestE19DegradesGracefully(t *testing.T) {
+	tb := E19FaultTolerance(quick)
+	if len(tb.Rows) < 3 {
+		t.Fatalf("E19 produced %d rows", len(tb.Rows))
+	}
+	if v := floatCell(t, tb, 0, "slowdown"); v != 1 {
+		t.Errorf("fault-free baseline slowdown = %v, want 1", v)
+	}
+	if v := floatCell(t, tb, 0, "stranded"); v != 0 {
+		t.Errorf("fault-free run stranded %v packets", v)
+	}
+	for i := range tb.Rows {
+		slow := floatCell(t, tb, i, "slowdown")
+		if slow < 0.9 || slow > 50 {
+			t.Errorf("row %d: slowdown %v outside sane envelope", i, slow)
+		}
+	}
+}
+
 func TestTablesRenderAndCSV(t *testing.T) {
 	tb := E6bMinNu(quick)
 	if !strings.Contains(tb.String(), "min-nu") || !strings.Contains(tb.CSV(), "min-nu") {

