@@ -16,12 +16,17 @@
 // budget and invariant checker.
 //
 // Algorithms: simple (Thm 3.1), copy (Thm 3.2), torussort (Thm 3.3),
-// full (the 2D baseline), oddeven (transposition-sort baseline), route
-// (two-phase permutation routing, Thm 5.1/5.2), greedyroute (baseline),
-// select (Section 4.3).
+// full (the 2D baseline), oddeven (transposition-sort baseline), shear
+// (whole-mesh shearsort baseline), route (two-phase permutation
+// routing, Thm 5.1/5.2), greedyroute (baseline), select (Section 4.3).
+//
+// -trace emits one JSON line per completed pipeline phase (name, kind,
+// steps, bound, max queue, throughput) to stderr, straight from the
+// phase observer the runner threads through every algorithm.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,13 +37,14 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/perm"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 	"meshsort/internal/xmath"
 )
 
 func main() {
 	var (
-		alg   = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|route|greedyroute|select")
+		alg   = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|select")
 		d     = flag.Int("d", 3, "dimension")
 		n     = flag.Int("n", 16, "side length")
 		b     = flag.Int("b", 4, "block side length")
@@ -56,6 +62,7 @@ func main() {
 		fseed    = flag.Uint64("fault-seed", 1, "seed of the random fault plan")
 		patience = flag.Int("patience", 0, "steps without progress before a packet is stranded (0 = auto when faults are on, negative = never)")
 		paranoid = flag.Bool("paranoid", false, "run the engine's per-step invariant checker (slow)")
+		trace    = flag.Bool("trace", false, "emit one JSON line per completed pipeline phase to stderr")
 	)
 	flag.Parse()
 
@@ -72,9 +79,13 @@ func main() {
 	if *faults > 0 {
 		fo.Faults = engine.RandomFaultPlan(shape, *faults, *fseed)
 	}
+	var obs pipeline.Observer
+	if *trace {
+		obs = tracePhases
+	}
 	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
 		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, Pool: pool,
-		FaultOpts: fo}
+		Observer: obs, FaultOpts: fo}
 	keys := core.RandomKeys(shape, max(1, *k), *seed+1)
 	D := shape.Diameter()
 	fmt.Printf("%v: N=%d D=%d block=%d\n", shape, shape.N(), D, *b)
@@ -103,10 +114,15 @@ func main() {
 		fail(err)
 		fmt.Printf("odd-even transposition: %d rounds (= steps), sorted=%v, %.2f x diameter\n",
 			res.Rounds, res.Sorted, float64(res.Rounds)/float64(D))
+	case "shear":
+		res, err := baseline.ShearSort(shape, keys, baseline.ShearSortOpts{Workers: *work, Pool: pool, Observer: obs})
+		fail(err)
+		fmt.Printf("whole-mesh shearsort: %d steps (%.2f x D), sorted=%v, %d iterations, %d fallback rounds\n",
+			res.Steps, float64(res.Steps)/float64(D), res.Sorted, res.Iterations, res.Fallback)
 	case "route":
 		prob := pickPerm(*pperm, shape, *seed)
 		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed,
-			Workers: *work, Pool: pool, FaultOpts: fo}, prob)
+			Workers: *work, Pool: pool, Observer: obs, FaultOpts: fo}, prob)
 		fail(err)
 		fmt.Printf("two-phase routing: %d routing steps (bound D+2nu = %d), nu=%d effective=%d, delivered=%v",
 			res.RouteSteps, res.Bound, res.Nu, res.EffectiveNu, res.Delivered)
@@ -119,15 +135,6 @@ func main() {
 		}
 	case "greedyroute":
 		prob := pickPerm(*pperm, shape, *seed)
-		net := engine.New(shape)
-		net.Workers = *work
-		net.Pool = pool
-		net.SetCountLoads(*heat)
-		pkts := make([]*engine.Packet, prob.Size())
-		for i := range pkts {
-			pkts[i] = net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
-			pkts[i].Dst = prob.Dst[i]
-		}
 		cm := route.ClassLocalRank
 		switch *mode {
 		case "zero":
@@ -135,9 +142,11 @@ func main() {
 		case "random":
 			cm = route.ClassRandom
 		}
-		route.AssignClasses(shape, pkts, nil, cm, *b, *seed)
-		net.Inject(pkts)
-		res, err := net.Route(fo.Policy(shape), fo.RouteOpts())
+		res, net, err := route.RunProblem(shape, prob, route.BatchOpts{
+			Mode: cm, BlockSide: *b, Seed: *seed, Workers: *work, Pool: pool,
+			Faults: fo.Faults, Patience: fo.Patience, Paranoid: fo.Paranoid,
+			CountLoads: *heat, Observer: obs,
+		})
 		fail(err)
 		fmt.Printf("greedy routing of %s: %d steps (D=%d), max overshoot %d, max queue %d",
 			prob.Name, res.Steps, D, res.MaxOvershoot, res.MaxQueue)
@@ -186,6 +195,34 @@ func printSort(res core.Result) {
 	for _, ph := range res.Phases {
 		printPhase(ph)
 	}
+}
+
+// tracePhases is the -trace observer: one JSON line per completed
+// pipeline phase, written to stderr so it composes with the normal
+// stdout report.
+func tracePhases(ph pipeline.PhaseStat) {
+	line, err := json.Marshal(struct {
+		Name           string  `json:"name"`
+		Kind           string  `json:"kind"`
+		Steps          int     `json:"steps"`
+		Bound          int     `json:"bound,omitempty"`
+		MaxDist        int     `json:"maxDist,omitempty"`
+		MaxQueue       int     `json:"maxQueue,omitempty"`
+		Stranded       int     `json:"stranded,omitempty"`
+		StepsPerSec    float64 `json:"stepsPerSec,omitempty"`
+		PacketsPerStep float64 `json:"packetsPerStep,omitempty"`
+		WorkerUtil     float64 `json:"workerUtil,omitempty"`
+	}{
+		Name: ph.Name, Kind: ph.Kind, Steps: ph.Steps, Bound: ph.Bound,
+		MaxDist: ph.MaxDist, MaxQueue: ph.MaxQueue, Stranded: ph.Stranded,
+		StepsPerSec:    ph.StepsPerSec,
+		PacketsPerStep: ph.PacketsPerStep,
+		WorkerUtil:     ph.WorkerUtil,
+	})
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(line))
 }
 
 func printPhase(ph core.PhaseStat) {

@@ -13,6 +13,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/index"
+	"meshsort/internal/pipeline"
 )
 
 // OddEvenResult reports an odd-even transposition sort run.
@@ -100,16 +101,17 @@ func OddEvenSnakeSort(net *engine.Net, sc *index.Scheme) (OddEvenResult, error) 
 
 // RunOddEven builds a network from keys (one per processor, canonical
 // rank order) and sorts it with OddEvenSnakeSort under the plain snake
-// scheme.
+// scheme, as a one-phase pipeline program.
 func RunOddEven(s grid.Shape, keys []int64) (OddEvenResult, error) {
-	if len(keys) != s.N() {
-		return OddEvenResult{}, fmt.Errorf("baseline: got %d keys, want %d", len(keys), s.N())
+	var res OddEvenResult
+	runner := pipeline.New(pipeline.Config{Shape: s})
+	if _, err := runner.InjectKeys(1, keys); err != nil {
+		return res, err
 	}
-	net := engine.New(s)
-	pkts := make([]*engine.Packet, len(keys))
-	for r := range keys {
-		pkts[r] = net.NewPacket(keys[r], r)
-	}
-	net.Inject(pkts)
-	return OddEvenSnakeSort(net, index.Snake(s))
+	err := runner.Run(pipeline.Local{Name: "odd-even", Kind: "shear", Apply: func(net *engine.Net) (int, error) {
+		r, err := OddEvenSnakeSort(net, index.Snake(s))
+		res = r
+		return 0, err
+	}})
+	return res, err
 }

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"fmt"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/index"
+	"meshsort/internal/pipeline"
+)
+
+// ShearSortOpts configures a standalone ShearSort run.
+type ShearSortOpts struct {
+	Workers int // engine shard workers; 0 means GOMAXPROCS
+	// Pool optionally supplies a persistent engine worker pool shared
+	// with other runs (the same pool SimpleSort's routing phases use),
+	// so baseline-vs-SimpleSort comparisons pay identical pool costs.
+	Pool *engine.Pool
+	// Observer, if set, receives the run's PhaseStat when it completes.
+	Observer pipeline.Observer
+}
+
+// ShearSortResult reports a standalone in-mesh shearsort run.
+type ShearSortResult struct {
+	Steps      int  // simulated steps (== the network clock)
+	Iterations int  // shear iterations used
+	Fallback   int  // fallback transposition rounds used (0 = pure shearsort)
+	Sorted     bool // certification of the outcome
+	Diameter   int
+	Phases     []pipeline.PhaseStat
+}
+
+// ShearSort sorts one key per processor into the snake order of the
+// whole mesh by the in-mesh multi-dimensional shearsort, treating the
+// entire network as a single block and executing it as a one-phase
+// pipeline program. This is the fully-simulated O(n log n)-per-dimension
+// baseline that SimpleSort's block-local phases reuse (see
+// core.Config.RealLocalSort); run standalone it shows why shearing the
+// whole mesh loses to the paper's block-then-route structure.
+func ShearSort(s grid.Shape, keys []int64, opts ShearSortOpts) (ShearSortResult, error) {
+	res := ShearSortResult{Diameter: s.Diameter()}
+	runner := pipeline.New(pipeline.Config{
+		Shape:    s,
+		Workers:  opts.Workers,
+		Pool:     opts.Pool,
+		Observer: opts.Observer,
+	})
+	if _, err := runner.InjectKeys(1, keys); err != nil {
+		return res, err
+	}
+	// One block spanning the whole mesh: its local snake order is the
+	// global snake order.
+	b := index.BlockedSnake(s, s.Side)
+	if b.BlockCount() != 1 {
+		return res, fmt.Errorf("baseline: whole-mesh blocking produced %d blocks", b.BlockCount())
+	}
+	err := runner.Run(pipeline.Local{Name: "shearsort", Kind: "shear", Apply: func(net *engine.Net) (int, error) {
+		st, err := ShearSortBlocks(net, b, []int{b.BlockAtOrder(0)})
+		res.Iterations = st.Iterations
+		res.Fallback = st.Fallback
+		return 0, err
+	}})
+	tot := runner.Totals()
+	res.Steps = tot.TotalSteps
+	res.Phases = tot.Phases
+	if err != nil {
+		return res, err
+	}
+
+	net := runner.Net()
+	var prev *engine.Packet
+	res.Sorted = true
+	for idx := 0; idx < s.N(); idx++ {
+		held := net.Held(b.RankAt(idx))
+		if len(held) != 1 {
+			res.Sorted = false
+			break
+		}
+		p := held[0]
+		if prev != nil && (p.Key < prev.Key || (p.Key == prev.Key && p.ID < prev.ID)) {
+			res.Sorted = false
+			break
+		}
+		prev = p
+	}
+	return res, nil
+}

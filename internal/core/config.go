@@ -18,6 +18,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/index"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 )
 
@@ -133,7 +134,25 @@ type Config struct {
 
 	Cost CostModel
 
+	// Observer, if set, receives every phase's PhaseStat as it completes
+	// (cmd/meshsort exposes it as -trace).
+	Observer pipeline.Observer
+
 	FaultOpts
+}
+
+// runner builds the pipeline runner every sorting run executes on: it
+// owns the network, the shared worker pool, the routing policy, and the
+// fault options.
+func (c Config) runner() *pipeline.Runner {
+	return pipeline.New(pipeline.Config{
+		Shape:    c.Shape,
+		Workers:  c.Workers,
+		Pool:     c.Pool,
+		Policy:   c.Policy(c.Shape),
+		Route:    c.RouteOpts(),
+		Observer: c.Observer,
+	})
 }
 
 func (c Config) k() int {
@@ -180,36 +199,10 @@ func (c Config) scheme() *index.Blocked {
 	return index.BlockedSnake(c.Shape, c.BlockSide)
 }
 
-// PhaseStat records one phase of an algorithm run.
-type PhaseStat struct {
-	Name  string
-	Kind  string // "route", "oracle", or "check"
-	Steps int
-	// Routing phases also record:
-	MaxDist      int // max activation distance
-	MaxOvershoot int // max delivery slack beyond the packet's distance
-	MaxQueue     int // peak per-processor occupancy
-	Hops         int // total link traversals
-	Stranded     int // packets parked by the patience budget this phase
-
-	// Engine throughput for the phase (wall-clock; varies run to run):
-	StepsPerSec    float64 // simulated steps per wall-second
-	PacketsPerStep float64 // mean link traversals per simulated step
-	WorkerUtil     float64 // worker pool utilization in [0,1]
-}
-
-// routePhase converts an engine phase result into a PhaseStat.
-func routePhase(name string, rr engine.RouteResult) PhaseStat {
-	return PhaseStat{
-		Name: name, Kind: "route", Steps: rr.Steps,
-		MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot,
-		MaxQueue: rr.MaxQueue, Hops: rr.Hops,
-		Stranded:       len(rr.Stranded),
-		StepsPerSec:    rr.StepsPerSec(),
-		PacketsPerStep: rr.PacketsPerStep(),
-		WorkerUtil:     rr.WorkerUtilization(),
-	}
-}
+// PhaseStat records one phase of an algorithm run. It is produced only
+// by the pipeline runner (see internal/pipeline); this alias keeps the
+// public result types stable.
+type PhaseStat = pipeline.PhaseStat
 
 // Result reports a completed sorting (or selection/routing) run.
 type Result struct {
@@ -249,16 +242,13 @@ func (r Result) RouteRatio() float64 { return float64(r.RouteSteps) / float64(r.
 // TotalRatio returns TotalSteps normalized by the diameter.
 func (r Result) TotalRatio() float64 { return float64(r.TotalSteps) / float64(r.Diameter()) }
 
-func (r *Result) addRoute(name string, rr engine.RouteResult) {
-	r.Phases = append(r.Phases, routePhase(name, rr))
-	r.RouteSteps += rr.Steps
-	r.Stranded += len(rr.Stranded)
-	if rr.MaxQueue > r.MaxQueue {
-		r.MaxQueue = rr.MaxQueue
-	}
-}
-
-func (r *Result) addOracle(name string, steps int) {
-	r.Phases = append(r.Phases, PhaseStat{Name: name, Kind: "oracle", Steps: steps})
-	r.OracleSteps += steps
+// fromTotals copies the pipeline runner's accumulated statistics — the
+// one place phase stats are produced — into the public result.
+func (r *Result) fromTotals(t pipeline.Totals) {
+	r.TotalSteps = t.TotalSteps
+	r.RouteSteps = t.RouteSteps
+	r.OracleSteps = t.OracleSteps
+	r.MaxQueue = t.MaxQueue
+	r.Stranded = t.Stranded
+	r.Phases = t.Phases
 }

@@ -5,6 +5,7 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/xmath"
 )
 
@@ -80,136 +81,150 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		opposite = s.Reflect
 	}
 	R := len(regionBlocks)
+	D := s.Diameter()
 
-	net := engine.New(s)
-	net.Workers = cfg.Workers
-	net.Pool = cfg.Pool
-	originals, err := makeInput(net, 1, keys)
+	runner := cfg.runner()
+	originals, err := runner.InjectKeys(1, keys)
 	if err != nil {
 		return res, err
 	}
-	policy := cfg.Policy(s)
 
-	// Step (1): local sort inside every block.
-	sorted := localSortBlocks(net, blocked, allBlocks(blocked), cfg, &res, "local-sort-1")
-
-	// Step (2): distribute originals evenly over the region; send one
-	// copy of each packet to the opposite processor. Both streams are
-	// launched together (four partial unshuffles on the mesh, two full
-	// unshuffles on the torus) with classes interleaved over the d
-	// dimension-order rotations.
-	var copies []*engine.Packet
-	for j := 0; j < B; j++ {
-		for i, p := range sorted[j] {
-			c := i % R
-			slot := (j + (i/B)*B) % V
-			dst := blocked.ProcAtLocal(regionBlocks[c], slot)
-			p.Dst = dst
-			p.Class = (2 * i) % d
-			p.Tag = engine.TagOriginal
-			cp := net.NewPacket(p.Key, p.Src)
-			cp.Dst = opposite(dst)
-			cp.Class = (2*i + 1) % d
-			cp.Tag = engine.TagCopy
-			cp.Pair = p.ID
-			p.Pair = cp.ID
-			copies = append(copies, cp)
-		}
+	// The doubled unshuffle moves packets at most ~3D/4 on the mesh
+	// (center region) and up to D on the torus (antipodal copies); the
+	// survivor delivery is bounded by D/2 + o(n) (Lemmas 3.3/3.4).
+	unshuffleBound := 3 * D / 4
+	if s.Torus {
+		unshuffleBound = D
 	}
-	net.Inject(copies)
-	rr, err := net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: %s step 2: %w", name, err)
-	}
-	res.addRoute("unshuffle-with-copies", rr)
 
-	// Step (3): local sort inside every region block.
-	regionSorted := localSortBlocks(net, blocked, regionBlocks, cfg, &res, "local-sort-region")
-
-	// Pair resolution (oracle, zero cost; DESIGN.md substitution 3):
-	// the original's region position determines the pair's estimated
-	// destination; the farther of {original, copy} is deleted.
+	var sorted, regionSorted [][]*engine.Packet
 	pos := make([]int, 2*N) // packet id -> current processor
 	est := make([]int, 2*N) // packet id -> estimated key rank (originals only)
-	for jp, ps := range regionSorted {
-		for i, p := range ps {
-			pos[p.ID] = p.Dst // scatterBlock left Dst = current processor
-			if p.Tag == engine.TagOriginal {
-				e := (i*R + jp) / 2
-				if e >= N {
-					e = N - 1
-				}
-				est[p.ID] = e
-			}
-		}
-	}
 	dropped := make(map[int]bool, N)
-	maxPair := 0
-	for _, p := range originals {
-		destProc := blocked.RankAt(est[p.ID])
-		dOrig := s.Dist(pos[p.ID], destProc)
-		dCopy := s.Dist(pos[p.Pair], destProc)
-		if m := xmath.Min(dOrig, dCopy); m > maxPair {
-			maxPair = m
-		}
-		if dOrig <= dCopy {
-			dropped[p.Pair] = true
-		} else {
-			dropped[p.ID] = true
-		}
-	}
-	res.MaxPairDist = maxPair
+	prog := []pipeline.Phase{
+		// Step (1): local sort inside every block.
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, &sorted),
 
-	// Step (4): delete losers and route survivors to their estimated
-	// destinations (distance at most D/2 + o(n) by Lemmas 3.3/3.4).
-	// Classes are assigned from the survivor's local rank in its region
-	// block, as in the deterministic extended greedy scheme.
-	for _, ps := range regionSorted {
-		for i, p := range ps {
-			if dropped[p.ID] {
-				continue
-			}
-			e := est[p.ID]
-			if p.Tag == engine.TagCopy {
-				e = est[p.Pair]
-			}
-			p.Dst = blocked.RankAt(e)
-			p.Class = i % d
-		}
-	}
-	survivors := 0
-	for _, blockID := range regionBlocks {
-		for pp := 0; pp < V; pp++ {
-			rank := bs.ProcAt(blockID, pp)
-			held := net.Held(rank)
-			kept := held[:0]
-			for _, p := range held {
-				if dropped[p.ID] {
-					continue
+		// Step (2): distribute originals evenly over the region; send
+		// one copy of each packet to the opposite processor. Both
+		// streams are launched together (four partial unshuffles on the
+		// mesh, two full unshuffles on the torus) with classes
+		// interleaved over the d dimension-order rotations.
+		pipeline.Route{Name: "unshuffle-with-copies", Bound: unshuffleBound, Prepare: func(net *engine.Net) error {
+			var copies []*engine.Packet
+			for j := 0; j < B; j++ {
+				for i, p := range sorted[j] {
+					c := i % R
+					slot := (j + (i/B)*B) % V
+					dst := blocked.ProcAtLocal(regionBlocks[c], slot)
+					p.Dst = dst
+					p.Class = (2 * i) % d
+					p.Tag = engine.TagOriginal
+					cp := net.NewPacket(p.Key, p.Src)
+					cp.Dst = opposite(dst)
+					cp.Class = (2*i + 1) % d
+					cp.Tag = engine.TagCopy
+					cp.Pair = p.ID
+					p.Pair = cp.ID
+					copies = append(copies, cp)
 				}
-				kept = append(kept, p)
-				survivors++
 			}
-			for i := len(kept); i < len(held); i++ {
-				held[i] = nil
-			}
-			net.SetHeld(rank, kept)
-		}
-	}
-	if survivors != N {
-		return res, fmt.Errorf("core: %s pair resolution kept %d packets, want %d", name, survivors, N)
-	}
-	rr, err = net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: %s step 4: %w", name, err)
-	}
-	res.addRoute("route-survivors", rr)
+			net.Inject(copies)
+			return nil
+		}},
 
-	// Step (5): odd-even block merges until sorted.
-	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, 1, cfg.Cost, &res, 0)
-	res.TotalSteps = net.Clock()
-	if net.MaxQueue > res.MaxQueue {
-		res.MaxQueue = net.MaxQueue
+		// Step (3): local sort inside every region block.
+		localSortPhase("local-sort-region", blocked, regionBlocks, cfg, &regionSorted),
+
+		// Pair resolution (zero-cost check; DESIGN.md substitution 3):
+		// the original's region position determines the pair's estimated
+		// destination; the farther of {original, copy} is marked for
+		// deletion.
+		pipeline.Inspect{Name: "pair-resolution", Fn: func(net *engine.Net) error {
+			for jp, ps := range regionSorted {
+				for i, p := range ps {
+					pos[p.ID] = p.Dst // scatterBlock left Dst = current processor
+					if p.Tag == engine.TagOriginal {
+						e := (i*R + jp) / 2
+						if e >= N {
+							e = N - 1
+						}
+						est[p.ID] = e
+					}
+				}
+			}
+			maxPair := 0
+			for _, p := range originals {
+				destProc := blocked.RankAt(est[p.ID])
+				dOrig := s.Dist(pos[p.ID], destProc)
+				dCopy := s.Dist(pos[p.Pair], destProc)
+				if m := xmath.Min(dOrig, dCopy); m > maxPair {
+					maxPair = m
+				}
+				if dOrig <= dCopy {
+					dropped[p.Pair] = true
+				} else {
+					dropped[p.ID] = true
+				}
+			}
+			res.MaxPairDist = maxPair
+			return nil
+		}},
+
+		// Step (4): delete losers and route survivors to their estimated
+		// destinations (distance at most D/2 + o(n) by Lemmas 3.3/3.4).
+		// Classes are assigned from the survivor's local rank in its
+		// region block, as in the deterministic extended greedy scheme.
+		pipeline.Route{Name: "route-survivors", Bound: D / 2, Prepare: func(net *engine.Net) error {
+			for _, ps := range regionSorted {
+				for i, p := range ps {
+					if dropped[p.ID] {
+						continue
+					}
+					e := est[p.ID]
+					if p.Tag == engine.TagCopy {
+						e = est[p.Pair]
+					}
+					p.Dst = blocked.RankAt(e)
+					p.Class = i % d
+				}
+			}
+			survivors := 0
+			for _, blockID := range regionBlocks {
+				for pp := 0; pp < V; pp++ {
+					rank := bs.ProcAt(blockID, pp)
+					held := net.Held(rank)
+					kept := held[:0]
+					for _, p := range held {
+						if dropped[p.ID] {
+							continue
+						}
+						kept = append(kept, p)
+						survivors++
+					}
+					for i := len(kept); i < len(held); i++ {
+						held[i] = nil
+					}
+					net.SetHeld(rank, kept)
+				}
+			}
+			if survivors != N {
+				return fmt.Errorf("pair resolution kept %d packets, want %d", survivors, N)
+			}
+			return nil
+		}},
+
+		// Step (5): odd-even block merges until sorted.
+		mergeCleanupPhase(blocked, 1, cfg.Cost, 0, &res.MergeRounds, &res.Sorted),
+	}
+	err = runner.Run(prog...)
+	res.fromTotals(runner.Totals())
+	if err != nil {
+		return res, fmt.Errorf("core: %s: %w", name, err)
+	}
+	net := runner.Net()
+	if !res.Sorted {
+		res.Sorted = isSorted(net, blocked, 1)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)

@@ -103,7 +103,12 @@ func TestCopySortPhaseStructure(t *testing.T) {
 		names = append(names, ph.Name)
 	}
 	if names[0] != "local-sort-1" || names[1] != "unshuffle-with-copies" ||
-		names[2] != "local-sort-region" || names[3] != "route-survivors" {
+		names[2] != "local-sort-region" || names[3] != "pair-resolution" ||
+		names[4] != "route-survivors" {
 		t.Errorf("unexpected CopySort phases: %v", names)
+	}
+	if res.Phases[3].Kind != "check" || res.Phases[3].Steps != 0 {
+		t.Errorf("pair-resolution must be a zero-step check phase, got %s/%d",
+			res.Phases[3].Kind, res.Phases[3].Steps)
 	}
 }

@@ -7,12 +7,13 @@ import (
 	"meshsort/internal/baseline"
 	"meshsort/internal/engine"
 	"meshsort/internal/index"
+	"meshsort/internal/pipeline"
 )
 
 // This file implements the oracle local phases: block-local sorts and the
-// final odd-even block merge cleanup. All blocks operate in parallel in
-// the real machine, so one sweep over all blocks charges a single
-// per-block cost to the clock.
+// final odd-even block merge cleanup, as pipeline phase builders. All
+// blocks operate in parallel in the real machine, so one sweep over all
+// blocks charges a single per-block cost to the clock.
 
 // keyLess is the total order used everywhere: keys, ties broken by packet
 // id, which makes ranks unique even with duplicate keys.
@@ -56,42 +57,42 @@ func scatterBlock(net *engine.Net, b *index.Blocked, blockID int, ps []*engine.P
 	}
 }
 
-// localSortBlocks sorts the contents of each listed block in place and
-// returns the sorted packet slices per block position in the input list,
-// which callers use to compute local ranks for the subsequent routing
-// phase. By default the rearrangement is an oracle phase charged one
-// local-sort cost; with cfg.RealLocalSort it runs the in-mesh shearsort
-// of internal/baseline and charges the measured parallel step count.
-func localSortBlocks(net *engine.Net, b *index.Blocked, blocks []int, cfg Config, res *Result, name string) [][]*engine.Packet {
+// localSortPhase builds the phase that sorts the contents of each listed
+// block in place, storing the sorted packet slices (per block position
+// in the input list) into *out for the subsequent routing phase's rank
+// computations. By default the rearrangement is an oracle phase charged
+// one local-sort cost; with cfg.RealLocalSort it runs the in-mesh
+// shearsort of internal/baseline and the measured parallel step count is
+// what the runner records.
+func localSortPhase(name string, b *index.Blocked, blocks []int, cfg Config, out *[][]*engine.Packet) pipeline.Phase {
 	if cfg.RealLocalSort {
-		before := net.Clock()
-		if _, err := baseline.ShearSortBlocks(net, b, blocks); err != nil {
-			panic(fmt.Sprintf("core: real local sort: %v", err))
-		}
-		steps := net.Clock() - before
-		res.Phases = append(res.Phases, PhaseStat{Name: name, Kind: "shear", Steps: steps})
-		res.OracleSteps += steps
-		out := make([][]*engine.Packet, len(blocks))
-		for i, blockID := range blocks {
-			var ps []*engine.Packet
-			for l := 0; l < b.BlockVolume(); l++ {
-				ps = append(ps, net.Held(b.ProcAtLocal(blockID, l))...)
+		return pipeline.Local{Name: name, Kind: "shear", Apply: func(net *engine.Net) (int, error) {
+			if _, err := baseline.ShearSortBlocks(net, b, blocks); err != nil {
+				return 0, fmt.Errorf("real local sort: %w", err)
 			}
-			out[i] = ps
+			res := make([][]*engine.Packet, len(blocks))
+			for i, blockID := range blocks {
+				var ps []*engine.Packet
+				for l := 0; l < b.BlockVolume(); l++ {
+					ps = append(ps, net.Held(b.ProcAtLocal(blockID, l))...)
+				}
+				res[i] = ps
+			}
+			*out = res
+			return 0, nil
+		}}
+	}
+	return pipeline.Local{Name: name, Apply: func(net *engine.Net) (int, error) {
+		res := make([][]*engine.Packet, len(blocks))
+		for i, blockID := range blocks {
+			ps := gatherBlock(net, b, blockID)
+			sortPackets(ps)
+			scatterBlock(net, b, blockID, ps)
+			res[i] = ps
 		}
-		return out
-	}
-	out := make([][]*engine.Packet, len(blocks))
-	for i, blockID := range blocks {
-		ps := gatherBlock(net, b, blockID)
-		sortPackets(ps)
-		scatterBlock(net, b, blockID, ps)
-		out[i] = ps
-	}
-	c := cfg.Cost.localSortCost(b.Shape().Dim, b.Spec.Side)
-	net.AdvanceClock(c)
-	res.addOracle(name, c)
-	return out
+		*out = res
+		return cfg.Cost.localSortCost(b.Shape().Dim, b.Spec.Side), nil
+	}}
 }
 
 // allBlocks lists every block id in outer order.
@@ -138,25 +139,27 @@ func finalKeys(net *engine.Net, b *index.Blocked, k int) []int64 {
 	return out
 }
 
-// mergeUntilSorted runs odd-even rounds of block merges along the outer
-// (snake) order until the network is sorted, charging one merge cost per
-// round. A round merges the even pairs (0,1),(2,3),... and then the odd
-// pairs (1,2),(3,4),...; both halves of a round are charged together
-// because adjacent pairs operate on disjoint blocks in parallel, and the
-// two half-rounds are pipelined in the real machine.
+// mergeCleanupPhase builds the cleanup loop: odd-even rounds of block
+// merges along the outer (snake) order until the network is sorted,
+// charging one merge cost per round. A round merges the even pairs
+// (0,1),(2,3),... and then the odd pairs (1,2),(3,4),...; both halves of
+// a round are charged together because adjacent pairs operate on
+// disjoint blocks in parallel, and the two half-rounds are pipelined in
+// the real machine.
 //
 // Step (5) of the paper's algorithms performs exactly two such
-// transposition steps; the implementation iterates until sorted and
-// reports the count, so tests can certify that the "at most one block
-// off" guarantee (Lemma 3.1) holds in practice. maxRounds bounds the
-// loop; 0 means the number of blocks (the worst case of odd-even
-// transposition sort).
-func mergeUntilSorted(net *engine.Net, b *index.Blocked, k int, cost CostModel, res *Result, maxRounds int) (rounds int, sorted bool) {
+// transposition steps; the loop iterates until sorted and counts rounds
+// into *rounds, so tests can certify that the "at most one block off"
+// guarantee (Lemma 3.1) holds in practice. *sorted is set as soon as the
+// sorted state is observed; when the loop exhausts maxRounds the caller
+// re-checks. maxRounds 0 means the number of blocks plus two (the worst
+// case of odd-even transposition sort).
+func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, maxRounds int, rounds *int, sorted *bool) pipeline.Phase {
 	B := b.BlockCount()
 	if maxRounds == 0 {
 		maxRounds = B + 2
 	}
-	mergePair := func(orderLo int) {
+	mergePair := func(net *engine.Net, orderLo int) {
 		lo := b.BlockAtOrder(orderLo)
 		hi := b.BlockAtOrder(orderLo + 1)
 		ps := gatherBlock(net, b, lo)
@@ -175,20 +178,18 @@ func mergeUntilSorted(net *engine.Net, b *index.Blocked, k int, cost CostModel, 
 		scatterBlock(net, b, lo, ps[:mid])
 		scatterBlock(net, b, hi, ps[mid:])
 	}
-	for rounds < maxRounds {
+	return pipeline.Loop{Name: "merge-round", Max: maxRounds, Round: func(net *engine.Net, round int) (int, bool, error) {
 		if isSorted(net, b, k) {
-			return rounds, true
+			*sorted = true
+			return 0, true, nil
 		}
 		for o := 0; o+1 < B; o += 2 {
-			mergePair(o)
+			mergePair(net, o)
 		}
 		for o := 1; o+1 < B; o += 2 {
-			mergePair(o)
+			mergePair(net, o)
 		}
-		c := cost.mergeCost(b.Shape().Dim, b.Spec.Side)
-		net.AdvanceClock(c)
-		res.addOracle("merge-round", c)
-		rounds++
-	}
-	return rounds, isSorted(net, b, k)
+		*rounds++
+		return cost.mergeCost(b.Shape().Dim, b.Spec.Side), false, nil
+	}}
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+)
+
+// goldenSimpleSort is the phase program of Theorem 3.1, steps (1)-(5):
+// the declarative pipeline must emit exactly this sequence, with the
+// cleanup loop contributing only merge-round stats at the tail.
+var goldenSimpleSort = []struct{ name, kind string }{
+	{"local-sort-1", "oracle"},
+	{"unshuffle-to-center", "route"},
+	{"local-sort-center", "oracle"},
+	{"route-to-destination", "route"},
+	{"merge-round", "oracle"},
+}
+
+// TestSimpleSortGoldenPhases pins SimpleSort to the paper's structure:
+// exactly the five phases of Theorem 3.1 in order, both routing phases
+// carrying the 3D/4 per-phase bound, and the total routing cost within
+// 3D/2 + o(n) of the diameter.
+func TestSimpleSortGoldenPhases(t *testing.T) {
+	var observed []PhaseStat
+	cfg := Config{Shape: grid.New(3, 16), BlockSide: 4, Seed: 1,
+		Observer: func(st PhaseStat) { observed = append(observed, st) }}
+	res, err := SimpleSort(cfg, RandomKeys(cfg.Shape, 1, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sorted {
+		t.Fatal("not sorted")
+	}
+	if len(res.Phases) < len(goldenSimpleSort) {
+		t.Fatalf("only %d phases: %+v", len(res.Phases), res.Phases)
+	}
+	for i, ph := range res.Phases {
+		want := goldenSimpleSort[len(goldenSimpleSort)-1] // trailing merge rounds
+		if i < len(goldenSimpleSort) {
+			want = goldenSimpleSort[i]
+		}
+		if ph.Name != want.name || ph.Kind != want.kind {
+			t.Errorf("phase %d = %s/%s, want %s/%s", i, ph.Name, ph.Kind, want.name, want.kind)
+		}
+	}
+	// Both routing phases carry Theorem 3.1's ~3D/4 per-phase bound and
+	// stay within it up to the o(n) block terms.
+	D := cfg.Shape.Diameter()
+	slack := cfg.Shape.Dim * cfg.BlockSide // the o(n) term at this size
+	for _, ph := range res.Phases {
+		if ph.Kind != "route" {
+			continue
+		}
+		if ph.Bound != 3*D/4 {
+			t.Errorf("phase %s bound %d, want 3D/4 = %d", ph.Name, ph.Bound, 3*D/4)
+		}
+		if ph.Steps > ph.Bound+slack {
+			t.Errorf("phase %s took %d steps, above its bound %d + slack %d",
+				ph.Name, ph.Steps, ph.Bound, slack)
+		}
+	}
+	// Total routing cost: 3D/2 + o(n) (Theorem 3.1).
+	if maxRatio := 1.5 + 2*float64(slack)/float64(D); res.RouteRatio() > maxRatio {
+		t.Errorf("RouteRatio %.3f above 3/2 + o(1) allowance %.3f", res.RouteRatio(), maxRatio)
+	}
+	// The observer saw exactly the recorded phases, in order.
+	if len(observed) != len(res.Phases) {
+		t.Fatalf("observer saw %d phases, result has %d", len(observed), len(res.Phases))
+	}
+	for i := range observed {
+		if observed[i] != res.Phases[i] {
+			t.Errorf("observer phase %d %+v != result %+v", i, observed[i], res.Phases[i])
+		}
+	}
+}
+
+// TestSimpleSortDegradedPrefix: when a routing phase aborts mid-pipeline
+// with *engine.DegradedError, the returned Result carries exactly the
+// completed prefix's phase stats, while TotalSteps still includes the
+// aborted phase's clock. A dead destination processor with stranding
+// disabled (negative patience) forces the livelock watchdog to fire
+// deterministically.
+func TestSimpleSortDegradedPrefix(t *testing.T) {
+	cfg := Config{Shape: grid.New(2, 8), BlockSide: 4, Seed: 3}
+	f := engine.NewFaultPlan(cfg.Shape)
+	f.FailProcessor(cfg.Shape.Rank([]int{3, 3}))
+	cfg.Faults = f
+	cfg.Patience = -1   // never strand: packets to the dead processor spin
+	cfg.NoProgress = 32 // so the watchdog must abort the phase
+	keys := make([]int64, cfg.Shape.N())
+	for i := range keys {
+		keys[i] = int64(i % 17)
+	}
+	res, err := SimpleSort(cfg, keys)
+	if err == nil {
+		t.Fatal("dead destination with stranding disabled completed cleanly")
+	}
+	var de *engine.DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %v, want a *engine.DegradedError", err)
+	}
+	if de.Undelivered == 0 {
+		t.Error("degraded abort reports no undelivered packets")
+	}
+	// The recorded phases are a proper prefix of the golden program: the
+	// aborted routing phase records nothing.
+	if len(res.Phases) == 0 || len(res.Phases) >= len(goldenSimpleSort) {
+		t.Fatalf("prefix has %d phases: %+v", len(res.Phases), res.Phases)
+	}
+	for i, ph := range res.Phases {
+		if ph.Name != goldenSimpleSort[i].name || ph.Kind != goldenSimpleSort[i].kind {
+			t.Errorf("prefix phase %d = %s/%s, want %s/%s",
+				i, ph.Name, ph.Kind, goldenSimpleSort[i].name, goldenSimpleSort[i].kind)
+		}
+	}
+	if next := goldenSimpleSort[len(res.Phases)]; next.kind != "route" {
+		t.Errorf("pipeline stopped before %s/%s; only a route phase can abort", next.name, next.kind)
+	}
+	// TotalSteps = completed prefix + the aborted phase's clock; the
+	// categorized counters cover only recorded phases.
+	sum := 0
+	for _, ph := range res.Phases {
+		sum += ph.Steps
+	}
+	if res.TotalSteps <= sum {
+		t.Errorf("TotalSteps %d does not include the aborted phase's clock (prefix sum %d)",
+			res.TotalSteps, sum)
+	}
+	if res.RouteSteps+res.OracleSteps != sum {
+		t.Errorf("categorized steps %d+%d != prefix sum %d", res.RouteSteps, res.OracleSteps, sum)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/perm"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/xmath"
 )
 
@@ -50,67 +51,70 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	R := region.Size()
 	rng := xmath.NewRNG(cfg.Seed).Split(0x5a4d)
 
-	net := engine.New(s)
-	net.Workers = cfg.Workers
-	net.Pool = cfg.Pool
-	if _, err := makeInput(net, k, keys); err != nil {
+	runner := cfg.runner()
+	if _, err := runner.InjectKeys(k, keys); err != nil {
 		return res, err
 	}
-	policy := cfg.Policy(s)
+	routeBound := 3 * s.Diameter() / 4
 
-	// Step (1) is not needed in the randomized form (no local ranks are
-	// used for the spreading), but the packets still pay the local sort
-	// that the deterministic form uses to define classes; we charge
-	// nothing here and let the class choice be random, following
-	// Valiant-Brebner.
-	for j := 0; j < B; j++ {
-		for pos := 0; pos < V; pos++ {
-			rank := blocked.ProcAtLocal(blocked.BlockAtOrder(j), pos)
-			for _, p := range net.Held(rank) {
-				c := rng.Intn(R)
-				slot := rng.Intn(V)
-				p.Dst = blocked.ProcAtLocal(region.BlockAt(c), slot)
-				p.Class = rng.Intn(d)
+	var centerSorted [][]*engine.Packet
+	prog := []pipeline.Phase{
+		// Step (1) is not needed in the randomized form (no local ranks
+		// are used for the spreading), but the packets still pay the
+		// local sort that the deterministic form uses to define classes;
+		// we charge nothing here and let the class choice be random,
+		// following Valiant-Brebner. Step (2): random placement over C.
+		pipeline.Route{Name: "random-to-center", Bound: routeBound, Prepare: func(net *engine.Net) error {
+			for j := 0; j < B; j++ {
+				for pos := 0; pos < V; pos++ {
+					rank := blocked.ProcAtLocal(blocked.BlockAtOrder(j), pos)
+					for _, p := range net.Held(rank) {
+						c := rng.Intn(R)
+						slot := rng.Intn(V)
+						p.Dst = blocked.ProcAtLocal(region.BlockAt(c), slot)
+						p.Class = rng.Intn(d)
+					}
+				}
 			}
-		}
-	}
-	rr, err := net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: RandSimpleSort step 2: %w", err)
-	}
-	res.addRoute("random-to-center", rr)
+			return nil
+		}},
 
-	// Step (3): local sort inside every center block. Block loads are
-	// only approximately kN/R, so the estimate uses the actual load.
-	centerSorted := localSortBlocks(net, blocked, region.Blocks, cfg, &res, "local-sort-center")
+		// Step (3): local sort inside every center block. Block loads
+		// are only approximately kN/R, so the estimate uses the actual
+		// load.
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, &centerSorted),
 
-	// Step (4): rank estimate from the block's sampled order: local rank
-	// i among M packets pins the global rank near i*kN/M.
-	for jp, ps := range centerSorted {
-		M := len(ps)
-		if M == 0 {
-			continue
-		}
-		for i, p := range ps {
-			est := i*kN/M + jp
-			if est >= kN {
-				est = kN - 1
+		// Step (4): rank estimate from the block's sampled order: local
+		// rank i among M packets pins the global rank near i*kN/M.
+		pipeline.Route{Name: "route-to-destination", Bound: routeBound, Prepare: func(net *engine.Net) error {
+			for jp, ps := range centerSorted {
+				M := len(ps)
+				if M == 0 {
+					continue
+				}
+				for i, p := range ps {
+					est := i*kN/M + jp
+					if est >= kN {
+						est = kN - 1
+					}
+					p.Dst = blocked.RankAt(est / k)
+					p.Class = rng.Intn(d)
+				}
 			}
-			p.Dst = blocked.RankAt(est / k)
-			p.Class = rng.Intn(d)
-		}
-	}
-	rr, err = net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: RandSimpleSort step 4: %w", err)
-	}
-	res.addRoute("route-to-destination", rr)
+			return nil
+		}},
 
-	// Step (5): merge cleanup.
-	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, k, cfg.Cost, &res, 0)
-	res.TotalSteps = net.Clock()
-	if net.MaxQueue > res.MaxQueue {
-		res.MaxQueue = net.MaxQueue
+		// Step (5): merge cleanup.
+		mergeCleanupPhase(blocked, k, cfg.Cost, 0, &res.MergeRounds, &res.Sorted),
+	}
+	err := runner.Run(prog...)
+	res.fromTotals(runner.Totals())
+	if err != nil {
+		return res, fmt.Errorf("core: RandSimpleSort: %w", err)
+	}
+	net := runner.Net()
+	if !res.Sorted {
+		res.Sorted = isSorted(net, blocked, k)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: RandSimpleSort failed to sort within %d merge rounds", res.MergeRounds)
@@ -137,15 +141,14 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 	nu := cfg.nu()
 	res.EffectiveNu = nu
 	rng := xmath.NewRNG(cfg.Seed).Split(0x29)
-	net := engine.New(s)
-	net.Workers = cfg.Workers
-	net.Pool = cfg.Pool
+
+	runner := cfg.runner()
+	net := runner.Net()
 	pkts := make([]*engine.Packet, prob.Size())
 	for i := range pkts {
 		pkts[i] = net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
 	}
 	net.Inject(pkts)
-	policy := cfg.Policy(s)
 
 	limit := D/2 + nu
 	for i, p := range pkts {
@@ -171,29 +174,22 @@ func RandTwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, erro
 		p.Class = rng.Intn(s.Dim)
 	}
 	res.Bound = D + 2*res.EffectiveNu
+	phaseBound := D/2 + res.EffectiveNu
 
-	rr, err := net.Route(policy, cfg.RouteOpts())
+	err := runner.Run(
+		pipeline.Route{Name: "to-intermediate", Bound: phaseBound},
+		pipeline.Route{Name: "to-destination", Bound: phaseBound, Prepare: func(*engine.Net) error {
+			for i, p := range pkts {
+				p.Dst = prob.Dst[i]
+				p.Class = rng.Intn(s.Dim)
+			}
+			return nil
+		}},
+	)
+	res.fromTotals(runner.Totals())
 	if err != nil {
-		return res, fmt.Errorf("core: randomized routing phase 1: %w", err)
+		return res, fmt.Errorf("core: randomized routing: %w", err)
 	}
-	res.Phases = append(res.Phases, routePhase("to-intermediate", rr))
-	res.RouteSteps += rr.Steps
-	res.MaxQueue = rr.MaxQueue
-
-	for i, p := range pkts {
-		p.Dst = prob.Dst[i]
-		p.Class = rng.Intn(s.Dim)
-	}
-	rr, err = net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: randomized routing phase 2: %w", err)
-	}
-	res.Phases = append(res.Phases, routePhase("to-destination", rr))
-	res.RouteSteps += rr.Steps
-	if rr.MaxQueue > res.MaxQueue {
-		res.MaxQueue = rr.MaxQueue
-	}
-	res.TotalSteps = net.Clock()
 	res.Delivered = true
 	for i, p := range pkts {
 		if p.Dst != prob.Dst[i] {

@@ -7,6 +7,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/perm"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 	"meshsort/internal/xmath"
 )
@@ -35,7 +36,23 @@ type RouteConfig struct {
 	Pool *engine.Pool
 	Cost CostModel
 
+	// Observer, if set, receives every phase's PhaseStat as it completes
+	// (cmd/meshsort exposes it as -trace).
+	Observer pipeline.Observer
+
 	FaultOpts
+}
+
+// runner builds the pipeline runner a routing run executes on.
+func (c RouteConfig) runner() *pipeline.Runner {
+	return pipeline.New(pipeline.Config{
+		Shape:    c.Shape,
+		Workers:  c.Workers,
+		Pool:     c.Pool,
+		Policy:   c.Policy(c.Shape),
+		Route:    c.RouteOpts(),
+		Observer: c.Observer,
+	})
 }
 
 func (c RouteConfig) nu() int {
@@ -63,6 +80,17 @@ type RouteAlgResult struct {
 	Delivered   bool
 }
 
+// fromTotals copies the pipeline runner's accumulated statistics into
+// the public result.
+func (r *RouteAlgResult) fromTotals(t pipeline.Totals) {
+	r.TotalSteps = t.TotalSteps
+	r.RouteSteps = t.RouteSteps
+	r.OracleSteps = t.OracleSteps
+	r.MaxQueue = t.MaxQueue
+	r.Stranded = t.Stranded
+	r.Phases = t.Phases
+}
+
 // TwoPhaseRoute routes a 1-1 problem in two distance-bounded phases.
 // Deterministic version of Section 5: the network is partitioned into
 // blocks of side b; all packets with sources in block X and destinations
@@ -87,16 +115,14 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 	nu := cfg.nu()
 	res.EffectiveNu = nu
 
-	net := engine.New(s)
-	net.Workers = cfg.Workers
-	net.Pool = cfg.Pool
+	runner := cfg.runner()
+	net := runner.Net()
 	pkts := make([]*engine.Packet, prob.Size())
 	for i := range pkts {
 		p := net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
 		pkts[i] = p
 	}
 	net.Inject(pkts)
-	policy := cfg.Policy(s)
 
 	// Phase 1 destination assignment. sizeOf caches |S_nu(X,Y)| and the
 	// per-pair slack; pick round-robins over the members.
@@ -168,50 +194,35 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 		p.Dst = bs.ProcAt(zSel, slot)
 	}
 	res.Bound = D + 2*res.EffectiveNu
-
-	// The deterministic spreading and class assignment are realized by a
-	// block-local sort (o(n), charged once per phase).
-	route.AssignClasses(s, pkts, nil, route.ClassLocalRank, cfg.BlockSide, cfg.Seed)
+	phaseBound := D/2 + res.EffectiveNu
 	c := cfg.Cost.localSortCost(d, cfg.BlockSide)
-	net.AdvanceClock(c)
-	res.OracleSteps += c
-	res.Phases = append(res.Phases, PhaseStat{Name: "spread-classes-1", Kind: "oracle", Steps: c})
 
-	rr, err := net.Route(policy, cfg.RouteOpts())
+	err := runner.Run(
+		// The deterministic spreading and class assignment are realized
+		// by a block-local sort (o(n), charged once per phase).
+		pipeline.Local{Name: "spread-classes-1", Apply: func(*engine.Net) (int, error) {
+			route.AssignClasses(s, pkts, nil, route.ClassLocalRank, cfg.BlockSide, cfg.Seed)
+			return c, nil
+		}},
+		pipeline.Route{Name: "to-intermediate", Bound: phaseBound},
+
+		// Phase 2: deliver. Classes are grouped by the packets' current
+		// (intermediate) blocks.
+		pipeline.Local{Name: "spread-classes-2", Apply: func(*engine.Net) (int, error) {
+			locs := make([]int, len(pkts))
+			for i, p := range pkts {
+				locs[i] = p.Dst // each packet rests at its phase-1 destination
+				p.Dst = prob.Dst[i]
+			}
+			route.AssignClasses(s, pkts, locs, route.ClassLocalRank, cfg.BlockSide, cfg.Seed+1)
+			return c, nil
+		}},
+		pipeline.Route{Name: "to-destination", Bound: phaseBound},
+	)
+	res.fromTotals(runner.Totals())
 	if err != nil {
-		return res, fmt.Errorf("core: two-phase routing phase 1: %w", err)
+		return res, fmt.Errorf("core: two-phase routing: %w", err)
 	}
-	res.Phases = append(res.Phases, routePhase("to-intermediate", rr))
-	res.RouteSteps += rr.Steps
-	res.Stranded += len(rr.Stranded)
-	if rr.MaxQueue > res.MaxQueue {
-		res.MaxQueue = rr.MaxQueue
-	}
-
-	// Phase 2: deliver. Classes are grouped by the packets' current
-	// (intermediate) blocks.
-	locs := make([]int, len(pkts))
-	for i, p := range pkts {
-		locs[i] = p.Dst // each packet rests at its phase-1 destination
-		p.Dst = prob.Dst[i]
-	}
-	route.AssignClasses(s, pkts, locs, route.ClassLocalRank, cfg.BlockSide, cfg.Seed+1)
-	net.AdvanceClock(c)
-	res.OracleSteps += c
-	res.Phases = append(res.Phases, PhaseStat{Name: "spread-classes-2", Kind: "oracle", Steps: c})
-
-	rr, err = net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: two-phase routing phase 2: %w", err)
-	}
-	res.Phases = append(res.Phases, routePhase("to-destination", rr))
-	res.RouteSteps += rr.Steps
-	res.Stranded += len(rr.Stranded)
-	if rr.MaxQueue > res.MaxQueue {
-		res.MaxQueue = rr.MaxQueue
-	}
-
-	res.TotalSteps = net.Clock()
 	// Delivered means every packet actually rests at its destination —
 	// a stranded packet is held wherever its patience ran out.
 	res.Delivered = true

@@ -6,6 +6,7 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/pipeline"
 )
 
 // SelectResult reports a distributed selection run.
@@ -69,67 +70,70 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	}
 	target := s.Rank(center)
 
-	net := engine.New(s)
-	net.Workers = cfg.Workers
-	net.Pool = cfg.Pool
-	if _, err := makeInput(net, 1, keys); err != nil {
+	runner := cfg.runner()
+	if _, err := runner.InjectKeys(1, keys); err != nil {
 		return res, err
 	}
-	policy := cfg.Policy(s)
-	sres := Result{}
+	D := s.Diameter()
 
-	// Phases (1)-(3) of SimpleSort: concentrate into C, sort locally.
-	sorted := localSortBlocks(net, blocked, allBlocks(blocked), cfg, &sres, "local-sort-1")
-	for j := 0; j < B; j++ {
-		for i, p := range sorted[j] {
-			c := i % R
-			slot := (j + (i/B)*B) % V
-			p.Dst = blocked.ProcAtLocal(region.BlockAt(c), slot)
-			p.Class = i % d
-		}
-	}
-	rr, err := net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: select concentration: %w", err)
-	}
-	sres.addRoute("unshuffle-to-center", rr)
-	centerSorted := localSortBlocks(net, blocked, region.Blocks, cfg, &sres, "local-sort-center")
-
-	// Identify the target packet. The estimate window: local rank i in
-	// region block j' pins the global rank to i*R + j' +- B*R (the
-	// cross-block sampling error), so the candidate set is small; the
-	// exact packet within it is resolved by the oracle.
-	window := B * R
+	var sorted, centerSorted [][]*engine.Packet
 	var targetPkt *engine.Packet
-	all := make([]*engine.Packet, 0, N)
-	for jp, ps := range centerSorted {
-		for i, p := range ps {
-			est := i*R + jp
-			if est >= targetRank-window && est <= targetRank+window {
-				res.Candidates++
+	err := runner.Run(
+		// Phases (1)-(3) of SimpleSort: concentrate into C, sort locally.
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, &sorted),
+		pipeline.Route{Name: "unshuffle-to-center", Bound: 3 * D / 4, Prepare: func(*engine.Net) error {
+			for j := 0; j < B; j++ {
+				for i, p := range sorted[j] {
+					c := i % R
+					slot := (j + (i/B)*B) % V
+					p.Dst = blocked.ProcAtLocal(region.BlockAt(c), slot)
+					p.Class = i % d
+				}
 			}
-			all = append(all, p)
-		}
-	}
-	sort.Slice(all, func(i, j int) bool { return keyLess(all[i], all[j]) })
-	targetPkt = all[targetRank]
+			return nil
+		}},
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, &centerSorted),
 
-	// Last hop: the target packet travels from inside C to the center,
-	// at most ~D/4 + o(n).
-	targetPkt.Dst = target
-	targetPkt.Class = 0
-	rr, err = net.Route(policy, cfg.RouteOpts())
+		// Identify the target packet (zero-cost check; DESIGN.md
+		// substitution 3). The estimate window: local rank i in region
+		// block j' pins the global rank to i*R + j' +- B*R (the
+		// cross-block sampling error), so the candidate set is small;
+		// the exact packet within it is resolved by the oracle.
+		pipeline.Inspect{Name: "identify-target", Fn: func(*engine.Net) error {
+			window := B * R
+			all := make([]*engine.Packet, 0, N)
+			for jp, ps := range centerSorted {
+				for i, p := range ps {
+					est := i*R + jp
+					if est >= targetRank-window && est <= targetRank+window {
+						res.Candidates++
+					}
+					all = append(all, p)
+				}
+			}
+			sort.Slice(all, func(i, j int) bool { return keyLess(all[i], all[j]) })
+			targetPkt = all[targetRank]
+			return nil
+		}},
+
+		// Last hop: the target packet travels from inside C to the
+		// center, at most ~D/4 + o(n).
+		pipeline.Route{Name: "deliver-target", Bound: D / 4, Prepare: func(*engine.Net) error {
+			targetPkt.Dst = target
+			targetPkt.Class = 0
+			return nil
+		}},
+	)
+	tot := runner.Totals()
+	res.TotalSteps = tot.TotalSteps
+	res.RouteSteps = tot.RouteSteps
+	res.OracleSteps = tot.OracleSteps
+	res.MaxQueue = tot.MaxQueue
+	res.Phases = tot.Phases
 	if err != nil {
-		return res, fmt.Errorf("core: select delivery: %w", err)
+		return res, fmt.Errorf("core: select: %w", err)
 	}
-	sres.addRoute("deliver-target", rr)
-
 	res.Value = targetPkt.Key
-	res.TotalSteps = net.Clock()
-	res.RouteSteps = sres.RouteSteps
-	res.OracleSteps = sres.OracleSteps
-	res.MaxQueue = sres.MaxQueue
-	res.Phases = sres.Phases
 
 	// Certify against a reference sort.
 	ref := append([]int64(nil), keys...)

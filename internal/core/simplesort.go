@@ -5,6 +5,7 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/xmath"
 )
 
@@ -35,26 +36,10 @@ func SimpleSort(cfg Config, keys []int64) (Result, error) {
 	return centerSort(cfg, keys, "SimpleSort")
 }
 
-// makeInput creates and injects one packet per key.
-func makeInput(net *engine.Net, k int, keys []int64) ([]*engine.Packet, error) {
-	n := net.Shape.N()
-	if len(keys) != k*n {
-		return nil, fmt.Errorf("core: got %d keys, want k*N = %d", len(keys), k*n)
-	}
-	pkts := make([]*engine.Packet, len(keys))
-	for r := 0; r < n; r++ {
-		for t := 0; t < k; t++ {
-			p := net.NewPacket(keys[r*k+t], r)
-			pkts[r*k+t] = p
-		}
-	}
-	net.Inject(pkts)
-	return pkts, nil
-}
-
 // centerSort is the shared implementation of SimpleSort and its
 // small-center variant (Corollary 3.1.2): the center region size comes
-// from the configuration.
+// from the configuration. The five steps of Theorem 3.1 are expressed as
+// a declarative phase program executed by the pipeline runner.
 func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	res := Result{Algorithm: name, Config: cfg}
 	if err := cfg.Validate(); err != nil {
@@ -76,69 +61,75 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	region := grid.CenterBlocks(bs, count)
 	R := region.Size()
 
-	net := engine.New(s)
-	net.Workers = cfg.Workers
-	net.Pool = cfg.Pool
-	if _, err := makeInput(net, k, keys); err != nil {
+	runner := cfg.runner()
+	if _, err := runner.InjectKeys(k, keys); err != nil {
 		return res, err
 	}
-	policy := cfg.Policy(s)
 
-	// Step (1): local sort inside every block.
-	sorted := localSortBlocks(net, blocked, allBlocks(blocked), cfg, &res, "local-sort-1")
+	// Both routing phases of the center scheme move packets at most
+	// ~3D/4 (Theorem 3.1's per-phase bound, up to the o(n) block terms).
+	routeBound := 3 * s.Diameter() / 4
 
-	// Step (2): distribute every block's packets evenly over C.
-	for j := 0; j < B; j++ {
-		ps := sorted[j] // allBlocks lists blocks in outer order, so index j is outer position j
-		for i, p := range ps {
-			c := i % R
-			destBlock := region.BlockAt(c)
-			slot := (j + (i/B)*B) % V
-			p.Dst = blocked.ProcAtLocal(destBlock, slot)
-			p.Class = i % d
-		}
-	}
-	rr, err := net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: %s step 2: %w", name, err)
-	}
-	res.addRoute("unshuffle-to-center", rr)
+	var sorted, centerSorted [][]*engine.Packet
+	prog := []pipeline.Phase{
+		// Step (1): local sort inside every block.
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, &sorted),
 
-	// Step (3): local sort inside every center block.
-	centerSorted := localSortBlocks(net, blocked, region.Blocks, cfg, &res, "local-sort-center")
-
-	// Step (4): send every packet to its estimated destination. Center
-	// block j' holds (about) kN/R packets forming an even sample of the
-	// input, so local rank i estimates the global rank as i*R + j' —
-	// exact and collision-free when R = B/2 (it expands to the paper's
-	// j' + (i mod Q)*R + (i/Q)*V with Q = 2kV/B). With AltEstimator the
-	// bias-corrected variant is used instead (see Config.AltEstimator).
-	for jp, ps := range centerSorted {
-		for i, p := range ps {
-			var est int
-			if cfg.AltEstimator {
-				est = (i/B)*R*B + i%B + jp*B
-			} else {
-				est = i*R + jp
+		// Step (2): distribute every block's packets evenly over C.
+		pipeline.Route{Name: "unshuffle-to-center", Bound: routeBound, Prepare: func(net *engine.Net) error {
+			for j := 0; j < B; j++ {
+				ps := sorted[j] // allBlocks lists blocks in outer order, so index j is outer position j
+				for i, p := range ps {
+					c := i % R
+					destBlock := region.BlockAt(c)
+					slot := (j + (i/B)*B) % V
+					p.Dst = blocked.ProcAtLocal(destBlock, slot)
+					p.Class = i % d
+				}
 			}
-			if est >= kN {
-				est = kN - 1
-			}
-			p.Dst = blocked.RankAt(est / k)
-			p.Class = i % d
-		}
-	}
-	rr, err = net.Route(policy, cfg.RouteOpts())
-	if err != nil {
-		return res, fmt.Errorf("core: %s step 4: %w", name, err)
-	}
-	res.addRoute("route-to-destination", rr)
+			return nil
+		}},
 
-	// Step (5): odd-even block merges until sorted.
-	res.MergeRounds, res.Sorted = mergeUntilSorted(net, blocked, k, cfg.Cost, &res, 0)
-	res.TotalSteps = net.Clock()
-	if net.MaxQueue > res.MaxQueue {
-		res.MaxQueue = net.MaxQueue
+		// Step (3): local sort inside every center block.
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, &centerSorted),
+
+		// Step (4): send every packet to its estimated destination.
+		// Center block j' holds (about) kN/R packets forming an even
+		// sample of the input, so local rank i estimates the global rank
+		// as i*R + j' — exact and collision-free when R = B/2 (it
+		// expands to the paper's j' + (i mod Q)*R + (i/Q)*V with
+		// Q = 2kV/B). With AltEstimator the bias-corrected variant is
+		// used instead (see Config.AltEstimator).
+		pipeline.Route{Name: "route-to-destination", Bound: routeBound, Prepare: func(net *engine.Net) error {
+			for jp, ps := range centerSorted {
+				for i, p := range ps {
+					var est int
+					if cfg.AltEstimator {
+						est = (i/B)*R*B + i%B + jp*B
+					} else {
+						est = i*R + jp
+					}
+					if est >= kN {
+						est = kN - 1
+					}
+					p.Dst = blocked.RankAt(est / k)
+					p.Class = i % d
+				}
+			}
+			return nil
+		}},
+
+		// Step (5): odd-even block merges until sorted.
+		mergeCleanupPhase(blocked, k, cfg.Cost, 0, &res.MergeRounds, &res.Sorted),
+	}
+	err := runner.Run(prog...)
+	res.fromTotals(runner.Totals())
+	if err != nil {
+		return res, fmt.Errorf("core: %s: %w", name, err)
+	}
+	net := runner.Net()
+	if !res.Sorted {
+		res.Sorted = isSorted(net, blocked, k)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)

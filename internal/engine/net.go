@@ -335,6 +335,24 @@ func (r RouteResult) WorkerUtilization() float64 {
 	return float64(r.WorkerBusy) / (float64(r.Workers) * float64(r.Elapsed))
 }
 
+// Throughput bundles the derived wall-clock throughput figures of a
+// phase. It is the single source of that math: per-phase stats embed it
+// instead of re-deriving the ratios from the raw counters.
+type Throughput struct {
+	StepsPerSec    float64 // simulated steps per wall-second
+	PacketsPerStep float64 // mean link traversals per simulated step
+	WorkerUtil     float64 // worker pool utilization in [0,1]
+}
+
+// Throughput derives the phase's throughput figures from its counters.
+func (r RouteResult) Throughput() Throughput {
+	return Throughput{
+		StepsPerSec:    r.StepsPerSec(),
+		PacketsPerStep: r.PacketsPerStep(),
+		WorkerUtil:     r.WorkerUtilization(),
+	}
+}
+
 // Route activates every held packet whose Dst differs from its current
 // processor and runs the synchronous step loop under the given policy
 // until every one of them is delivered or stranded. It returns the phase

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"meshsort/internal/core"
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/stats"
+)
+
+// E20PhaseTrace prints the per-phase statistics of one SimpleSort run
+// and one TwoPhaseRoute run, as recorded by the pipeline runner — the
+// table form of cmd/meshsort's -trace stream. One row per phase: the
+// kind, the simulated steps, the paper's per-phase bound (0 = none
+// stated), and the phase's distance/queue/stranding observations.
+// Throughput fields are deliberately omitted: they are wall-clock
+// measurements and this table must be deterministic.
+func E20PhaseTrace(o Options) *stats.Table {
+	t := stats.NewTable(
+		"E20 — pipeline phase trace: per-phase steps vs. the paper's per-phase bounds (SimpleSort Thm 3.1; TwoPhaseRoute Thm 5.1)",
+		"algorithm", "phase", "kind", "steps", "bound", "maxdist", "maxq", "stranded")
+	add := func(alg string, phases []core.PhaseStat) {
+		for _, ph := range phases {
+			t.Addf(alg, ph.Name, ph.Kind, ph.Steps, ph.Bound, ph.MaxDist, ph.MaxQueue, ph.Stranded)
+		}
+	}
+
+	// The instance is fixed (not scaled by -quick): the table documents
+	// phase structure, not asymptotics, and must match across run modes.
+	shape := grid.New(3, 16)
+	cfg := core.Config{Shape: shape, BlockSide: 4, Seed: o.seed()}
+	res := runSort("SimpleSort", core.SimpleSort, cfg)
+	add("SimpleSort", res.Phases)
+
+	rcfg := core.RouteConfig{Shape: shape, BlockSide: 4, Seed: o.seed()}
+	two, err := core.TwoPhaseRoute(rcfg, perm.Reversal(shape))
+	if err != nil {
+		panic(err)
+	}
+	add("TwoPhaseRoute", two.Phases)
+	return t
+}

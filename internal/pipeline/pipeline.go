@@ -1,0 +1,278 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+)
+
+// Phase stat kinds. Local phases may use a custom kind (the in-mesh
+// shearsort records "shear"); everything that is not KindRoute counts
+// toward OracleSteps, everything that is KindCheck costs zero.
+const (
+	KindRoute  = "route"
+	KindOracle = "oracle"
+	KindCheck  = "check"
+)
+
+// PhaseStat records one completed phase of a program.
+type PhaseStat struct {
+	Name  string
+	Kind  string // "route", "oracle", "shear", or "check"
+	Steps int
+	// Bound is the phase's step bound from the paper (0 = none stated):
+	// informational, carried into traces and experiment tables.
+	Bound int
+	// Routing phases also record:
+	MaxDist      int // max activation distance
+	MaxOvershoot int // max delivery slack beyond the packet's distance
+	MaxQueue     int // peak per-processor occupancy
+	Hops         int // total link traversals
+	Stranded     int // packets parked by the patience budget this phase
+
+	// Engine throughput for the phase (wall-clock; varies run to run).
+	engine.Throughput
+}
+
+// Observer receives every PhaseStat as its phase completes, in program
+// order. It runs on the caller's goroutine with the network quiescent.
+type Observer func(PhaseStat)
+
+// Totals accumulates a program's statistics. It is the single place
+// phase results are folded into run results; algorithm packages copy
+// these fields into their public result types.
+type Totals struct {
+	TotalSteps  int // final simulated clock (includes aborted-phase steps)
+	RouteSteps  int // steps spent in simulated routing phases
+	OracleSteps int // steps charged for local (oracle) phases
+	MaxQueue    int // peak per-processor packet count across the run
+	Stranded    int // packets stranded by the patience budget, summed over phases
+	Phases      []PhaseStat
+}
+
+func (t *Totals) add(st PhaseStat) {
+	t.Phases = append(t.Phases, st)
+	switch st.Kind {
+	case KindRoute:
+		t.RouteSteps += st.Steps
+		t.Stranded += st.Stranded
+	case KindCheck:
+		// Zero-cost barrier.
+	default:
+		t.OracleSteps += st.Steps
+	}
+	if st.MaxQueue > t.MaxQueue {
+		t.MaxQueue = st.MaxQueue
+	}
+}
+
+// Phase is one step of a declarative algorithm program. The concrete
+// kinds are Route, Local, Loop, and Inspect.
+type Phase interface {
+	run(r *Runner) error
+}
+
+// Route is a simulated global routing phase: Prepare (optional) assigns
+// destinations/classes on the quiescent network, then the engine routes
+// every activated packet to its destination under the runner's policy
+// and fault options.
+type Route struct {
+	Name string
+	// Bound is the paper's step bound for this phase (informational;
+	// recorded on the PhaseStat). 0 means none stated.
+	Bound int
+	// Prepare runs before the step loop; it may create and inject new
+	// packets via Runner.Net.
+	Prepare func(net *engine.Net) error
+}
+
+// Local is an oracle-costed local computation: Apply rearranges held
+// packets atomically and returns the cost to charge to the clock
+// (DESIGN.md substitution 2). Apply may also advance the clock itself;
+// the recorded steps are the measured advance plus the returned cost.
+type Local struct {
+	Name  string
+	Kind  string // "" means KindOracle; the in-mesh shearsort uses "shear"
+	Apply func(net *engine.Net) (cost int, err error)
+}
+
+// Loop repeats a Local-like round up to Max times, recording one
+// PhaseStat per executed round. Round returns done=true to stop before
+// Max without recording that round (the "already sorted" check of the
+// paper's cleanup loops).
+type Loop struct {
+	Name  string
+	Kind  string // "" means KindOracle
+	Max   int
+	Round func(net *engine.Net, round int) (cost int, done bool, err error)
+}
+
+// Inspect is a zero-cost barrier recorded as a "check" stat: a decision
+// the paper charges to the o(n) local phases at zero movement cost
+// (pair resolution, target identification; DESIGN.md substitution 3).
+type Inspect struct {
+	Name string
+	Fn   func(net *engine.Net) error
+}
+
+// Config describes the fixed context a Runner gives every phase of a
+// program.
+type Config struct {
+	Shape   grid.Shape
+	Workers int // engine shard workers; 0 means GOMAXPROCS
+	// Pool optionally supplies a persistent engine worker pool shared by
+	// every routing phase (and by other runners using the same pool).
+	// The caller owns its lifecycle; nil means a transient pool per
+	// phase, sized by Workers.
+	Pool *engine.Pool
+	// Policy routes every Route phase; nil means no Route phases may run.
+	Policy engine.Policy
+	// Route carries the engine options shared by every routing phase:
+	// fault plan, patience/stranding budget, livelock watchdog, MaxSteps,
+	// paranoid checking.
+	Route engine.RouteOpts
+	// Observer, if set, receives every PhaseStat as it completes.
+	Observer Observer
+}
+
+// Runner executes phase programs on one network. It owns net
+// construction, packet injection, and all stat accumulation; algorithms
+// own only their phase programs.
+type Runner struct {
+	cfg  Config
+	net  *engine.Net
+	tot  Totals
+	last engine.RouteResult
+}
+
+// New builds a quiescent network for the configuration.
+func New(cfg Config) *Runner {
+	net := engine.New(cfg.Shape)
+	net.Workers = cfg.Workers
+	net.Pool = cfg.Pool
+	return &Runner{cfg: cfg, net: net}
+}
+
+// Net exposes the runner's network for packet creation, injection, and
+// inspection between (or within) phases.
+func (r *Runner) Net() *engine.Net { return r.net }
+
+// Totals returns the statistics accumulated so far. TotalSteps always
+// reflects the current clock, so after a mid-program error the totals
+// carry the completed prefix's phases plus the aborted phase's clock.
+func (r *Runner) Totals() Totals {
+	t := r.tot
+	t.TotalSteps = r.net.Clock()
+	if r.net.MaxQueue > t.MaxQueue {
+		t.MaxQueue = r.net.MaxQueue
+	}
+	return t
+}
+
+// LastRoute returns the raw engine result of the most recent Route
+// phase — partial when that phase aborted — for callers that need the
+// full diagnostics (stranded/stuck packet lists, overshoot sums).
+func (r *Runner) LastRoute() engine.RouteResult { return r.last }
+
+// InjectKeys creates and injects k packets per processor: packet t of
+// processor r carries keys[r*k+t]. This is the canonical sorting input.
+func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
+	n := r.net.Shape.N()
+	if len(keys) != k*n {
+		return nil, fmt.Errorf("pipeline: got %d keys, want k*N = %d", len(keys), k*n)
+	}
+	pkts := make([]*engine.Packet, len(keys))
+	for rank := 0; rank < n; rank++ {
+		for t := 0; t < k; t++ {
+			pkts[rank*k+t] = r.net.NewPacket(keys[rank*k+t], rank)
+		}
+	}
+	r.net.Inject(pkts)
+	return pkts, nil
+}
+
+// Run executes the phases in order, accumulating stats into Totals and
+// reporting each completed phase to the observer. The first phase error
+// aborts the program; the error is wrapped with the phase name and the
+// totals keep the completed prefix's stats (plus the aborted phase's
+// clock in TotalSteps).
+func (r *Runner) Run(prog ...Phase) error {
+	for _, ph := range prog {
+		if err := ph.run(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) record(st PhaseStat) {
+	r.tot.add(st)
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(st)
+	}
+}
+
+func (p Route) run(r *Runner) error {
+	if p.Prepare != nil {
+		if err := p.Prepare(r.net); err != nil {
+			return fmt.Errorf("phase %s: %w", p.Name, err)
+		}
+	}
+	rr, err := r.net.Route(r.cfg.Policy, r.cfg.Route)
+	r.last = rr
+	if err != nil {
+		return fmt.Errorf("phase %s: %w", p.Name, err)
+	}
+	r.record(PhaseStat{
+		Name: p.Name, Kind: KindRoute, Steps: rr.Steps, Bound: p.Bound,
+		MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot,
+		MaxQueue: rr.MaxQueue, Hops: rr.Hops,
+		Stranded:   len(rr.Stranded),
+		Throughput: rr.Throughput(),
+	})
+	return nil
+}
+
+func (p Local) run(r *Runner) error {
+	kind := p.Kind
+	if kind == "" {
+		kind = KindOracle
+	}
+	before := r.net.Clock()
+	cost, err := p.Apply(r.net)
+	if err != nil {
+		return fmt.Errorf("phase %s: %w", p.Name, err)
+	}
+	r.net.AdvanceClock(cost)
+	r.record(PhaseStat{Name: p.Name, Kind: kind, Steps: r.net.Clock() - before})
+	return nil
+}
+
+func (p Loop) run(r *Runner) error {
+	kind := p.Kind
+	if kind == "" {
+		kind = KindOracle
+	}
+	for round := 0; round < p.Max; round++ {
+		before := r.net.Clock()
+		cost, done, err := p.Round(r.net, round)
+		if err != nil {
+			return fmt.Errorf("phase %s round %d: %w", p.Name, round, err)
+		}
+		if done {
+			return nil
+		}
+		r.net.AdvanceClock(cost)
+		r.record(PhaseStat{Name: p.Name, Kind: kind, Steps: r.net.Clock() - before})
+	}
+	return nil
+}
+
+func (p Inspect) run(r *Runner) error {
+	if err := p.Fn(r.net); err != nil {
+		return fmt.Errorf("phase %s: %w", p.Name, err)
+	}
+	r.record(PhaseStat{Name: p.Name, Kind: KindCheck})
+	return nil
+}

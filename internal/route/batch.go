@@ -6,6 +6,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/perm"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/xmath"
 )
 
@@ -33,17 +34,44 @@ type BatchOpts struct {
 	Patience   int
 	NoProgress int
 	Paranoid   bool
+
+	// CountLoads enables per-link load counting on the network (for
+	// congestion heatmaps); off by default because counting costs memory
+	// and atomics on the hot path.
+	CountLoads bool
+	// Observer, if set, receives the phase's PhaseStat when it completes.
+	Observer pipeline.Observer
 }
 
 // RunProblem injects the routing problem into a fresh network of the
 // given shape, assigns classes per the options, routes with the greedy
-// policy, and returns the phase statistics together with the network
-// (holding the delivered packets, for callers that want to inspect the
-// outcome).
+// policy as a one-phase pipeline program, and returns the engine phase
+// result together with the network (holding the delivered packets, for
+// callers that want to inspect the outcome). On a degraded abort the
+// returned result carries the partial phase statistics.
 func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteResult, *engine.Net, error) {
-	net := engine.New(s)
-	net.Workers = opts.Workers
-	net.Pool = opts.Pool
+	var pol engine.Policy = NewGreedy(s)
+	if opts.Faults != nil {
+		pol = NewFaultGreedy(s, opts.Faults)
+	}
+	runner := pipeline.New(pipeline.Config{
+		Shape:   s,
+		Workers: opts.Workers,
+		Pool:    opts.Pool,
+		Policy:  pol,
+		Route: engine.RouteOpts{
+			MaxSteps:   opts.MaxSteps,
+			Faults:     opts.Faults,
+			Patience:   opts.Patience,
+			NoProgress: opts.NoProgress,
+			Paranoid:   opts.Paranoid,
+		},
+		Observer: opts.Observer,
+	})
+	net := runner.Net()
+	if opts.CountLoads {
+		net.SetCountLoads(true)
+	}
 	pkts := make([]*engine.Packet, prob.Size())
 	for i := range pkts {
 		p := net.NewPacket(int64(prob.Dst[i]), prob.Src[i])
@@ -52,18 +80,8 @@ func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteRe
 	}
 	AssignClasses(s, pkts, nil, opts.Mode, opts.BlockSide, opts.Seed)
 	net.Inject(pkts)
-	var pol engine.Policy = NewGreedy(s)
-	if opts.Faults != nil {
-		pol = NewFaultGreedy(s, opts.Faults)
-	}
-	res, err := net.Route(pol, engine.RouteOpts{
-		MaxSteps:   opts.MaxSteps,
-		Faults:     opts.Faults,
-		Patience:   opts.Patience,
-		NoProgress: opts.NoProgress,
-		Paranoid:   opts.Paranoid,
-	})
-	return res, net, err
+	err := runner.Run(pipeline.Route{Name: "greedy"})
+	return runner.LastRoute(), net, err
 }
 
 // AssignClasses sets Packet.Class for a batch of packets. locs gives the
