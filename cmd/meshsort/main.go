@@ -63,8 +63,18 @@ func main() {
 		patience = flag.Int("patience", 0, "steps without progress before a packet is stranded (0 = auto when faults are on, negative = never)")
 		paranoid = flag.Bool("paranoid", false, "run the engine's per-step invariant checker (slow)")
 		trace    = flag.Bool("trace", false, "emit one JSON line per completed pipeline phase to stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	var shape grid.Shape
 	if *torus || *alg == "torussort" {
@@ -174,6 +184,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *alg)
+		stopProfiles()
 		os.Exit(2)
 	}
 }
@@ -251,6 +262,7 @@ func pickPerm(name string, shape grid.Shape, seed uint64) perm.Problem {
 		return perm.HotSpot(shape)
 	}
 	fmt.Fprintf(os.Stderr, "unknown permutation %q\n", name)
+	stopProfiles()
 	os.Exit(2)
 	return perm.Problem{}
 }
@@ -300,6 +312,7 @@ func fail(err error) {
 	if err == nil {
 		return
 	}
+	stopProfiles() // os.Exit skips main's defer
 	var de *engine.DegradedError
 	if errors.As(err, &de) && len(de.Stuck) > 0 {
 		fmt.Fprintf(os.Stderr, "error: %v; first stuck: %v\n", err, de.Stuck[0])

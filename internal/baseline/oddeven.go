@@ -47,7 +47,7 @@ func OddEvenSnakeSort(net *engine.Net, sc *index.Scheme) (OddEvenResult, error) 
 		if len(held) != 1 {
 			return res, fmt.Errorf("baseline: odd-even sort needs exactly one packet per processor, rank %d has %d", rank, len(held))
 		}
-		ps[idx] = held[0]
+		ps[idx] = net.Packet(held[0])
 	}
 	less := func(a, b *engine.Packet) bool {
 		if a.Key != b.Key {
@@ -83,11 +83,12 @@ func OddEvenSnakeSort(net *engine.Net, sc *index.Scheme) (OddEvenResult, error) 
 			}
 		}
 	}
-	// Write back: packet at snake index idx belongs at that processor.
+	// Write back: packet at snake index idx belongs at that processor,
+	// reusing each held queue's single-slot storage.
 	for idx := 0; idx < N; idx++ {
 		rank := sc.RankAt(idx)
 		ps[idx].Dst = rank
-		net.SetHeld(rank, []*engine.Packet{ps[idx]})
+		net.SetHeld(rank, append(net.Held(rank)[:0], int32(ps[idx].ID)))
 	}
 	res.Sorted = true
 	for i := 0; i+1 < N; i++ {

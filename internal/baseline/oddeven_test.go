@@ -56,8 +56,8 @@ func TestOddEvenMatchesReference(t *testing.T) {
 		if len(held) != 1 {
 			t.Fatalf("index %d holds %d packets", idx, len(held))
 		}
-		if held[0].Key != want[idx] {
-			t.Fatalf("index %d holds key %d, want %d", idx, held[0].Key, want[idx])
+		if k := net.Packet(held[0]).Key; k != want[idx] {
+			t.Fatalf("index %d holds key %d, want %d", idx, k, want[idx])
 		}
 	}
 }

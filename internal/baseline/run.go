@@ -76,7 +76,7 @@ func ShearSort(s grid.Shape, keys []int64, opts ShearSortOpts) (ShearSortResult,
 			res.Sorted = false
 			break
 		}
-		p := held[0]
+		p := net.Packet(held[0])
 		if prev != nil && (p.Key < prev.Key || (p.Key == prev.Key && p.ID < prev.ID)) {
 			res.Sorted = false
 			break

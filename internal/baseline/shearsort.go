@@ -78,7 +78,9 @@ func shearSortBlock(net *engine.Net, b *index.Blocked, blockID int) (ShearStats,
 	if k == 0 {
 		return st, fmt.Errorf("baseline: shearsort on empty block %d", blockID)
 	}
-	// cells[off*k+t] is the t-th packet at row-major offset off.
+	// cells[off*k+t] is the t-th packet at row-major offset off. Arena
+	// ids are resolved to stable pointers once; the sort itself moves
+	// pointers.
 	cells := make([]*engine.Packet, V*k)
 	for off := 0; off < V; off++ {
 		rank := b.Spec.ProcAt(blockID, off)
@@ -86,7 +88,9 @@ func shearSortBlock(net *engine.Net, b *index.Blocked, blockID int) (ShearStats,
 		if len(held) != k {
 			return st, fmt.Errorf("baseline: shearsort needs a uniform load, rank %d has %d packets, block has %d", rank, len(held), k)
 		}
-		copy(cells[off*k:], held)
+		for t, id := range held {
+			cells[off*k+t] = net.Packet(id)
+		}
 	}
 	less := func(x, y *engine.Packet) bool {
 		if x.Key != y.Key {
@@ -164,13 +168,13 @@ func shearSortBlock(net *engine.Net, b *index.Blocked, blockID int) (ShearStats,
 	// Write back: packet of local rank r to the processor at local snake
 	// position r/k.
 	for off := 0; off < V; off++ {
-		net.SetHeld(b.Spec.ProcAt(blockID, off), nil)
+		net.ClearHeld(b.Spec.ProcAt(blockID, off))
 	}
 	for l := 0; l < V*k; l++ {
 		rank := b.ProcAtLocal(blockID, l/k)
 		p := cells[snakeIdx(l)]
 		p.Dst = rank
-		net.SetHeld(rank, append(net.Held(rank), p))
+		net.SetHeld(rank, append(net.Held(rank), int32(p.ID)))
 	}
 	return st, nil
 }

@@ -39,7 +39,7 @@ func checkBlocksSnakeSorted(t *testing.T, net *engine.Net, bl *index.Blocked) {
 			if len(held) != 1 {
 				t.Fatalf("block %d local %d holds %d packets", id, l, len(held))
 			}
-			p := held[0]
+			p := net.Packet(held[0])
 			if prev != nil && (p.Key < prev.Key || (p.Key == prev.Key && p.ID < prev.ID)) {
 				t.Fatalf("block %d not snake-sorted at local %d", id, l)
 			}
@@ -92,7 +92,7 @@ func TestShearSortZeroOnePrinciple(t *testing.T) {
 		}
 		var prev int64 = -1
 		for l := 0; l < bl.BlockVolume(); l++ {
-			k := net.Held(bl.ProcAtLocal(0, l))[0].Key
+			k := net.Packet(net.Held(bl.ProcAtLocal(0, l))[0]).Key
 			if k < prev {
 				return false
 			}

@@ -97,13 +97,13 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		unshuffleBound = D
 	}
 
-	var sorted, regionSorted [][]*engine.Packet
-	pos := make([]int, 2*N) // packet id -> current processor
-	est := make([]int, 2*N) // packet id -> estimated key rank (originals only)
-	dropped := make(map[int]bool, N)
+	var sorted, regionSorted [][]int32
+	pos := make([]int, 2*N)      // packet id -> current processor
+	est := make([]int, 2*N)      // packet id -> estimated key rank (originals only)
+	dropped := make([]bool, 2*N) // packet id -> lost the pair resolution
 	prog := []pipeline.Phase{
 		// Step (1): local sort inside every block.
-		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, &sorted),
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner.Sorter(), &sorted),
 
 		// Step (2): distribute originals evenly over the region; send
 		// one copy of each packet to the opposite processor. Both
@@ -113,7 +113,8 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		pipeline.Route{Name: "unshuffle-with-copies", Bound: unshuffleBound, Prepare: func(net *engine.Net) error {
 			var copies []*engine.Packet
 			for j := 0; j < B; j++ {
-				for i, p := range sorted[j] {
+				for i, id := range sorted[j] {
+					p := net.Packet(id)
 					c := i % R
 					slot := (j + (i/B)*B) % V
 					dst := blocked.ProcAtLocal(regionBlocks[c], slot)
@@ -134,7 +135,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (3): local sort inside every region block.
-		localSortPhase("local-sort-region", blocked, regionBlocks, cfg, &regionSorted),
+		localSortPhase("local-sort-region", blocked, regionBlocks, cfg, runner.Sorter(), &regionSorted),
 
 		// Pair resolution (zero-cost check; DESIGN.md substitution 3):
 		// the original's region position determines the pair's estimated
@@ -142,7 +143,8 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		// deletion.
 		pipeline.Inspect{Name: "pair-resolution", Fn: func(net *engine.Net) error {
 			for jp, ps := range regionSorted {
-				for i, p := range ps {
+				for i, id := range ps {
+					p := net.Packet(id)
 					pos[p.ID] = p.Dst // scatterBlock left Dst = current processor
 					if p.Tag == engine.TagOriginal {
 						e := (i*R + jp) / 2
@@ -177,10 +179,11 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		// region block, as in the deterministic extended greedy scheme.
 		pipeline.Route{Name: "route-survivors", Bound: D / 2, Prepare: func(net *engine.Net) error {
 			for _, ps := range regionSorted {
-				for i, p := range ps {
-					if dropped[p.ID] {
+				for i, id := range ps {
+					if dropped[id] {
 						continue
 					}
+					p := net.Packet(id)
 					e := est[p.ID]
 					if p.Tag == engine.TagCopy {
 						e = est[p.Pair]
@@ -195,15 +198,12 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 					rank := bs.ProcAt(blockID, pp)
 					held := net.Held(rank)
 					kept := held[:0]
-					for _, p := range held {
-						if dropped[p.ID] {
+					for _, id := range held {
+						if dropped[id] {
 							continue
 						}
-						kept = append(kept, p)
+						kept = append(kept, id)
 						survivors++
-					}
-					for i := len(kept); i < len(held); i++ {
-						held[i] = nil
 					}
 					net.SetHeld(rank, kept)
 				}
@@ -215,7 +215,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (5): odd-even block merges until sorted.
-		mergeCleanupPhase(blocked, 1, cfg.Cost, 0, &res.MergeRounds, &res.Sorted),
+		mergeCleanupPhase(blocked, 1, cfg.Cost, runner.Sorter(), 0, &res.MergeRounds, &res.Sorted),
 	}
 	err = runner.Run(prog...)
 	res.fromTotals(runner.Totals())
@@ -224,7 +224,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	}
 	net := runner.Net()
 	if !res.Sorted {
-		res.Sorted = isSorted(net, blocked, 1)
+		res.Sorted = isSorted(net, runner.Sorter(), blocked, 1)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)
@@ -232,6 +232,6 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	if got := net.TotalPackets(); got != N {
 		return res, fmt.Errorf("core: %s packet conservation violated: %d != %d", name, got, N)
 	}
-	res.Final = finalKeys(net, blocked, 1)
+	res.Final = finalKeys(net, runner.Sorter(), blocked, 1)
 	return res, nil
 }

@@ -2,21 +2,27 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"meshsort/internal/baseline"
 	"meshsort/internal/engine"
 	"meshsort/internal/index"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/radix"
 )
 
 // This file implements the oracle local phases: block-local sorts and the
 // final odd-even block merge cleanup, as pipeline phase builders. All
 // blocks operate in parallel in the real machine, so one sweep over all
 // blocks charges a single per-block cost to the clock.
+//
+// Local phases work on arena indices (the engine's held-queue currency)
+// and sort them with the runner's radix sorter: the sort key is the
+// packet's (Key, ID) pair — keys ascending, ties broken by packet id,
+// which makes ranks unique even with duplicate keys — and the sorter's
+// scratch slabs are shared across every sort of a run.
 
-// keyLess is the total order used everywhere: keys, ties broken by packet
-// id, which makes ranks unique even with duplicate keys.
+// keyLess is that total order on resolved packets, used where single
+// comparisons are clearer than a full sort (sortedness scans).
 func keyLess(a, b *engine.Packet) bool {
 	if a.Key != b.Key {
 		return a.Key < b.Key
@@ -24,71 +30,82 @@ func keyLess(a, b *engine.Packet) bool {
 	return a.ID < b.ID
 }
 
-func sortPackets(ps []*engine.Packet) {
-	sort.Slice(ps, func(i, j int) bool { return keyLess(ps[i], ps[j]) })
+// sortHeld orders a slice of arena indices by the (Key, ID) total order,
+// in place. The Ref's ID field doubles as the payload: the arena index
+// is the packet id, so the sorted refs are directly the answer.
+func sortHeld(net *engine.Net, srt *radix.Sorter, ids []int32) {
+	refs := srt.Prepare(len(ids))
+	for _, id := range ids {
+		refs = append(refs, radix.Ref{Key: radix.FlipInt64(net.Packet(id).Key), ID: id})
+	}
+	srt.Sort(refs)
+	for i := range refs {
+		ids[i] = refs[i].ID
+	}
 }
 
-// gatherBlock removes and returns all held packets of a block, in
-// inner-order position, then arrival order.
-func gatherBlock(net *engine.Net, b *index.Blocked, blockID int) []*engine.Packet {
+// gatherBlock removes and appends to buf all held packets of a block, in
+// inner-order position, then arrival order. The held queues keep their
+// storage (ClearHeld) so the subsequent scatter appends into warm
+// buffers.
+func gatherBlock(net *engine.Net, b *index.Blocked, blockID int, buf []int32) []int32 {
 	V := b.BlockVolume()
-	var out []*engine.Packet
 	for pos := 0; pos < V; pos++ {
 		rank := b.ProcAtLocal(blockID, pos)
-		out = append(out, net.Held(rank)...)
-		net.SetHeld(rank, nil)
+		buf = append(buf, net.Held(rank)...)
+		net.ClearHeld(rank)
 	}
-	return out
+	return buf
 }
 
 // scatterBlock distributes packets over the processors of a block in
 // inner order: packet r of the slice is placed at local position
-// r*V/len(ps), which is balanced (each processor receives within one of
+// r*V/len(ids), which is balanced (each processor receives within one of
 // the average) and reduces to position r/k for the exact case
-// len(ps) = k*V. Dst is updated so the packets are at rest.
-func scatterBlock(net *engine.Net, b *index.Blocked, blockID int, ps []*engine.Packet) {
+// len(ids) = k*V. Dst is updated so the packets are at rest.
+func scatterBlock(net *engine.Net, b *index.Blocked, blockID int, ids []int32) {
 	V := b.BlockVolume()
-	total := len(ps)
-	for r, p := range ps {
+	total := len(ids)
+	for r, id := range ids {
 		pos := r * V / total
 		rank := b.ProcAtLocal(blockID, pos)
-		p.Dst = rank
-		net.SetHeld(rank, append(net.Held(rank), p))
+		net.Packet(id).Dst = rank
+		net.SetHeld(rank, append(net.Held(rank), id))
 	}
 }
 
 // localSortPhase builds the phase that sorts the contents of each listed
-// block in place, storing the sorted packet slices (per block position
-// in the input list) into *out for the subsequent routing phase's rank
+// block in place, storing the sorted id slices (per block position in
+// the input list) into *out for the subsequent routing phase's rank
 // computations. By default the rearrangement is an oracle phase charged
 // one local-sort cost; with cfg.RealLocalSort it runs the in-mesh
 // shearsort of internal/baseline and the measured parallel step count is
 // what the runner records.
-func localSortPhase(name string, b *index.Blocked, blocks []int, cfg Config, out *[][]*engine.Packet) pipeline.Phase {
+func localSortPhase(name string, b *index.Blocked, blocks []int, cfg Config, srt *radix.Sorter, out *[][]int32) pipeline.Phase {
 	if cfg.RealLocalSort {
 		return pipeline.Local{Name: name, Kind: "shear", Apply: func(net *engine.Net) (int, error) {
 			if _, err := baseline.ShearSortBlocks(net, b, blocks); err != nil {
 				return 0, fmt.Errorf("real local sort: %w", err)
 			}
-			res := make([][]*engine.Packet, len(blocks))
+			res := make([][]int32, len(blocks))
 			for i, blockID := range blocks {
-				var ps []*engine.Packet
+				var ids []int32
 				for l := 0; l < b.BlockVolume(); l++ {
-					ps = append(ps, net.Held(b.ProcAtLocal(blockID, l))...)
+					ids = append(ids, net.Held(b.ProcAtLocal(blockID, l))...)
 				}
-				res[i] = ps
+				res[i] = ids
 			}
 			*out = res
 			return 0, nil
 		}}
 	}
 	return pipeline.Local{Name: name, Apply: func(net *engine.Net) (int, error) {
-		res := make([][]*engine.Packet, len(blocks))
+		res := make([][]int32, len(blocks))
 		for i, blockID := range blocks {
-			ps := gatherBlock(net, b, blockID)
-			sortPackets(ps)
-			scatterBlock(net, b, blockID, ps)
-			res[i] = ps
+			ids := gatherBlock(net, b, blockID, nil)
+			sortHeld(net, srt, ids)
+			scatterBlock(net, b, blockID, ids)
+			res[i] = ids
 		}
 		*out = res
 		return cfg.Cost.localSortCost(b.Shape().Dim, b.Spec.Side), nil
@@ -107,7 +124,7 @@ func allBlocks(b *index.Blocked) []int {
 // isSorted reports whether the network is in the sorted k-k state with
 // respect to the blocked scheme: every processor holds exactly k packets
 // and the (key, id) order agrees with the index order.
-func isSorted(net *engine.Net, b *index.Blocked, k int) bool {
+func isSorted(net *engine.Net, srt *radix.Sorter, b *index.Blocked, k int) bool {
 	var prev *engine.Packet
 	for idx := 0; idx < b.N(); idx++ {
 		rank := b.RankAt(idx)
@@ -115,8 +132,9 @@ func isSorted(net *engine.Net, b *index.Blocked, k int) bool {
 		if len(held) != k {
 			return false
 		}
-		sortPackets(held)
-		for _, p := range held {
+		sortHeld(net, srt, held)
+		for _, id := range held {
+			p := net.Packet(id)
 			if prev != nil && keyLess(p, prev) {
 				return false
 			}
@@ -127,13 +145,13 @@ func isSorted(net *engine.Net, b *index.Blocked, k int) bool {
 }
 
 // finalKeys extracts the keys in sort-index order (k per index).
-func finalKeys(net *engine.Net, b *index.Blocked, k int) []int64 {
+func finalKeys(net *engine.Net, srt *radix.Sorter, b *index.Blocked, k int) []int64 {
 	out := make([]int64, 0, k*b.N())
 	for idx := 0; idx < b.N(); idx++ {
 		held := net.Held(b.RankAt(idx))
-		sortPackets(held)
-		for _, p := range held {
-			out = append(out, p.Key)
+		sortHeld(net, srt, held)
+		for _, id := range held {
+			out = append(out, net.Packet(id).Key)
 		}
 	}
 	return out
@@ -154,17 +172,18 @@ func finalKeys(net *engine.Net, b *index.Blocked, k int) []int64 {
 // sorted state is observed; when the loop exhausts maxRounds the caller
 // re-checks. maxRounds 0 means the number of blocks plus two (the worst
 // case of odd-even transposition sort).
-func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, maxRounds int, rounds *int, sorted *bool) pipeline.Phase {
+func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, srt *radix.Sorter, maxRounds int, rounds *int, sorted *bool) pipeline.Phase {
 	B := b.BlockCount()
 	if maxRounds == 0 {
 		maxRounds = B + 2
 	}
+	var buf []int32 // merge scratch, reused across pairs and rounds
 	mergePair := func(net *engine.Net, orderLo int) {
 		lo := b.BlockAtOrder(orderLo)
 		hi := b.BlockAtOrder(orderLo + 1)
-		ps := gatherBlock(net, b, lo)
-		ps = append(ps, gatherBlock(net, b, hi)...)
-		sortPackets(ps)
+		buf = gatherBlock(net, b, lo, buf[:0])
+		buf = gatherBlock(net, b, hi, buf)
+		sortHeld(net, srt, buf)
 		// The lower block takes exactly its capacity kV (or everything,
 		// if the pair holds less); the upper block takes the rest. In
 		// the exact case of 2kV packets this is the even split; with
@@ -172,14 +191,14 @@ func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, maxRounds int, r
 		// as well, so the flat loading is the unique fixed point and
 		// odd-even rounds converge to it.
 		mid := k * b.BlockVolume()
-		if mid > len(ps) {
-			mid = len(ps)
+		if mid > len(buf) {
+			mid = len(buf)
 		}
-		scatterBlock(net, b, lo, ps[:mid])
-		scatterBlock(net, b, hi, ps[mid:])
+		scatterBlock(net, b, lo, buf[:mid])
+		scatterBlock(net, b, hi, buf[mid:])
 	}
 	return pipeline.Loop{Name: "merge-round", Max: maxRounds, Round: func(net *engine.Net, round int) (int, bool, error) {
-		if isSorted(net, b, k) {
+		if isSorted(net, srt, b, k) {
 			*sorted = true
 			return 0, true, nil
 		}

@@ -57,7 +57,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	}
 	routeBound := 3 * s.Diameter() / 4
 
-	var centerSorted [][]*engine.Packet
+	var centerSorted [][]int32
 	prog := []pipeline.Phase{
 		// Step (1) is not needed in the randomized form (no local ranks
 		// are used for the spreading), but the packets still pay the
@@ -68,7 +68,8 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 			for j := 0; j < B; j++ {
 				for pos := 0; pos < V; pos++ {
 					rank := blocked.ProcAtLocal(blocked.BlockAtOrder(j), pos)
-					for _, p := range net.Held(rank) {
+					for _, id := range net.Held(rank) {
+						p := net.Packet(id)
 						c := rng.Intn(R)
 						slot := rng.Intn(V)
 						p.Dst = blocked.ProcAtLocal(region.BlockAt(c), slot)
@@ -82,7 +83,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 		// Step (3): local sort inside every center block. Block loads
 		// are only approximately kN/R, so the estimate uses the actual
 		// load.
-		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, &centerSorted),
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner.Sorter(), &centerSorted),
 
 		// Step (4): rank estimate from the block's sampled order: local
 		// rank i among M packets pins the global rank near i*kN/M.
@@ -92,7 +93,8 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 				if M == 0 {
 					continue
 				}
-				for i, p := range ps {
+				for i, id := range ps {
+					p := net.Packet(id)
 					est := i*kN/M + jp
 					if est >= kN {
 						est = kN - 1
@@ -105,7 +107,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 		}},
 
 		// Step (5): merge cleanup.
-		mergeCleanupPhase(blocked, k, cfg.Cost, 0, &res.MergeRounds, &res.Sorted),
+		mergeCleanupPhase(blocked, k, cfg.Cost, runner.Sorter(), 0, &res.MergeRounds, &res.Sorted),
 	}
 	err := runner.Run(prog...)
 	res.fromTotals(runner.Totals())
@@ -114,7 +116,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	}
 	net := runner.Net()
 	if !res.Sorted {
-		res.Sorted = isSorted(net, blocked, k)
+		res.Sorted = isSorted(net, runner.Sorter(), blocked, k)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: RandSimpleSort failed to sort within %d merge rounds", res.MergeRounds)
@@ -122,7 +124,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	if got := net.TotalPackets(); got != kN {
 		return res, fmt.Errorf("core: RandSimpleSort packet conservation violated: %d != %d", got, kN)
 	}
-	res.Final = finalKeys(net, blocked, k)
+	res.Final = finalKeys(net, runner.Sorter(), blocked, k)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/radix"
 )
 
 // SelectResult reports a distributed selection run.
@@ -76,14 +77,15 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	}
 	D := s.Diameter()
 
-	var sorted, centerSorted [][]*engine.Packet
+	var sorted, centerSorted [][]int32
 	var targetPkt *engine.Packet
 	err := runner.Run(
 		// Phases (1)-(3) of SimpleSort: concentrate into C, sort locally.
-		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, &sorted),
-		pipeline.Route{Name: "unshuffle-to-center", Bound: 3 * D / 4, Prepare: func(*engine.Net) error {
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner.Sorter(), &sorted),
+		pipeline.Route{Name: "unshuffle-to-center", Bound: 3 * D / 4, Prepare: func(net *engine.Net) error {
 			for j := 0; j < B; j++ {
-				for i, p := range sorted[j] {
+				for i, id := range sorted[j] {
+					p := net.Packet(id)
 					c := i % R
 					slot := (j + (i/B)*B) % V
 					p.Dst = blocked.ProcAtLocal(region.BlockAt(c), slot)
@@ -92,27 +94,28 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 			}
 			return nil
 		}},
-		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, &centerSorted),
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner.Sorter(), &centerSorted),
 
 		// Identify the target packet (zero-cost check; DESIGN.md
 		// substitution 3). The estimate window: local rank i in region
 		// block j' pins the global rank to i*R + j' +- B*R (the
 		// cross-block sampling error), so the candidate set is small;
 		// the exact packet within it is resolved by the oracle.
-		pipeline.Inspect{Name: "identify-target", Fn: func(*engine.Net) error {
+		pipeline.Inspect{Name: "identify-target", Fn: func(net *engine.Net) error {
 			window := B * R
-			all := make([]*engine.Packet, 0, N)
+			srt := runner.Sorter()
+			all := srt.Prepare(N)
 			for jp, ps := range centerSorted {
-				for i, p := range ps {
+				for i, id := range ps {
 					est := i*R + jp
 					if est >= targetRank-window && est <= targetRank+window {
 						res.Candidates++
 					}
-					all = append(all, p)
+					all = append(all, radix.Ref{Key: radix.FlipInt64(net.Packet(id).Key), ID: id})
 				}
 			}
-			sort.Slice(all, func(i, j int) bool { return keyLess(all[i], all[j]) })
-			targetPkt = all[targetRank]
+			srt.Sort(all)
+			targetPkt = net.Packet(all[targetRank].ID)
 			return nil
 		}},
 

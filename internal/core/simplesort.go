@@ -70,16 +70,17 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	// ~3D/4 (Theorem 3.1's per-phase bound, up to the o(n) block terms).
 	routeBound := 3 * s.Diameter() / 4
 
-	var sorted, centerSorted [][]*engine.Packet
+	var sorted, centerSorted [][]int32
 	prog := []pipeline.Phase{
 		// Step (1): local sort inside every block.
-		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, &sorted),
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner.Sorter(), &sorted),
 
 		// Step (2): distribute every block's packets evenly over C.
 		pipeline.Route{Name: "unshuffle-to-center", Bound: routeBound, Prepare: func(net *engine.Net) error {
 			for j := 0; j < B; j++ {
 				ps := sorted[j] // allBlocks lists blocks in outer order, so index j is outer position j
-				for i, p := range ps {
+				for i, id := range ps {
+					p := net.Packet(id)
 					c := i % R
 					destBlock := region.BlockAt(c)
 					slot := (j + (i/B)*B) % V
@@ -91,7 +92,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (3): local sort inside every center block.
-		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, &centerSorted),
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner.Sorter(), &centerSorted),
 
 		// Step (4): send every packet to its estimated destination.
 		// Center block j' holds (about) kN/R packets forming an even
@@ -102,7 +103,8 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 		// used instead (see Config.AltEstimator).
 		pipeline.Route{Name: "route-to-destination", Bound: routeBound, Prepare: func(net *engine.Net) error {
 			for jp, ps := range centerSorted {
-				for i, p := range ps {
+				for i, id := range ps {
+					p := net.Packet(id)
 					var est int
 					if cfg.AltEstimator {
 						est = (i/B)*R*B + i%B + jp*B
@@ -120,7 +122,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (5): odd-even block merges until sorted.
-		mergeCleanupPhase(blocked, k, cfg.Cost, 0, &res.MergeRounds, &res.Sorted),
+		mergeCleanupPhase(blocked, k, cfg.Cost, runner.Sorter(), 0, &res.MergeRounds, &res.Sorted),
 	}
 	err := runner.Run(prog...)
 	res.fromTotals(runner.Totals())
@@ -129,7 +131,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	}
 	net := runner.Net()
 	if !res.Sorted {
-		res.Sorted = isSorted(net, blocked, k)
+		res.Sorted = isSorted(net, runner.Sorter(), blocked, k)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)
@@ -137,7 +139,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	if got := net.TotalPackets(); got != kN {
 		return res, fmt.Errorf("core: %s packet conservation violated: %d != %d", name, got, kN)
 	}
-	res.Final = finalKeys(net, blocked, k)
+	res.Final = finalKeys(net, runner.Sorter(), blocked, k)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/radix"
 )
 
 // sortConfigs are small instances with the paper's alpha >= 2/3 shape
@@ -336,9 +337,9 @@ func TestScatterBalance(t *testing.T) {
 	blocked := cfg.scheme()
 	net := engine.New(s)
 	for _, total := range []int{1, 5, 16, 17, 31, 32, 33} {
-		pkts := make([]*engine.Packet, total)
+		pkts := make([]int32, total)
 		for i := range pkts {
-			pkts[i] = net.NewPacket(int64(i), 0)
+			pkts[i] = int32(net.NewPacket(int64(i), 0).ID)
 		}
 		scatterBlock(net, blocked, 0, pkts)
 		min, max := total, 0
@@ -357,7 +358,7 @@ func TestScatterBalance(t *testing.T) {
 		}
 		// Clean up for the next round.
 		for pos := 0; pos < V; pos++ {
-			net.SetHeld(blocked.ProcAtLocal(0, pos), nil)
+			net.ClearHeld(blocked.ProcAtLocal(0, pos))
 		}
 	}
 }
@@ -372,16 +373,17 @@ func TestIsSortedDetectsDisorder(t *testing.T) {
 		p := net.NewPacket(int64(idx), 0)
 		rank := blocked.RankAt(idx)
 		p.Dst = rank
-		net.SetHeld(rank, []*engine.Packet{p})
+		net.SetHeld(rank, []int32{int32(p.ID)})
 	}
-	if !isSorted(net, blocked, 1) {
+	var srt radix.Sorter
+	if !isSorted(net, &srt, blocked, 1) {
 		t.Fatal("sorted state not recognized")
 	}
 	// Swap two keys.
 	a, b := blocked.RankAt(3), blocked.RankAt(40)
-	ha, hb := net.Held(a), net.Held(b)
-	ha[0].Key, hb[0].Key = hb[0].Key, ha[0].Key
-	if isSorted(net, blocked, 1) {
+	pa, pb := net.Packet(net.Held(a)[0]), net.Packet(net.Held(b)[0])
+	pa.Key, pb.Key = pb.Key, pa.Key
+	if isSorted(net, &srt, blocked, 1) {
 		t.Fatal("disorder not detected")
 	}
 }

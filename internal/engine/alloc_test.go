@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// TestWarmRouteDoesNotAllocate is the allocation-regression guard for the
+// tentpole claim of the arena data plane: on a warm network (arena
+// chunks, queue capacities, and step scratch all learned by a first run)
+// a full inject-and-route cycle performs zero heap allocations. A future
+// change that reintroduces per-step allocation — a closure in the step
+// loop, a fresh scratch slice per phase, a pointer queue — fails here
+// immediately.
+func TestWarmRouteDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	s := grid.New(3, 8)
+	net := New(s)
+	pool := NewPool(2)
+	defer pool.Close()
+	net.Pool = pool
+
+	rng := xmath.NewRNG(5)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	var pol Policy = greedyTestPolicy{s} // boxed once; boxing inside run would count as an alloc
+	run := func() {
+		net.Reset(s)
+		for i := range pkts {
+			p := net.NewPacket(int64(i), i)
+			p.Dst = dsts[i]
+			p.Class = i % s.Dim
+			pkts[i] = p
+		}
+		net.Inject(pkts)
+		if _, err := net.Route(pol, RouteOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up: grows the arena, the queues, and the step scratch
+	if avg := testing.AllocsPerRun(10, run); avg != 0 {
+		t.Fatalf("warm route allocated %.1f times per run, want 0", avg)
+	}
+}
+
+// TestWarmRouteDoesNotAllocateSingleWorker covers the inline fast path
+// (workers == 1, no pool barrier) with the same guard.
+func TestWarmRouteDoesNotAllocateSingleWorker(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	s := grid.NewTorus(2, 8)
+	net := New(s)
+	pool := NewPool(1)
+	defer pool.Close()
+	net.Pool = pool
+
+	rng := xmath.NewRNG(9)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	var pol Policy = greedyTestPolicy{s}
+	run := func() {
+		net.Reset(s)
+		for i := range pkts {
+			p := net.NewPacket(int64(i), i)
+			p.Dst = dsts[i]
+			p.Class = i % s.Dim
+			pkts[i] = p
+		}
+		net.Inject(pkts)
+		if _, err := net.Route(pol, RouteOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if avg := testing.AllocsPerRun(10, run); avg != 0 {
+		t.Fatalf("warm single-worker route allocated %.1f times per run, want 0", avg)
+	}
+}

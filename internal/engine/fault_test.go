@@ -271,7 +271,7 @@ func TestTwoSideTorusFaultedDoubleEdge(t *testing.T) {
 		t.Errorf("delivered=%d stranded=%v, want b delivered and a stranded",
 			res.Delivered, res.Stranded)
 	}
-	if len(net.Held(1)) != 1 || net.Held(1)[0] != b {
+	if len(net.Held(1)) != 1 || net.Packet(net.Held(1)[0]) != b {
 		t.Error("b not delivered over the live sibling edge")
 	}
 }
@@ -303,8 +303,8 @@ func TestFaultDeterminismAcrossWorkers(t *testing.T) {
 			var fp strings.Builder
 			for r := 0; r < s.N(); r++ {
 				fmt.Fprintf(&fp, "%d:", r)
-				for _, p := range net.Held(r) {
-					fmt.Fprintf(&fp, " %d", p.ID)
+				for _, id := range net.Held(r) {
+					fmt.Fprintf(&fp, " %d", net.Packet(id).ID)
 				}
 				fp.WriteByte('\n')
 			}

@@ -16,14 +16,16 @@ import (
 // -1 means the packet does not want to move this step.
 //
 // Policies must be pure functions of (rank, packet): they are called
-// concurrently from shard workers. They must also be monotone: every move
-// they request must reduce the packet's distance to its destination by
-// one (all dimension-order greedy variants qualify) — unless the policy
-// implements DetourPolicy and opts into detour accounting. The engine
-// checks monotonicity and mesh-boundary legality; a violation aborts the
-// phase with an error returned from Route (never a process-killing
-// panic), since it indicates an algorithm bug rather than a runtime
-// condition.
+// concurrently from shard workers. The packet pointer refers into the
+// network's arena (see NewPacket); it is stable for the packet's
+// lifetime, so policies may cache nothing and still touch no shared
+// state. They must also be monotone: every move they request must reduce
+// the packet's distance to its destination by one (all dimension-order
+// greedy variants qualify) — unless the policy implements DetourPolicy
+// and opts into detour accounting. The engine checks monotonicity and
+// mesh-boundary legality; a violation aborts the phase with an error
+// returned from Route (never a process-killing panic), since it
+// indicates an algorithm bug rather than a runtime condition.
 type Policy interface {
 	NextLink(rank int, p *Packet) int
 }
@@ -60,19 +62,39 @@ func LinkDir(link int) int {
 	return -1
 }
 
+// noPacket is the empty out-slot sentinel. Queue and slot entries are
+// int32 arena indices (== packet ids), never pointers: the hot path
+// moves 4-byte integers through contiguous memory and the garbage
+// collector sees no pointers to trace.
+const noPacket int32 = -1
+
+// Packet arena chunking: packets live in fixed-size slabs so that the
+// *Packet handles NewPacket returns stay valid while the arena grows
+// (a flat slice would move on append and dangle every retained pointer).
+const (
+	pktChunkShift = 12
+	pktChunkSize  = 1 << pktChunkShift
+	pktChunkMask  = pktChunkSize - 1
+)
+
 type proc struct {
-	moving []*Packet // packets in transit through this processor
-	held   []*Packet // packets at rest here
-	out    []*Packet // one outgoing slot per link, len 2d
+	moving []int32 // arena indices of packets in transit through this processor
+	held   []int32 // arena indices of packets at rest here
+	out    []int32 // one outgoing slot per link, len 2d, noPacket = empty
 }
 
 // Net is a synchronous mesh or torus network holding packets.
 // Create one with New, place packets with Inject or SetHeld, and run
-// routing phases with Route.
+// routing phases with Route. Reset reuses a network (including its
+// packet arena and all per-processor queue storage) for a fresh problem,
+// which is how steady-state routing reaches zero heap allocations per
+// step: after a warm-up run every buffer the step loop touches already
+// exists.
 type Net struct {
 	Shape grid.Shape
 
 	procs  []proc
+	chunks [][]Packet // packet arena: chunk i holds ids [i<<pktChunkShift, (i+1)<<pktChunkShift)
 	clock  int
 	nextID int
 
@@ -90,19 +112,66 @@ type Net struct {
 	MaxQueue int
 
 	loads []int64 // rank*2d + link -> traversals; nil when counting is off
+
+	scratch *stepState // reusable per-phase routing state (lazily built, survives phases and Reset)
 }
 
 // New returns an empty network of the given shape.
 func New(s grid.Shape) *Net {
-	n := &Net{Shape: s, procs: make([]proc, s.N())}
+	n := &Net{Shape: s}
+	n.buildProcs(s)
+	return n
+}
+
+// buildProcs (re)creates the per-processor queues and the shared
+// out-slot backing array for a shape. The backing array is one slab of
+// N*2d slots carved into per-processor windows, so it is only valid for
+// the exact (N, 2d) it was built for — see Reset.
+func (n *Net) buildProcs(s grid.Shape) {
+	n.procs = make([]proc, s.N())
 	links := 2 * s.Dim
-	// One backing array for every processor's out slots keeps the per-Net
-	// allocation count independent of N.
-	backing := make([]*Packet, s.N()*links)
+	backing := make([]int32, s.N()*links)
+	for i := range backing {
+		backing[i] = noPacket
+	}
 	for i := range n.procs {
 		n.procs[i].out = backing[i*links : (i+1)*links : (i+1)*links]
 	}
-	return n
+}
+
+// Reset returns the network to the empty state for a new problem,
+// reusing its storage: the packet arena keeps its chunks (ids restart at
+// 0 and overwrite in place), and per-processor queues keep their learned
+// capacities. When the new shape changes the processor count or the
+// links-per-processor, the per-processor queues and the out-slot backing
+// slab are rebuilt from scratch — the slab is sized and windowed by
+// (N, 2d), so reusing it across such a change would alias the out slots
+// of different processors.
+//
+// All packets vanish: ids and *Packet handles from before the Reset are
+// dead. Load counting is switched off (re-enable with SetCountLoads).
+func (n *Net) Reset(s grid.Shape) {
+	if s.N() != len(n.procs) || s.Dim != n.Shape.Dim {
+		n.buildProcs(s)
+		n.scratch = nil // shard layout and dimension strides are stale
+	} else {
+		for i := range n.procs {
+			pr := &n.procs[i]
+			pr.moving = pr.moving[:0]
+			pr.held = pr.held[:0]
+			for l := range pr.out {
+				pr.out[l] = noPacket
+			}
+		}
+	}
+	n.Shape = s
+	n.clock = 0
+	n.nextID = 0
+	n.MaxQueue = 0
+	n.loads = nil
+	if n.scratch != nil {
+		n.scratch.markDirty()
+	}
 }
 
 // SetCountLoads enables or disables per-link traversal counting (LinkLoad,
@@ -173,29 +242,60 @@ func (n *Net) AdvanceClock(cost int) {
 	n.clock += cost
 }
 
-// NewPacket allocates a packet with a fresh id. The packet is not placed
-// in the network; use Inject or SetHeld.
+// NewPacket allocates a packet in the network's arena with a fresh id
+// and returns a handle to it. The handle stays valid (the arena grows in
+// pointer-stable chunks) until the network is Reset. The packet's arena
+// index equals its ID; Packet converts back. The packet is not placed in
+// the network; use Inject or SetHeld.
 func (n *Net) NewPacket(key int64, src int) *Packet {
-	p := &Packet{ID: n.nextID, Key: key, Src: src, Dst: src}
+	id := n.nextID
 	n.nextID++
+	ci := id >> pktChunkShift
+	if ci == len(n.chunks) {
+		n.chunks = append(n.chunks, make([]Packet, pktChunkSize))
+	}
+	p := &n.chunks[ci][id&pktChunkMask]
+	*p = Packet{ID: id, Key: key, Src: src, Dst: src}
 	return p
+}
+
+// Packet returns the arena packet with the given id (ids are handed out
+// by NewPacket and stored in the Held queues). The pointer is stable
+// until Reset.
+func (n *Net) Packet(id int32) *Packet {
+	return &n.chunks[id>>pktChunkShift][id&pktChunkMask]
+}
+
+// pkt is the internal hot-path accessor (identical to Packet; kept
+// separate so the exported name can afford documentation and the hot
+// loops read tersely).
+func (n *Net) pkt(id int32) *Packet {
+	return &n.chunks[id>>pktChunkShift][id&pktChunkMask]
 }
 
 // Inject places packets at their Src processors as held packets.
 func (n *Net) Inject(ps []*Packet) {
 	for _, p := range ps {
-		n.procs[p.Src].held = append(n.procs[p.Src].held, p)
+		pr := &n.procs[p.Src]
+		pr.held = append(pr.held, int32(p.ID))
 	}
 }
 
-// Held returns the packets at rest at the given processor. The returned
-// slice is owned by the network; callers may reorder it in place but must
-// use SetHeld to change its length.
-func (n *Net) Held(rank int) []*Packet { return n.procs[rank].held }
+// Held returns the arena indices of the packets at rest at the given
+// processor (resolve them with Packet). The returned slice is owned by
+// the network; callers may reorder it in place but must use SetHeld or
+// ClearHeld to change its length.
+func (n *Net) Held(rank int) []int32 { return n.procs[rank].held }
 
 // SetHeld replaces the held packets of a processor. Only legal between
-// routing phases (oracle rearrangements).
-func (n *Net) SetHeld(rank int, ps []*Packet) { n.procs[rank].held = ps }
+// routing phases (oracle rearrangements). The ids must come from this
+// network's arena.
+func (n *Net) SetHeld(rank int, ids []int32) { n.procs[rank].held = ids }
+
+// ClearHeld empties the held queue of a processor while keeping its
+// storage for reuse (oracle phases gather-and-scatter blocks without
+// reallocating queue backing every phase).
+func (n *Net) ClearHeld(rank int) { n.procs[rank].held = n.procs[rank].held[:0] }
 
 // TotalPackets counts all packets currently in the network.
 func (n *Net) TotalPackets() int {
@@ -209,8 +309,8 @@ func (n *Net) TotalPackets() int {
 // ForEachHeld calls fn for every held packet, in processor rank order.
 func (n *Net) ForEachHeld(fn func(rank int, p *Packet)) {
 	for r := range n.procs {
-		for _, p := range n.procs[r].held {
-			fn(r, p)
+		for _, id := range n.procs[r].held {
+			fn(r, n.pkt(id))
 		}
 	}
 }
@@ -358,6 +458,14 @@ func (r RouteResult) Throughput() Throughput {
 // until every one of them is delivered or stranded. It returns the phase
 // statistics.
 //
+// The step loop allocates nothing in steady state: the per-phase scratch
+// (shard lists, per-worker statistic slots) is cached on the network and
+// reused across phases and Resets, queues keep their learned capacities,
+// and all packet references are arena indices. Heap allocations occur
+// only on the first phase of a network's life (or after a shape-changing
+// Reset, or when the worker count changes) and on degradation paths
+// (stranding diagnostics, abort snapshots).
+//
 // Route never panics on policy misbehavior: boundary violations,
 // monotonicity violations, and panics raised inside NextLink are all
 // converted into an error returned here, together with the partial
@@ -372,7 +480,12 @@ func (r RouteResult) Throughput() Throughput {
 // survive.
 func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	var res RouteResult
-	st := newStepState(n, policy)
+	st := n.scratch
+	if st == nil {
+		st = newStepState(n)
+		n.scratch = st
+	}
+	st.begin(policy)
 	st.faults = opts.Faults
 	st.patience = opts.Patience
 	if st.patience == 0 {
@@ -400,9 +513,10 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	for r := range n.procs {
 		pr := &n.procs[r]
 		kept := pr.held[:0]
-		for _, p := range pr.held {
+		for _, id := range pr.held {
+			p := n.pkt(id)
 			if p.Dst == r {
-				kept = append(kept, p)
+				kept = append(kept, id)
 				continue
 			}
 			p.togo = n.Shape.Dist(r, p.Dst)
@@ -415,7 +529,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			if p.togo > res.MaxDist {
 				res.MaxDist = p.togo
 			}
-			pr.moving = append(pr.moving, p)
+			pr.moving = append(pr.moving, id)
 			active++
 		}
 		pr.held = kept
@@ -454,25 +568,12 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	st.attach(pool)
 	res.Workers = pool.Workers()
 
-	abort := func(start time.Time, reason string) (RouteResult, error) {
-		res.Elapsed = time.Since(start)
-		res.WorkerBusy = st.busyTotal()
-		res.Stuck = st.stuckSnapshot()
-		return res, &DegradedError{
-			Reason:      reason,
-			Steps:       res.Steps,
-			Undelivered: active,
-			Stranded:    len(res.Stranded),
-			Stuck:       res.Stuck,
-		}
-	}
-
 	bestTotal := totalTogo
 	lastImprove := 0
 	start := time.Now()
 	for active > 0 {
 		if res.Steps >= maxSteps {
-			return abort(start, fmt.Sprintf("exceeded %d steps", maxSteps))
+			return st.abort(res, start, active, fmt.Sprintf("exceeded %d steps", maxSteps))
 		}
 		n.clock++
 		res.Steps++
@@ -497,12 +598,13 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 		// Park this step's stranded packets: merge the per-worker lists
 		// deterministically (by id; work-stealing makes the raw order
 		// scheduling-dependent) and drop them from the active pool.
-		var strands []PacketDiag
+		strands := st.strandAll[:0]
 		for w := 0; w < st.workers; w++ {
 			strands = append(strands, st.strand[w]...)
 		}
+		st.strandAll = strands[:0]
 		if len(strands) > 0 {
-			sort.Slice(strands, func(i, j int) bool { return strands[i].ID < strands[j].ID })
+			sort.Sort(diagsByID(strands))
 			for _, d := range strands {
 				totalTogo -= d.Dist
 			}
@@ -516,7 +618,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			bestTotal = totalTogo
 			lastImprove = res.Steps
 		} else if watchdog > 0 && res.Steps-lastImprove >= watchdog {
-			return abort(start, fmt.Sprintf("made no progress for %d steps", watchdog))
+			return st.abort(res, start, active, fmt.Sprintf("made no progress for %d steps", watchdog))
 		}
 		if opts.Paranoid {
 			if err := st.checkInvariants(totalPackets); err != nil {
@@ -537,9 +639,30 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	return res, nil
 }
 
-// stepState carries the per-phase scratch shared by shard workers: the
-// shard layout, the active-shard bookkeeping, and per-worker statistic
-// slots (merged deterministically by the coordinator after each step).
+// abort finalizes a degraded phase: it stamps the wall-clock counters,
+// snapshots the packets still moving, and wraps everything in a
+// *DegradedError. A method (not a closure in Route) so the happy path
+// keeps its result on the stack.
+func (st *stepState) abort(res RouteResult, start time.Time, active int, reason string) (RouteResult, error) {
+	res.Elapsed = time.Since(start)
+	res.WorkerBusy = st.busyTotal()
+	res.Stuck = st.stuckSnapshot()
+	st.dirty = true
+	return res, &DegradedError{
+		Reason:      reason,
+		Steps:       res.Steps,
+		Undelivered: active,
+		Stranded:    len(res.Stranded),
+		Stuck:       res.Stuck,
+	}
+}
+
+// stepState carries the reusable per-phase scratch shared by shard
+// workers: the shard layout, the active-shard bookkeeping, and
+// per-worker statistic slots (merged deterministically by the
+// coordinator after each step). One instance is cached on the Net and
+// survives phases, pipeline runs, and same-layout Resets; begin and
+// attach re-arm it per phase without allocating.
 type stepState struct {
 	net    *Net
 	policy Policy
@@ -549,6 +672,10 @@ type stepState struct {
 	faults   *FaultPlan
 	patience int  // 0 = stranding disabled
 	detour   bool // policy opted into non-monotone accounting
+
+	// dirty marks bookkeeping that may have survived an abnormal end of
+	// the previous phase (abort or worker panic); begin clears it all.
+	dirty bool
 
 	// Worker errors. The engine's own validity checks (boundary,
 	// monotonicity, link range) record errors here instead of panicking;
@@ -592,6 +719,11 @@ type stepState struct {
 	curSend     bool
 	next        atomic.Int64 // work-stealing cursor into curList
 
+	// workerFn is the cached st.phaseWorker method value: Pool.Run stores
+	// its argument, so passing the method directly would heap-allocate a
+	// fresh binding twice per step.
+	workerFn func(w int)
+
 	workers   int
 	delivered []int
 	sumOver   []int
@@ -600,14 +732,12 @@ type stepState struct {
 	hops      []int
 	togoDrop  []int          // net decrease in remaining distance, per worker
 	strand    [][]PacketDiag // packets stranded this step, per worker
+	strandAll []PacketDiag   // scratch: merged strand list of the current step
 	busy      []int64        // nanoseconds of shard work, per worker
 }
 
-func newStepState(n *Net, policy Policy) *stepState {
-	st := &stepState{net: n, policy: policy}
-	if dp, ok := policy.(DetourPolicy); ok && dp.Detours() {
-		st.detour = true
-	}
+func newStepState(n *Net) *stepState {
+	st := &stepState{net: n}
 	// Shards default to 128 processors and shrink (to a floor of 16) on
 	// small networks so the active-set tracking still has resolution.
 	st.shardShift = 7
@@ -627,22 +757,60 @@ func newStepState(n *Net, policy Policy) *stepState {
 		st.divs[dim] = div
 		div *= n.Shape.Side
 	}
+	st.workerFn = st.phaseWorker
 	return st
 }
 
-// attach binds the phase to its worker pool and sizes the per-worker
-// statistic slots.
+// markDirty requests a full bookkeeping wipe at the next begin (used by
+// Reset, whose queue truncation invalidates the incremental counters).
+func (st *stepState) markDirty() { st.dirty = true }
+
+// begin re-arms the cached state for a new phase. The activation loop in
+// Route recounts movingProcs from scratch, so those counters are wiped
+// here; the pending flags are self-clearing across completed steps and
+// only need a wipe after an abnormal phase end (dirty).
+func (st *stepState) begin(policy Policy) {
+	st.policy = policy
+	st.detour = false
+	if dp, ok := policy.(DetourPolicy); ok && dp.Detours() {
+		st.detour = true
+	}
+	st.err = nil
+	st.errRank = 0
+	for i := range st.movingProcs {
+		st.movingProcs[i] = 0
+	}
+	if st.dirty {
+		for i := range st.pending {
+			st.pending[i] = 0
+		}
+		for i := range st.pendingProc {
+			st.pendingProc[i] = 0
+		}
+		st.dirty = false
+	}
+}
+
+// attach binds the phase to its worker pool and re-arms the per-worker
+// statistic slots, reusing them whenever the worker count is unchanged.
 func (st *stepState) attach(pool *Pool) {
 	st.pool = pool
-	st.workers = pool.Workers()
-	st.delivered = make([]int, st.workers)
-	st.sumOver = make([]int, st.workers)
-	st.maxOver = make([]int, st.workers)
-	st.maxQueue = make([]int, st.workers)
-	st.hops = make([]int, st.workers)
-	st.togoDrop = make([]int, st.workers)
-	st.strand = make([][]PacketDiag, st.workers)
-	st.busy = make([]int64, st.workers)
+	w := pool.Workers()
+	if w != st.workers {
+		st.workers = w
+		st.delivered = make([]int, w)
+		st.sumOver = make([]int, w)
+		st.maxOver = make([]int, w)
+		st.maxQueue = make([]int, w)
+		st.hops = make([]int, w)
+		st.togoDrop = make([]int, w)
+		st.strand = make([][]PacketDiag, w)
+		st.busy = make([]int64, w)
+		return
+	}
+	for i := 0; i < w; i++ {
+		st.busy[i] = 0
+	}
 }
 
 func (st *stepState) busyTotal() time.Duration {
@@ -665,6 +833,7 @@ func (st *stepState) busyTotal() time.Duration {
 func (st *stepState) runStep() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			st.dirty = true
 			err = fmt.Errorf("engine: routing step panicked: %v", r)
 		}
 	}()
@@ -694,6 +863,9 @@ func (st *stepState) runStep() (err error) {
 	st.runPhase(st.deliverList, false)
 	// Workers are parked behind the pool barrier here, so the error slot
 	// needs no lock to read.
+	if st.err != nil {
+		st.dirty = true
+	}
 	return st.err
 }
 
@@ -727,7 +899,7 @@ func (st *stepState) runPhase(list []int32, send bool) {
 		st.phaseWorker(0)
 		return
 	}
-	st.pool.Run(st.phaseWorker)
+	st.pool.Run(st.workerFn)
 }
 
 func (st *stepState) phaseWorker(w int) {
@@ -769,12 +941,13 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 			continue
 		}
 		// Grant each link to the best requester. The out slots are
-		// already nil: the delivery phase consumes every granted slot
+		// already empty: the delivery phase consumes every granted slot
 		// (each receiver is flagged at grant time), so slots never
 		// survive a step.
 		granted := 0
 		expired := false
-		for _, p := range pr.moving {
+		for _, id := range pr.moving {
+			p := n.pkt(id)
 			if st.patience > 0 {
 				// Personal-best accounting: only a new best distance
 				// refunds patience, so a packet circling a blocked region
@@ -804,11 +977,11 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 				continue
 			}
 			cur := pr.out[l]
-			if cur == nil {
+			if cur == noPacket {
 				granted++
-				pr.out[l] = p
-			} else if p.togo > cur.togo || (p.togo == cur.togo && p.ID < cur.ID) {
-				pr.out[l] = p
+				pr.out[l] = id
+			} else if cp := n.pkt(cur); p.togo > cp.togo || (p.togo == cp.togo && p.ID < cp.ID) {
+				pr.out[l] = id
 			}
 		}
 		if granted == 0 && !expired {
@@ -818,10 +991,11 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 		// flag each receiver (and its shard) for the delivery phase; the
 		// receiver may live in a shard with no moving packets of its own.
 		side := n.Shape.Side
-		for l, p := range pr.out {
-			if p == nil {
+		for l, id := range pr.out {
+			if id == noPacket {
 				continue
 			}
+			p := n.pkt(id)
 			div := st.divs[LinkDim(l)]
 			c := (r / div) % side
 			recv := r
@@ -849,7 +1023,7 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 				// grant: the error aborts the phase at the step barrier
 				// with the network conserved.
 				st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
-				pr.out[l] = nil
+				pr.out[l] = noPacket
 				continue
 			}
 			p.sentStep = n.clock
@@ -862,23 +1036,21 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 			}
 		}
 		// Remove winners (stamped above) from the moving queue and park
-		// packets whose patience ran out.
+		// packets whose patience ran out. Entries are plain integers, so
+		// the truncated tail needs no clearing for the collector.
 		kept := pr.moving[:0]
-		for _, p := range pr.moving {
+		for _, id := range pr.moving {
+			p := n.pkt(id)
 			if p.sentStep == n.clock {
 				continue
 			}
 			if st.patience > 0 && p.stall > st.patience {
 				p.stranded = true
 				st.strand[w] = append(st.strand[w], st.diagnose(r, p))
-				pr.held = append(pr.held, p)
+				pr.held = append(pr.held, id)
 				continue
 			}
-			kept = append(kept, p)
-		}
-		// Null out the tail so dropped pointers don't linger.
-		for i := len(kept); i < len(pr.moving); i++ {
-			pr.moving[i] = nil
+			kept = append(kept, id)
 		}
 		pr.moving = kept
 		if len(kept) == 0 {
@@ -932,11 +1104,12 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 					}
 				}
 				slot := LinkFor(dim, dir)
-				p := n.procs[sender].out[slot]
-				if p == nil {
+				id := n.procs[sender].out[slot]
+				if id == noPacket {
 					continue
 				}
-				n.procs[sender].out[slot] = nil
+				n.procs[sender].out[slot] = noPacket
+				p := n.pkt(id)
 				st.hops[w]++
 				if n.loads != nil {
 					// The receiver owns this counter: one slot per
@@ -954,13 +1127,13 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 					if p.togo <= 0 && p.Dst != r {
 						st.recordErr(r, fmt.Errorf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", p.ID))
 						st.togoDrop[w] += old - p.togo
-						pr.moving = append(pr.moving, p)
+						pr.moving = append(pr.moving, id)
 						continue
 					}
 				}
 				st.togoDrop[w] += old - p.togo
 				if p.togo == 0 {
-					pr.held = append(pr.held, p)
+					pr.held = append(pr.held, id)
 					st.delivered[w]++
 					over := (n.clock - p.startStep) - p.startDist
 					st.sumOver[w] += over
@@ -968,7 +1141,7 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 						st.maxOver[w] = over
 					}
 				} else {
-					pr.moving = append(pr.moving, p)
+					pr.moving = append(pr.moving, id)
 				}
 			}
 		}
@@ -1030,18 +1203,35 @@ func (st *stepState) diagnose(rank int, p *Packet) PacketDiag {
 func (st *stepState) stuckSnapshot() []PacketDiag {
 	var out []PacketDiag
 	for r := range st.net.procs {
-		for _, p := range st.net.procs[r].moving {
-			out = append(out, st.diagnose(r, p))
+		for _, id := range st.net.procs[r].moving {
+			out = append(out, st.diagnose(r, st.net.pkt(id)))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Sort(diagsByRankID(out))
 	return out
 }
+
+// diagsByID orders PacketDiags by packet id (the deterministic merge
+// order of per-step stranding lists). A concrete sort.Interface so the
+// step loop never allocates a comparison closure.
+type diagsByID []PacketDiag
+
+func (d diagsByID) Len() int           { return len(d) }
+func (d diagsByID) Less(i, j int) bool { return d[i].ID < d[j].ID }
+func (d diagsByID) Swap(i, j int)      { d[i], d[j] = d[j], d[i] }
+
+// diagsByRankID orders PacketDiags by (rank, id) — the stuck-snapshot
+// order.
+type diagsByRankID []PacketDiag
+
+func (d diagsByRankID) Len() int { return len(d) }
+func (d diagsByRankID) Less(i, j int) bool {
+	if d[i].Rank != d[j].Rank {
+		return d[i].Rank < d[j].Rank
+	}
+	return d[i].ID < d[j].ID
+}
+func (d diagsByRankID) Swap(i, j int) { d[i], d[j] = d[j], d[i] }
 
 // checkInvariants is the paranoid per-step checker (RouteOpts.Paranoid):
 // no packet left on a link across the step barrier (which also enforces
@@ -1055,18 +1245,20 @@ func (st *stepState) checkInvariants(total int) error {
 	count := 0
 	for r := range n.procs {
 		pr := &n.procs[r]
-		for l, p := range pr.out {
-			if p != nil {
-				return fmt.Errorf("engine: invariant violated: packet %d left on link %d of rank %d across a step barrier", p.ID, l, r)
+		for l, id := range pr.out {
+			if id != noPacket {
+				return fmt.Errorf("engine: invariant violated: packet %d left on link %d of rank %d across a step barrier", n.pkt(id).ID, l, r)
 			}
 		}
 		count += len(pr.moving) + len(pr.held)
-		for _, p := range pr.held {
+		for _, id := range pr.held {
+			p := n.pkt(id)
 			if p.Dst != r && !p.stranded {
 				return fmt.Errorf("engine: invariant violated: packet %d held at rank %d away from destination %d without being stranded", p.ID, r, p.Dst)
 			}
 		}
-		for _, p := range pr.moving {
+		for _, id := range pr.moving {
+			p := n.pkt(id)
 			if want := n.Shape.Dist(r, p.Dst); p.togo != want {
 				return fmt.Errorf("engine: invariant violated: packet %d at rank %d carries distance budget %d but is %d hops from its destination", p.ID, r, p.togo, want)
 			}
@@ -1084,11 +1276,11 @@ func (st *stepState) checkInvariants(total int) error {
 func (n *Net) Snapshot() map[int]int {
 	out := make(map[int]int, n.nextID)
 	for r := range n.procs {
-		for _, p := range n.procs[r].moving {
-			out[p.ID] = r
+		for _, id := range n.procs[r].moving {
+			out[n.pkt(id).ID] = r
 		}
-		for _, p := range n.procs[r].held {
-			out[p.ID] = r
+		for _, id := range n.procs[r].held {
+			out[n.pkt(id).ID] = r
 		}
 		// Packets sitting in outgoing slots between phases do not exist:
 		// Route always completes the delivery phase before returning or

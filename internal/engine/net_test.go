@@ -91,7 +91,7 @@ func TestRouteDeliversRandomPermutation(t *testing.T) {
 	}
 	for r := 0; r < s.N(); r++ {
 		held := net.Held(r)
-		if len(held) != 1 || held[0].Dst != r {
+		if len(held) != 1 || net.Packet(held[0]).Dst != r {
 			t.Fatalf("rank %d holds %d packets", r, len(held))
 		}
 	}
@@ -133,8 +133,8 @@ func TestRouteIsDeterministic(t *testing.T) {
 		// Fingerprint: per-processor packet ids.
 		fp := make([]int, 0, s.N())
 		for r := 0; r < s.N(); r++ {
-			for _, p := range net.Held(r) {
-				fp = append(fp, p.ID)
+			for _, id := range net.Held(r) {
+				fp = append(fp, net.Packet(id).ID)
 			}
 		}
 		return fp, res.Steps
@@ -319,7 +319,7 @@ func TestSetHeldAndForEach(t *testing.T) {
 	net := New(s)
 	a := net.NewPacket(1, 2)
 	b := net.NewPacket(2, 2)
-	net.SetHeld(2, []*Packet{a, b})
+	net.SetHeld(2, []int32{int32(a.ID), int32(b.ID)})
 	count := 0
 	net.ForEachHeld(func(rank int, p *Packet) {
 		if rank != 2 {
@@ -390,7 +390,8 @@ func TestRouteDeterministicAcrossWorkers(t *testing.T) {
 			var fp strings.Builder
 			for r := 0; r < s.N(); r++ {
 				fmt.Fprintf(&fp, "%d:", r)
-				for _, p := range net.Held(r) {
+				for _, id := range net.Held(r) {
+					p := net.Packet(id)
 					fmt.Fprintf(&fp, " %d(src %d)", p.ID, p.Src)
 				}
 				fp.WriteByte('\n')
@@ -538,7 +539,7 @@ func TestTwoSideTorusAntipodalPermutation(t *testing.T) {
 	}
 	for r := 0; r < s.N(); r++ {
 		held := net.Held(r)
-		if len(held) != 1 || held[0].Dst != r {
+		if len(held) != 1 || net.Packet(held[0]).Dst != r {
 			t.Fatalf("rank %d holds %d packets after antipodal perm", r, len(held))
 		}
 	}

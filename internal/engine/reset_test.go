@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// routePerm injects a seeded random permutation and routes it under the
+// paranoid invariant checker, failing the test on any error or
+// misdelivery.
+func routePerm(t *testing.T, net *Net, s grid.Shape, seed uint64) {
+	t.Helper()
+	rng := xmath.NewRNG(seed)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	for i := range pkts {
+		pkts[i] = net.NewPacket(int64(i), i)
+		pkts[i].Dst = dsts[i]
+		pkts[i].Class = i % s.Dim
+	}
+	net.Inject(pkts)
+	if _, err := net.Route(greedyTestPolicy{s}, RouteOpts{Paranoid: true}); err != nil {
+		t.Fatalf("route on %v: %v", s, err)
+	}
+	for r := 0; r < s.N(); r++ {
+		for _, id := range net.Held(r) {
+			if p := net.Packet(id); p.Dst != r {
+				t.Fatalf("%v: packet %d finished at rank %d, destination %d", s, p.ID, r, p.Dst)
+			}
+		}
+	}
+	if net.TotalPackets() != s.N() {
+		t.Fatalf("%v: packet conservation violated", s)
+	}
+}
+
+// TestResetRebuildsOutSlotsAcrossShapes is the regression test for the
+// out-slot backing slab: 2d side-8 and 3d side-4 both have N = 64
+// processors but different links per processor, so a Reset that only
+// compared processor counts would keep the old slab and alias the out
+// slots of neighboring processors (processor i's window [i*4, i*4+4)
+// overlaps processor j's [j*6, j*6+6) carve-up). The paranoid checker
+// and the delivery check both catch the aliasing.
+func TestResetRebuildsOutSlotsAcrossShapes(t *testing.T) {
+	s2 := grid.New(2, 8)
+	s3 := grid.New(3, 4)
+	if s2.N() != s3.N() {
+		t.Fatalf("test premise broken: %d != %d processors", s2.N(), s3.N())
+	}
+	net := New(s2)
+	routePerm(t, net, s2, 21)
+	net.Reset(s3)
+	if net.Clock() != 0 || net.TotalPackets() != 0 {
+		t.Fatal("Reset did not empty the network")
+	}
+	routePerm(t, net, s3, 22)
+	// And back, covering the shrink direction of the links-per-proc
+	// change plus a torus flip at unchanged geometry.
+	net.Reset(s2)
+	routePerm(t, net, s2, 23)
+	net.Reset(grid.NewTorus(2, 8))
+	routePerm(t, net, grid.NewTorus(2, 8), 24)
+}
+
+// TestResetSameShapeReusesState: a same-shape Reset must behave exactly
+// like a fresh network (clock, ids, MaxQueue, load counting all reset)
+// while reusing storage.
+func TestResetSameShapeReuses(t *testing.T) {
+	s := grid.New(2, 6)
+	net := New(s)
+	net.SetCountLoads(true)
+	routePerm(t, net, s, 31)
+	if net.Clock() == 0 {
+		t.Fatal("first run did not advance the clock")
+	}
+	net.Reset(s)
+	if net.Clock() != 0 || net.MaxQueue != 0 || net.TotalPackets() != 0 {
+		t.Fatal("Reset left stale state")
+	}
+	if net.CountingLoads() {
+		t.Fatal("Reset must disable load counting")
+	}
+	p := net.NewPacket(7, 3)
+	if p.ID != 0 {
+		t.Fatalf("ids restart at 0 after Reset, got %d", p.ID)
+	}
+	if net.Packet(0) != p {
+		t.Fatal("arena handle does not resolve after Reset")
+	}
+	net.Reset(s)
+	routePerm(t, net, s, 32)
+}

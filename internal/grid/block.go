@@ -69,19 +69,24 @@ func (bs BlockSpec) OffsetOf(rank int) int {
 // ProcAt returns the canonical rank of the processor at the given
 // row-major offset within the given block.
 func (bs BlockSpec) ProcAt(blockID, offset int) int {
-	if blockID < 0 || blockID >= bs.Count() {
-		panic(fmt.Sprintf("grid: block id %d out of range [0,%d)", blockID, bs.Count()))
-	}
-	if offset < 0 || offset >= bs.Volume() {
-		panic(fmt.Sprintf("grid: block offset %d out of range [0,%d)", offset, bs.Volume()))
+	if blockID < 0 || offset < 0 {
+		panic(fmt.Sprintf("grid: negative block id %d or offset %d", blockID, offset))
 	}
 	rank := 0
+	pow := 1
 	for i := bs.Shape.Dim - 1; i >= 0; i-- {
 		bc := blockID % bs.PerDim
 		lc := offset % bs.Side
 		blockID /= bs.PerDim
 		offset /= bs.Side
-		rank += (bc*bs.Side + lc) * xmath.Ipow(bs.Shape.Side, bs.Shape.Dim-1-i)
+		rank += (bc*bs.Side + lc) * pow
+		pow *= bs.Shape.Side
+	}
+	// Nonzero remainders mean the id or offset exceeded m^d or b^d; the
+	// digit loop above is the range check, without the Ipow calls an
+	// explicit Count()/Volume() comparison would cost on this hot path.
+	if blockID != 0 || offset != 0 {
+		panic(fmt.Sprintf("grid: block id or offset out of range [0,%d)x[0,%d)", bs.Count(), bs.Volume()))
 	}
 	return rank
 }

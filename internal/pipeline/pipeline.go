@@ -5,6 +5,7 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/radix"
 )
 
 // Phase stat kinds. Local phases may use a custom kind (the in-mesh
@@ -144,6 +145,7 @@ type Runner struct {
 	net  *engine.Net
 	tot  Totals
 	last engine.RouteResult
+	srt  radix.Sorter
 }
 
 // New builds a quiescent network for the configuration.
@@ -157,6 +159,29 @@ func New(cfg Config) *Runner {
 // Net exposes the runner's network for packet creation, injection, and
 // inspection between (or within) phases.
 func (r *Runner) Net() *engine.Net { return r.net }
+
+// Sorter exposes the runner's radix sorter. Local phases thread it
+// through their block sorts so every sort in a run shares one pair of
+// scratch slabs; the slabs grow to the largest block and are then reused,
+// making warm-runner sorts allocation-free. The sorter is single-owner
+// scratch: phases run sequentially on the caller's goroutine, so no
+// locking is needed, but a sort must finish before the next Prepare.
+func (r *Runner) Sorter() *radix.Sorter { return &r.srt }
+
+// Reset re-arms the runner (and its network) for a fresh problem under a
+// new configuration, reusing all learned storage: the packet arena, the
+// per-processor queues, the engine's step scratch, and the radix slabs.
+// Accumulated totals and the last route result are discarded. This is
+// the steady-state entry point: a warm runner re-running a same-shaped
+// problem allocates only what the algorithm's own bookkeeping needs.
+func (r *Runner) Reset(cfg Config) {
+	r.cfg = cfg
+	r.net.Reset(cfg.Shape)
+	r.net.Workers = cfg.Workers
+	r.net.Pool = cfg.Pool
+	r.tot = Totals{}
+	r.last = engine.RouteResult{}
+}
 
 // Totals returns the statistics accumulated so far. TotalSteps always
 // reflects the current clock, so after a mid-program error the totals

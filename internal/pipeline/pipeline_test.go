@@ -157,3 +157,69 @@ type testErr struct{}
 func (testErr) Error() string { return "test failure" }
 
 var errTest = testErr{}
+
+// TestRunnerReset: a warm runner re-armed with Reset behaves like a
+// fresh one — empty network, zero clock, discarded totals and LastRoute —
+// on both same-shape and shape-changing resets, and produces identical
+// results on an identical re-run.
+func TestRunnerReset(t *testing.T) {
+	s := grid.New(2, 4)
+	cfg := pipeline.Config{Shape: s, Policy: route.NewGreedy(s)}
+	reverse := func(r *pipeline.Runner) pipeline.Totals {
+		t.Helper()
+		keys := make([]int64, s.N())
+		pkts, err := r.InjectKeys(1, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = r.Run(pipeline.Route{Name: "reverse", Prepare: func(*engine.Net) error {
+			for i, p := range pkts {
+				p.Dst = s.N() - 1 - i
+			}
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Totals()
+	}
+	r := pipeline.New(cfg)
+	first := reverse(r)
+	r.Reset(cfg)
+	if r.Net().Clock() != 0 || r.Net().TotalPackets() != 0 {
+		t.Fatal("Reset left packets or clock behind")
+	}
+	if tot := r.Totals(); len(tot.Phases) != 0 || tot.TotalSteps != 0 || tot.MaxQueue != 0 {
+		t.Fatalf("Reset kept totals: %+v", tot)
+	}
+	if rr := r.LastRoute(); rr.Steps != 0 {
+		t.Fatalf("Reset kept LastRoute: %+v", rr)
+	}
+	second := reverse(r)
+	if first.RouteSteps != second.RouteSteps || first.MaxQueue != second.MaxQueue {
+		t.Errorf("warm re-run diverged: %+v vs %+v", first, second)
+	}
+
+	// Shape-changing reset: same processor count, different dimension
+	// (the out-slot slab case — see engine.Net.Reset).
+	s3 := grid.New(3, 4)
+	cfg3 := pipeline.Config{Shape: s3, Policy: route.NewGreedy(s3)}
+	r.Reset(cfg3)
+	keys := make([]int64, s3.N())
+	pkts, err := r.InjectKeys(1, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Run(pipeline.Route{Name: "reverse3", Prepare: func(*engine.Net) error {
+		for i, p := range pkts {
+			p.Dst = s3.N() - 1 - i
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Net().TotalPackets() != s3.N() {
+		t.Error("post-reset run lost packets")
+	}
+}

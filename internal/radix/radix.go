@@ -1,0 +1,149 @@
+// Package radix provides the allocation-free LSD radix sort used by the
+// oracle local-sort phases. The unit of sorting is a Ref — an
+// order-preserving uint64 transform of a packet's key plus the packet's
+// int32 arena index — so a sort never touches the packets themselves and
+// never calls a comparison closure: the hot loops are pure counting and
+// scattering over a flat slice.
+//
+// A Sorter owns the two scratch slabs the sort ping-pongs between. The
+// slabs grow to the largest input ever sorted and are reused afterwards,
+// so in steady state (a warm pipeline Runner re-sorting same-sized
+// blocks) a sort performs zero heap allocations. Sorters are not safe
+// for concurrent use; the pipeline Runner owns one per run.
+package radix
+
+// Ref is one sortable element: Key orders first (ascending), ID breaks
+// ties (ascending). ID doubles as the payload — for packet sorts it is
+// the arena index, which equals the packet id, so the sorted Ref slice
+// is directly the sorted id sequence.
+type Ref struct {
+	Key uint64
+	ID  int32
+}
+
+// FlipInt64 maps an int64 onto a uint64 such that unsigned order of the
+// images equals signed order of the preimages (the sign bit is flipped).
+func FlipInt64(k int64) uint64 { return uint64(k) ^ (1 << 63) }
+
+// UnflipInt64 inverts FlipInt64.
+func UnflipInt64(u uint64) int64 { return int64(u ^ (1 << 63)) }
+
+// insertionCutoff is the size below which insertion sort beats the radix
+// passes (12 counting passes have a large constant; typical block-local
+// sorts on small meshes fall under it).
+const insertionCutoff = 48
+
+// Sorter carries the reusable scratch of the radix sort. The zero value
+// is ready to use.
+type Sorter struct {
+	refs []Ref // slab handed out by Prepare
+	tmp  []Ref // ping-pong buffer of the LSD passes
+}
+
+// Prepare returns an empty Ref slice with capacity for n elements,
+// backed by the Sorter's reusable slab. The returned slice is only valid
+// until the next Prepare call; append the refs to sort and pass the
+// result to Sort.
+func (s *Sorter) Prepare(n int) []Ref {
+	if cap(s.refs) < n {
+		s.refs = make([]Ref, 0, grow(n))
+	}
+	return s.refs[:0]
+}
+
+// grow rounds a demanded capacity up geometrically so repeated Prepare
+// calls with creeping sizes don't reallocate every time.
+func grow(n int) int {
+	c := 64
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// Sort orders refs by (Key, ID), both ascending, in place. It is a
+// 12-pass byte-wise LSD radix sort (4 ID bytes, then 8 key bytes, least
+// significant first); passes whose byte is constant across the input are
+// skipped, so near-uniform inputs (small key ranges, dense ids) pay only
+// for the bytes that actually vary. Small inputs use insertion sort.
+func (s *Sorter) Sort(refs []Ref) {
+	n := len(refs)
+	if n < 2 {
+		return
+	}
+	if n < insertionCutoff {
+		insertion(refs)
+		return
+	}
+	if cap(s.tmp) < n {
+		s.tmp = make([]Ref, grow(n))
+	}
+	a, b := refs, s.tmp[:n]
+	swapped := false
+	var count [256]int
+	for pass := uint(0); pass < 12; pass++ {
+		for i := range count {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[digit(&a[i], pass)]++
+		}
+		if count[digit(&a[0], pass)] == n {
+			continue // constant byte: the pass is the identity
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := digit(&a[i], pass)
+			b[count[d]] = a[i]
+			count[d]++
+		}
+		a, b = b, a
+		swapped = !swapped
+	}
+	if swapped {
+		copy(refs, a)
+	}
+}
+
+// digit extracts the pass-th byte of the composite 12-byte
+// little-endian sort value (ID bytes 0-3, key bytes 4-11). Stable LSD
+// over it yields exactly the (Key, ID) order.
+func digit(r *Ref, pass uint) uint8 {
+	if pass < 4 {
+		return uint8(uint32(r.ID) >> (8 * pass))
+	}
+	return uint8(r.Key >> (8 * (pass - 4)))
+}
+
+func insertion(refs []Ref) {
+	for i := 1; i < len(refs); i++ {
+		r := refs[i]
+		j := i - 1
+		for j >= 0 && less(r, refs[j]) {
+			refs[j+1] = refs[j]
+			j--
+		}
+		refs[j+1] = r
+	}
+}
+
+func less(a, b Ref) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+// ByKeyID is the concrete sort.Interface fallback over Refs for callers
+// that need a comparison sort (custom comparators composed around the
+// same elements); unlike a sort.Slice closure it allocates nothing.
+type ByKeyID []Ref
+
+func (r ByKeyID) Len() int           { return len(r) }
+func (r ByKeyID) Less(i, j int) bool { return less(r[i], r[j]) }
+func (r ByKeyID) Swap(i, j int)      { r[i], r[j] = r[j], r[i] }

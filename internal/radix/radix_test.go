@@ -1,0 +1,132 @@
+package radix
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"meshsort/internal/xmath"
+)
+
+func refSort(refs []Ref) {
+	sort.SliceStable(refs, func(i, j int) bool { return less(refs[i], refs[j]) })
+}
+
+func checkAgainstReference(t *testing.T, name string, refs []Ref) {
+	t.Helper()
+	want := append([]Ref(nil), refs...)
+	refSort(want)
+	var s Sorter
+	s.Sort(refs)
+	for i := range refs {
+		if refs[i] != want[i] {
+			t.Fatalf("%s: mismatch at %d: got %+v want %+v", name, i, refs[i], want[i])
+		}
+	}
+}
+
+func keysToRefs(keys []int64) []Ref {
+	refs := make([]Ref, len(keys))
+	for i, k := range keys {
+		refs[i] = Ref{Key: FlipInt64(k), ID: int32(i)}
+	}
+	return refs
+}
+
+func TestFlipRoundTripAndOrder(t *testing.T) {
+	keys := []int64{math.MinInt64, -5, -1, 0, 1, 7, math.MaxInt64}
+	for _, k := range keys {
+		if got := UnflipInt64(FlipInt64(k)); got != k {
+			t.Fatalf("roundtrip %d -> %d", k, got)
+		}
+	}
+	for i := 0; i+1 < len(keys); i++ {
+		if FlipInt64(keys[i]) >= FlipInt64(keys[i+1]) {
+			t.Fatalf("flip broke order between %d and %d", keys[i], keys[i+1])
+		}
+	}
+}
+
+// The satellite's named edge cases: duplicates, already sorted, reverse
+// sorted, all keys equal, negative keys. Each runs at a size below and
+// above the insertion-sort cutoff so both code paths are covered.
+func TestSortEdgeCases(t *testing.T) {
+	sizes := []int{insertionCutoff / 2, 4 * insertionCutoff}
+	for _, n := range sizes {
+		cases := map[string][]int64{
+			"sorted":     make([]int64, n),
+			"reverse":    make([]int64, n),
+			"allEqual":   make([]int64, n),
+			"duplicates": make([]int64, n),
+			"negative":   make([]int64, n),
+		}
+		for i := 0; i < n; i++ {
+			cases["sorted"][i] = int64(i)
+			cases["reverse"][i] = int64(n - i)
+			cases["allEqual"][i] = 42
+			cases["duplicates"][i] = int64(i % 3)
+			cases["negative"][i] = int64((i % 7) - 3)
+		}
+		for name, keys := range cases {
+			checkAgainstReference(t, name, keysToRefs(keys))
+		}
+	}
+}
+
+func TestSortExtremeKeys(t *testing.T) {
+	keys := []int64{math.MaxInt64, math.MinInt64, 0, -1, 1, math.MinInt64, math.MaxInt64}
+	checkAgainstReference(t, "extremes", keysToRefs(keys))
+}
+
+// Property test: random keys (including negative ones) with shuffled
+// duplicate ids must sort exactly as the sort.Slice reference, at many
+// sizes around the cutoff.
+func TestSortMatchesReferenceRandom(t *testing.T) {
+	rng := xmath.NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(3 * insertionCutoff)
+		refs := make([]Ref, n)
+		for i := range refs {
+			key := int64(rng.Uint64())
+			if rng.Intn(3) == 0 {
+				key = int64(rng.Intn(5)) - 2 // force duplicates and negatives
+			}
+			refs[i] = Ref{Key: FlipInt64(key), ID: int32(rng.Intn(n + 1))}
+		}
+		checkAgainstReference(t, "random", refs)
+	}
+}
+
+// A warm Sorter must not allocate: Prepare hands out the retained slab
+// and Sort ping-pongs between it and the retained tmp buffer.
+func TestWarmSorterDoesNotAllocate(t *testing.T) {
+	rng := xmath.NewRNG(7)
+	keys := make([]int64, 1024)
+	for i := range keys {
+		keys[i] = int64(rng.Uint64())
+	}
+	var s Sorter
+	fill := func() []Ref {
+		refs := s.Prepare(len(keys))
+		for i, k := range keys {
+			refs = append(refs, Ref{Key: FlipInt64(k), ID: int32(i)})
+		}
+		return refs
+	}
+	s.Sort(fill()) // warm the slabs
+	if avg := testing.AllocsPerRun(10, func() { s.Sort(fill()) }); avg != 0 {
+		t.Fatalf("warm sort allocated %.1f times per run", avg)
+	}
+}
+
+func TestByKeyIDSortInterface(t *testing.T) {
+	refs := keysToRefs([]int64{3, -1, 3, 0, -5})
+	want := append([]Ref(nil), refs...)
+	refSort(want)
+	sort.Sort(ByKeyID(refs))
+	for i := range refs {
+		if refs[i] != want[i] {
+			t.Fatalf("ByKeyID mismatch at %d", i)
+		}
+	}
+}

@@ -122,18 +122,27 @@ func AssignClasses(s grid.Shape, pkts []*engine.Packet, locs []int, mode ClassMo
 			groups[g] = append(groups[g], p)
 		}
 		for _, g := range groups {
-			sort.Slice(g, func(i, j int) bool {
-				if g[i].Dst != g[j].Dst {
-					return g[i].Dst < g[j].Dst
-				}
-				return g[i].ID < g[j].ID
-			})
+			sort.Sort(byDstID(g))
 			for i, p := range g {
 				p.Class = i % d
 			}
 		}
 	}
 }
+
+// byDstID orders packets by (Dst, ID) — the deterministic within-group
+// order of ClassLocalRank. A concrete sort.Interface so class assignment
+// allocates no comparison closure.
+type byDstID []*engine.Packet
+
+func (g byDstID) Len() int { return len(g) }
+func (g byDstID) Less(i, j int) bool {
+	if g[i].Dst != g[j].Dst {
+		return g[i].Dst < g[j].Dst
+	}
+	return g[i].ID < g[j].ID
+}
+func (g byDstID) Swap(i, j int) { g[i], g[j] = g[j], g[i] }
 
 // OptimalityReport summarizes how close a routing run came to
 // distance-optimality: a scheme is distance-optimal when every packet

@@ -61,7 +61,8 @@ func TestFaultGreedyZeroStrandedAtOnePercent(t *testing.T) {
 			len(res.Stranded), res.Stranded[0])
 	}
 	for r := 0; r < s.N(); r++ {
-		for _, p := range net.Held(r) {
+		for _, id := range net.Held(r) {
+			p := net.Packet(id)
 			if p.Dst != r {
 				t.Fatalf("packet %d finished at rank %d, destination %d", p.ID, r, p.Dst)
 			}
@@ -158,9 +159,9 @@ func TestRunProblemFaultDeterminismAcrossWorkers(t *testing.T) {
 			}
 			var fp strings.Builder
 			for r := 0; r < s.N(); r++ {
-				for _, p := range net.Held(r) {
+				for _, id := range net.Held(r) {
 					fp.WriteByte(byte(r % 251))
-					fp.WriteByte(byte(p.ID % 251))
+					fp.WriteByte(byte(net.Packet(id).ID % 251))
 				}
 			}
 			return normalizeRes(res), fp.String()
