@@ -23,6 +23,10 @@
 // -trace emits one JSON line per completed pipeline phase (name, kind,
 // steps, bound, max queue, throughput) to stderr, straight from the
 // phase observer the runner threads through every algorithm.
+//
+// -json replaces the text report with a single JSON object on stdout —
+// the same service.Result encoding the meshsortd HTTP API serves, so
+// scripts can consume CLI runs and service responses with one parser.
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"meshsort/internal/perm"
 	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
+	"meshsort/internal/service"
 	"meshsort/internal/xmath"
 )
 
@@ -57,6 +62,8 @@ func main() {
 		pperm = flag.String("perm", "random", "permutation for routing algorithms: random|reversal|transpose|hotspot")
 		heat  = flag.Bool("heat", false, "print an ASCII congestion heatmap after greedyroute (2-d meshes only)")
 		mode  = flag.String("classes", "local", "greedyroute class assignment: zero|random|local (zero = plain greedy)")
+
+		jsonOut = flag.Bool("json", false, "emit the final result as one JSON object on stdout instead of the text report")
 
 		faults   = flag.Float64("faults", 0, "fraction of links to fail permanently (fault injection; 0 = perfect network)")
 		fseed    = flag.Uint64("fault-seed", 1, "seed of the random fault plan")
@@ -93,14 +100,28 @@ func main() {
 	if *trace {
 		obs = tracePhases
 	}
+	// -json needs the phase stats of the algorithms whose result types
+	// do not carry them (shear, greedyroute); collect via the observer.
+	var collected []pipeline.PhaseStat
+	if *jsonOut {
+		prev := obs
+		obs = func(ph pipeline.PhaseStat) {
+			collected = append(collected, ph)
+			if prev != nil {
+				prev(ph)
+			}
+		}
+	}
 	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
 		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, Pool: pool,
 		Observer: obs, FaultOpts: fo}
 	keys := core.RandomKeys(shape, max(1, *k), *seed+1)
 	D := shape.Diameter()
-	fmt.Printf("%v: N=%d D=%d block=%d\n", shape, shape.N(), D, *b)
-	if fo.Faults != nil {
-		fmt.Printf("fault injection: %v\n", fo.Faults)
+	if !*jsonOut {
+		fmt.Printf("%v: N=%d D=%d block=%d\n", shape, shape.N(), D, *b)
+		if fo.Faults != nil {
+			fmt.Printf("fault injection: %v\n", fo.Faults)
+		}
 	}
 
 	switch *alg {
@@ -118,15 +139,33 @@ func main() {
 			res, err = core.FullSort(cfg, keys)
 		}
 		fail(err)
+		if *jsonOut {
+			emitJSON(service.FromSort(res))
+			break
+		}
 		printSort(res)
 	case "oddeven":
 		res, err := baseline.RunOddEven(shape, keys)
 		fail(err)
+		if *jsonOut {
+			emitJSON(service.Result{Algorithm: "oddeven", Shape: shape.String(),
+				N: shape.N(), Diameter: D, Delivered: res.Sorted, Sorted: res.Sorted,
+				TotalSteps: res.Rounds, RouteSteps: res.Rounds,
+				Phases: []service.PhaseTrace{}})
+			break
+		}
 		fmt.Printf("odd-even transposition: %d rounds (= steps), sorted=%v, %.2f x diameter\n",
 			res.Rounds, res.Sorted, float64(res.Rounds)/float64(D))
 	case "shear":
 		res, err := baseline.ShearSort(shape, keys, baseline.ShearSortOpts{Workers: *work, Pool: pool, Observer: obs})
 		fail(err)
+		if *jsonOut {
+			emitJSON(service.Result{Algorithm: "shearsort", Shape: shape.String(),
+				N: shape.N(), Diameter: D, Delivered: res.Sorted, Sorted: res.Sorted,
+				TotalSteps: res.Steps, RouteSteps: res.Steps, MergeRounds: res.Iterations,
+				Phases: phaseTraces(collected)})
+			break
+		}
 		fmt.Printf("whole-mesh shearsort: %d steps (%.2f x D), sorted=%v, %d iterations, %d fallback rounds\n",
 			res.Steps, float64(res.Steps)/float64(D), res.Sorted, res.Iterations, res.Fallback)
 	case "route":
@@ -134,6 +173,10 @@ func main() {
 		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed,
 			Workers: *work, Pool: pool, Observer: obs, FaultOpts: fo}, prob)
 		fail(err)
+		if *jsonOut {
+			emitJSON(service.FromRouteAlg(res, shape))
+			break
+		}
 		fmt.Printf("two-phase routing: %d routing steps (bound D+2nu = %d), nu=%d effective=%d, delivered=%v",
 			res.RouteSteps, res.Bound, res.Nu, res.EffectiveNu, res.Delivered)
 		if res.Stranded > 0 {
@@ -158,6 +201,13 @@ func main() {
 			CountLoads: *heat, Observer: obs,
 		})
 		fail(err)
+		if *jsonOut {
+			emitJSON(service.Result{Algorithm: "greedyroute", Shape: shape.String(),
+				N: shape.N(), Diameter: D, Delivered: len(res.Stranded) == 0,
+				TotalSteps: res.Steps, RouteSteps: res.Steps, MaxQueue: res.MaxQueue,
+				Stranded: len(res.Stranded), Phases: phaseTraces(collected)})
+			break
+		}
 		fmt.Printf("greedy routing of %s: %d steps (D=%d), max overshoot %d, max queue %d",
 			prob.Name, res.Steps, D, res.MaxOvershoot, res.MaxQueue)
 		if len(res.Stranded) > 0 {
@@ -177,6 +227,10 @@ func main() {
 	case "select":
 		res, err := core.Select(cfg, keys, shape.N()/2)
 		fail(err)
+		if *jsonOut {
+			emitJSON(service.FromSelect(res, shape))
+			break
+		}
 		fmt.Printf("selection: median=%d correct=%v, %d routing steps (%.2f D), %d candidates\n",
 			res.Value, res.Correct, res.RouteSteps, float64(res.RouteSteps)/float64(D), res.Candidates)
 		for _, ph := range res.Phases {
@@ -187,6 +241,24 @@ func main() {
 		stopProfiles()
 		os.Exit(2)
 	}
+}
+
+// emitJSON writes the -json report: exactly one JSON object on
+// stdout, in the same encoding internal/service serves over HTTP.
+func emitJSON(res service.Result) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fail(err)
+	}
+}
+
+func phaseTraces(phases []pipeline.PhaseStat) []service.PhaseTrace {
+	out := make([]service.PhaseTrace, len(phases))
+	for i, ph := range phases {
+		out[i] = service.TracePhase(ph)
+	}
+	return out
 }
 
 func printSort(res core.Result) {

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 
+	"meshsort/internal/core"
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
+	"meshsort/internal/service"
 )
 
 func TestPickPerm(t *testing.T) {
@@ -37,4 +42,62 @@ func TestPrintHeatmapRuns(t *testing.T) {
 		printHeatmap(net)
 	}
 	printHeatmap(engine.New(grid.New(2, 4))) // no loads counted
+}
+
+// TestJSONMatchesService pins the -json contract: a CLI run encodes to
+// the same object the service produces for the equivalent JobSpec, so
+// one parser serves both outputs.
+func TestJSONMatchesService(t *testing.T) {
+	shape := grid.New(2, 8)
+	cfg := core.Config{Shape: shape, BlockSide: 4, K: 1, Seed: 1}
+	keys := core.RandomKeys(shape, 1, 2)
+	res, err := core.SimpleSort(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := json.Marshal(service.FromSort(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := service.New(service.Options{Runners: 1, WorkersPerRunner: 1})
+	defer s.Close()
+	job, err := s.Submit(service.JobSpec{Alg: service.AlgSimple, D: 2, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	st := job.Snapshot()
+	if st.Status != service.StatusDone {
+		t.Fatalf("service job: %s (%s)", st.Status, st.Error)
+	}
+
+	var fromCLI, fromSvc service.Result
+	if err := json.Unmarshal(cli, &fromCLI); err != nil {
+		t.Fatal(err)
+	}
+	svcBytes, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(svcBytes, &fromSvc); err != nil {
+		t.Fatal(err)
+	}
+	// Throughput figures are wall-clock dependent; everything else in
+	// the two encodings must agree, key sum included.
+	fromCLI.Phases, fromSvc.Phases = nil, nil
+	if !reflect.DeepEqual(fromCLI, fromSvc) {
+		t.Errorf("CLI and service results diverge:\n  cli: %+v\n  svc: %+v", fromCLI, fromSvc)
+	}
+	if fromCLI.KeySum == "" {
+		t.Error("CLI result missing keySum")
+	}
+}
+
+func TestPhaseTraces(t *testing.T) {
+	in := []pipeline.PhaseStat{{Name: "a", Kind: "route", Steps: 3, Bound: 5}}
+	out := phaseTraces(in)
+	if len(out) != 1 || out[0].Name != "a" || out[0].Bound != 5 {
+		t.Errorf("phaseTraces: %+v", out)
+	}
 }

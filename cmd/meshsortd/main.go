@@ -1,0 +1,125 @@
+// Command meshsortd serves mesh-sorting simulation jobs over HTTP.
+//
+// Usage:
+//
+//	meshsortd -addr :8080 -runners 4 -queue 64 -cache 256
+//	meshsortd -smoke -target http://127.0.0.1:8080
+//
+// The server multiplexes jobs over a bounded pool of warm pipeline
+// runners (see internal/service): same-shape jobs reuse a runner's
+// arenas via Reset instead of reallocating, the admission queue is
+// bounded (a full queue answers 429, never an unbounded goroutine
+// pile-up), and repeated specs are served from a sharded LRU result
+// cache. The API:
+//
+//	POST /v1/jobs        submit a JobSpec JSON body (?wait=1 blocks)
+//	GET  /v1/jobs/{id}   job status and result
+//	GET  /healthz        liveness
+//	GET  /metrics        pool, queue, and cache counters as JSON
+//
+// On SIGTERM or SIGINT the server stops listening, finishes in-flight
+// requests, drains every admitted job, and exits 0.
+//
+// -smoke turns the binary into its own client: it runs one end-to-end
+// exchange against -target (health, a reference sort job, a cache-hit
+// repeat, a metrics read) and exits nonzero on any mismatch. CI uses
+// this as the service smoke test.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"meshsort/internal/service"
+)
+
+// drainTimeout caps how long Shutdown waits for in-flight HTTP
+// requests (a held ?wait=1 request at most rides out its job).
+const drainTimeout = 30 * time.Second
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		runners = flag.Int("runners", 0, "warm runner slots = max concurrent simulations (0 = 4)")
+		workers = flag.Int("workers", 0, "engine workers per runner (0 = GOMAXPROCS spread over the runners)")
+		queue   = flag.Int("queue", 0, "admission queue depth; beyond it submits get 429 (0 = 64)")
+		cache   = flag.Int("cache", 0, "result cache capacity in completed jobs (0 = 256, negative disables)")
+		smoke   = flag.Bool("smoke", false, "run as a smoke client against -target instead of serving")
+		target  = flag.String("target", "http://127.0.0.1:8080", "base URL the -smoke client exercises")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*target, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := service.Options{Runners: *runners, WorkersPerRunner: *workers,
+		QueueDepth: *queue, CacheCapacity: *cache}
+	if err := serve(*addr, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// serve listens on addr and runs the service until SIGTERM or SIGINT.
+func serve(addr string, opts service.Options) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return run(ctx, ln, opts)
+}
+
+// run serves on ln until ctx is cancelled, then drains in order: the
+// listener closes, in-flight requests finish (bounded by
+// drainTimeout), and Service.Close waits for every admitted job before
+// run returns. A nil return means a clean drain.
+func run(ctx context.Context, ln net.Listener, opts service.Options) error {
+	svc := service.New(opts)
+	srv := &http.Server{Handler: svc.Handler()}
+	log.Printf("meshsortd: listening on %s (%d runners, queue %d)",
+		ln.Addr(), svc.Metrics().Runners, svc.Metrics().QueueCap)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed on its own; nothing to drain gracefully.
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("meshsortd: signal received, draining")
+
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		svc.Close()
+		return fmt.Errorf("meshsortd: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		svc.Close()
+		return err
+	}
+	svc.Close()
+	m := svc.Metrics()
+	log.Printf("meshsortd: drained: completed=%d failed=%d simulations=%d cacheHits=%d",
+		m.JobsCompleted, m.JobsFailed, m.Simulations, m.CacheHits)
+	return nil
+}

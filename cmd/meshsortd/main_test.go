@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"meshsort/internal/service"
+)
+
+// startServer runs the real server loop on an ephemeral port and
+// returns its base URL plus a stop function that triggers the graceful
+// drain and reports run's error.
+func startServer(t *testing.T, opts service.Options) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, ln, opts) }()
+	base := "http://" + ln.Addr().String()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(drainTimeout + 5*time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func TestSmokeAgainstServer(t *testing.T) {
+	base, stop := startServer(t, service.Options{Runners: 2, WorkersPerRunner: 1})
+	var out bytes.Buffer
+	if err := runSmoke(base, &out); err != nil {
+		t.Fatalf("runSmoke: %v", err)
+	}
+	if !strings.Contains(out.String(), "smoke ok") {
+		t.Errorf("smoke output: %q", out.String())
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+}
+
+// TestDrainWithQueuedJobs cancels the server right after submitting an
+// asynchronous job: run must complete the admitted job and return nil
+// (a clean drain), not hang or abandon work.
+func TestDrainWithQueuedJobs(t *testing.T) {
+	base, stop := startServer(t, service.Options{Runners: 1, WorkersPerRunner: 1})
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"alg":"route","d":3,"n":8,"perm":"reversal"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("drain with queued job: %v", err)
+	}
+	// The listener is down after the drain.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still answering after drain")
+	}
+}
+
+func TestSmokeUnreachableTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := runSmoke("http://127.0.0.1:1", &out); err == nil {
+		t.Error("smoke against a dead target reported success")
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"meshsort/internal/service"
+)
+
+// smokeSpec is the reference job the smoke client submits: small
+// enough to finish in well under a second, big enough to exercise a
+// real multi-phase run.
+const smokeSpec = `{"alg":"simple","d":3,"n":8}`
+
+// runSmoke drives one end-to-end exchange against a running meshsortd
+// at base: liveness, a waited reference sort job, a repeat of the
+// identical spec that must be served from the result cache with a
+// byte-identical payload, and a metrics read. Any deviation from the
+// expected responses is an error.
+func runSmoke(base string, out io.Writer) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	first, err := smokeJob(client, base)
+	if err != nil {
+		return fmt.Errorf("first job: %w", err)
+	}
+	if first.Result.Bound <= 0 || first.Result.TotalSteps <= 0 || len(first.Result.Phases) == 0 {
+		return fmt.Errorf("first job: implausible result %+v", first.Result)
+	}
+
+	second, err := smokeJob(client, base)
+	if err != nil {
+		return fmt.Errorf("repeat job: %w", err)
+	}
+	if !second.CacheHit {
+		return fmt.Errorf("repeat of an identical spec was not a cache hit")
+	}
+	if second.Result.KeySum != first.Result.KeySum {
+		return fmt.Errorf("cache hit diverged: keySum %s vs %s",
+			second.Result.KeySum, first.Result.KeySum)
+	}
+
+	mResp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer mResp.Body.Close()
+	var m service.Metrics
+	if err := json.NewDecoder(mResp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if m.JobsCompleted < 2 || m.Simulations < 1 || m.CacheHits < 1 {
+		return fmt.Errorf("metrics do not reflect the smoke jobs: %+v", m)
+	}
+
+	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), cache hit confirmed, %d simulation(s)\n",
+		first.Result.Algorithm, first.Result.Shape,
+		first.Result.TotalSteps, first.Result.Bound, m.Simulations)
+	return nil
+}
+
+// smokeJob submits the reference spec with ?wait=1 and checks the
+// terminal state is a delivered, sorted run.
+func smokeJob(client *http.Client, base string) (service.JobStatus, error) {
+	resp, err := client.Post(base+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(smokeSpec))
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return service.JobStatus{}, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, err
+	}
+	if st.Status != service.StatusDone {
+		return st, fmt.Errorf("job %s finished %s: %s", st.ID, st.Status, st.Error)
+	}
+	if st.Result == nil || !st.Result.Delivered || !st.Result.Sorted {
+		return st, fmt.Errorf("job %s: not a delivered sort: %+v", st.ID, st.Result)
+	}
+	return st, nil
+}

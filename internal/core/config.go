@@ -132,6 +132,15 @@ type Config struct {
 	// a transient pool per phase, sized by Workers.
 	Pool *engine.Pool
 
+	// Runner optionally supplies a warm pipeline runner to execute on
+	// instead of building a fresh one: it is Reset to this configuration
+	// (shape, pool, policy, fault options), reusing its packet arena,
+	// per-processor queues, step scratch, and radix slabs. This is the
+	// steady-state entry point the service layer's runner leasing uses.
+	// The runner must be idle (no other run in flight on it); the caller
+	// keeps ownership and may reuse it after the run completes.
+	Runner *pipeline.Runner
+
 	Cost CostModel
 
 	// Observer, if set, receives every phase's PhaseStat as it completes
@@ -141,18 +150,25 @@ type Config struct {
 	FaultOpts
 }
 
-// runner builds the pipeline runner every sorting run executes on: it
-// owns the network, the shared worker pool, the routing policy, and the
-// fault options.
+// runner builds (or re-arms) the pipeline runner every sorting run
+// executes on: it owns the network, the shared worker pool, the routing
+// policy, and the fault options. When Config.Runner supplies a warm
+// runner it is Reset in place, so a same-shaped run reuses all of its
+// learned storage.
 func (c Config) runner() *pipeline.Runner {
-	return pipeline.New(pipeline.Config{
+	pcfg := pipeline.Config{
 		Shape:    c.Shape,
 		Workers:  c.Workers,
 		Pool:     c.Pool,
 		Policy:   c.Policy(c.Shape),
 		Route:    c.RouteOpts(),
 		Observer: c.Observer,
-	})
+	}
+	if c.Runner != nil {
+		c.Runner.Reset(pcfg)
+		return c.Runner
+	}
+	return pipeline.New(pcfg)
 }
 
 func (c Config) k() int {

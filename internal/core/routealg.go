@@ -34,7 +34,10 @@ type RouteConfig struct {
 	// Pool optionally supplies a persistent engine worker pool shared by
 	// both routing phases; nil means a transient pool per phase.
 	Pool *engine.Pool
-	Cost CostModel
+	// Runner optionally supplies a warm pipeline runner to execute on
+	// instead of building a fresh one; see core.Config.Runner.
+	Runner *pipeline.Runner
+	Cost   CostModel
 
 	// Observer, if set, receives every phase's PhaseStat as it completes
 	// (cmd/meshsort exposes it as -trace).
@@ -43,16 +46,22 @@ type RouteConfig struct {
 	FaultOpts
 }
 
-// runner builds the pipeline runner a routing run executes on.
+// runner builds (or re-arms, when RouteConfig.Runner supplies a warm
+// runner) the pipeline runner a routing run executes on.
 func (c RouteConfig) runner() *pipeline.Runner {
-	return pipeline.New(pipeline.Config{
+	pcfg := pipeline.Config{
 		Shape:    c.Shape,
 		Workers:  c.Workers,
 		Pool:     c.Pool,
 		Policy:   c.Policy(c.Shape),
 		Route:    c.RouteOpts(),
 		Observer: c.Observer,
-	})
+	}
+	if c.Runner != nil {
+		c.Runner.Reset(pcfg)
+		return c.Runner
+	}
+	return pipeline.New(pcfg)
 }
 
 func (c RouteConfig) nu() int {

@@ -174,6 +174,16 @@ func (r *Runner) Sorter() *radix.Sorter { return &r.srt }
 // Accumulated totals and the last route result are discarded. This is
 // the steady-state entry point: a warm runner re-running a same-shaped
 // problem allocates only what the algorithm's own bookkeeping needs.
+//
+// Every field of the configuration may differ from the previous run's.
+// In particular it is safe to reset to a different worker pool (the
+// runner holds no reference to the old one; the caller still owns both
+// pools' lifecycles), a different fault plan or none at all (fault state
+// lives entirely in cfg.Route and in per-phase results, so no stranding
+// or outage bookkeeping survives the reset), a different policy or
+// observer, and a different shape (the network rebuilds exactly the
+// storage the new shape invalidates — see engine.Net.Reset). Reset must
+// not be called while a run is in flight on the runner.
 func (r *Runner) Reset(cfg Config) {
 	r.cfg = cfg
 	r.net.Reset(cfg.Shape)
@@ -202,10 +212,20 @@ func (r *Runner) LastRoute() engine.RouteResult { return r.last }
 
 // InjectKeys creates and injects k packets per processor: packet t of
 // processor r carries keys[r*k+t]. This is the canonical sorting input.
+// A mismatched key count, a non-positive k, and a network that already
+// holds packets (a warm runner that was not Reset) are all reported as
+// errors rather than left to index panics downstream.
 func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
 	n := r.net.Shape.N()
+	if k < 1 {
+		return nil, fmt.Errorf("pipeline: InjectKeys needs k >= 1 packets per processor, got k=%d", k)
+	}
 	if len(keys) != k*n {
-		return nil, fmt.Errorf("pipeline: got %d keys, want k*N = %d", len(keys), k*n)
+		return nil, fmt.Errorf("pipeline: InjectKeys got %d keys, want k*N = %d (k=%d, N=%d on %v)",
+			len(keys), k*n, k, n, r.net.Shape)
+	}
+	if held := r.net.TotalPackets(); held != 0 {
+		return nil, fmt.Errorf("pipeline: InjectKeys on a network already holding %d packets; Reset the runner between problems", held)
 	}
 	pkts := make([]*engine.Packet, len(keys))
 	for rank := 0; rank < n; rank++ {

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the shard count of the result cache: enough to keep
+// lock contention negligible next to simulation times, small enough
+// that a tiny capacity still spreads sensibly.
+const cacheShards = 16
+
+// resultCache is a sharded LRU over completed results, keyed by the
+// canonical spec hash (JobSpec.Key). Results are immutable once stored,
+// so a hit returns the stored pointer — which is also what makes
+// repeated jobs byte-identical on the wire.
+type resultCache struct {
+	capPerShard int
+	shards      [cacheShards]cacheShard
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*list.Element
+	ll *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newResultCache builds a cache holding about capacity results in
+// total. capacity <= 0 disables caching (every get misses, put is a
+// no-op), which degrades the service to always-simulate.
+func newResultCache(capacity int) *resultCache {
+	c := &resultCache{}
+	if capacity > 0 {
+		c.capPerShard = (capacity + cacheShards - 1) / cacheShards
+		for i := range c.shards {
+			c.shards[i].m = make(map[string]*list.Element)
+			c.shards[i].ll = list.New()
+		}
+	}
+	return c
+}
+
+// shard maps a key (a sha256 hex string; uniformly distributed) to its
+// shard.
+func (c *resultCache) shard(key string) *cacheShard {
+	if len(key) == 0 {
+		return &c.shards[0]
+	}
+	// The last hex character of a sha256 is uniform over 0..15.
+	return &c.shards[hexVal(key[len(key)-1])%cacheShards]
+}
+
+func hexVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10
+	}
+	return 0
+}
+
+func (c *resultCache) get(key string) (*Result, bool) {
+	if c.capPerShard == 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res *Result) {
+	if c.capPerShard == 0 {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		// Same key means same canonical spec means the same deterministic
+		// result; keep the stored one (byte identity for earlier readers).
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, res: res})
+	if s.ll.Len() > c.capPerShard {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the cached result count across all shards.
+func (c *resultCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(cacheShards) // one entry per shard
+	// Two keys landing on the same shard: the second put evicts the
+	// first once the shard is over capacity, in LRU order.
+	k1, k2, k3 := "a1", "b1", "c1" // same trailing hex digit -> same shard
+	c.put(k1, &Result{Algorithm: "r1"})
+	c.put(k2, &Result{Algorithm: "r2"})
+	if _, ok := c.get(k1); ok {
+		t.Error("k1 should have been evicted (shard capacity 1)")
+	}
+	if r, ok := c.get(k2); !ok || r.Algorithm != "r2" {
+		t.Errorf("k2 lost: %v %v", r, ok)
+	}
+	// k2 is now most recent; inserting k3 evicts nothing else first.
+	c.put(k3, &Result{Algorithm: "r3"})
+	if _, ok := c.get(k2); ok {
+		t.Error("k2 should have been evicted by k3")
+	}
+	if c.evictions.Load() != 2 {
+		t.Errorf("evictions = %d, want 2", c.evictions.Load())
+	}
+}
+
+func TestCacheTouchMovesToFront(t *testing.T) {
+	c := newResultCache(2 * cacheShards) // two entries per shard
+	c.put("a1", &Result{Algorithm: "r1"})
+	c.put("b1", &Result{Algorithm: "r2"})
+	c.get("a1") // touch: a1 becomes most recent
+	c.put("c1", &Result{Algorithm: "r3"})
+	if _, ok := c.get("a1"); !ok {
+		t.Error("touched entry was evicted")
+	}
+	if _, ok := c.get("b1"); ok {
+		t.Error("least-recently-used entry survived")
+	}
+}
+
+func TestCacheKeepsFirstResult(t *testing.T) {
+	c := newResultCache(16)
+	first := &Result{Algorithm: "first"}
+	c.put("k", first)
+	c.put("k", &Result{Algorithm: "second"})
+	if r, _ := c.get("k"); r != first {
+		t.Error("duplicate put replaced the stored result; byte identity for earlier readers is lost")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("k", &Result{})
+	if _, ok := c.get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Errorf("disabled cache len = %d", c.len())
+	}
+}
+
+func TestCacheSharding(t *testing.T) {
+	c := newResultCache(256)
+	for i := 0; i < 100; i++ {
+		spec := mustCanon(t, JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: uint64(i + 1)})
+		c.put(spec.Key(), &Result{Algorithm: fmt.Sprint(i)})
+	}
+	if c.len() != 100 {
+		t.Errorf("cache holds %d entries, want 100", c.len())
+	}
+	for i := 0; i < 100; i++ {
+		spec := mustCanon(t, JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: uint64(i + 1)})
+		if r, ok := c.get(spec.Key()); !ok || r.Algorithm != fmt.Sprint(i) {
+			t.Fatalf("entry %d lost or wrong: %v %v", i, r, ok)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"fmt"
+
+	"meshsort/internal/core"
+	"meshsort/internal/engine"
+	"meshsort/internal/perm"
+	"meshsort/internal/pipeline"
+	"meshsort/internal/xmath"
+)
+
+// program is a compiled job: everything needed to execute the spec on a
+// leased runner. Compilation is cheap and deterministic; the expensive
+// part (the fault plan) is built lazily inside run so it happens on the
+// worker, not on the submitting request.
+type program struct {
+	spec JobSpec
+	// run executes the simulation on the given warm runner, which the
+	// scheduler has leased for the job's shape. The runner's engine pool
+	// is threaded through so every routing phase shares the slot's
+	// persistent workers.
+	run func(runner *pipeline.Runner, pool *engine.Pool) (Result, error)
+}
+
+// compile translates a canonical spec into an executable program. The
+// spec must be canonical (see JobSpec.Canonicalize); compile trusts its
+// invariants and only algorithm dispatch can fail.
+func compile(spec JobSpec) (program, error) {
+	shape := spec.Shape()
+	faultOpts := func() core.FaultOpts {
+		fo := core.FaultOpts{Patience: spec.Patience}
+		if spec.Faults > 0 {
+			fo.Faults = engine.RandomFaultPlan(shape, spec.Faults, spec.FaultSeed)
+		}
+		return fo
+	}
+
+	switch spec.Alg {
+	case AlgSimple, AlgCopy, AlgTorusSort, AlgFull, AlgSelect:
+		sortAlg := map[string]func(core.Config, []int64) (core.Result, error){
+			AlgSimple:    core.SimpleSort,
+			AlgCopy:      core.CopySort,
+			AlgTorusSort: core.TorusSort,
+			AlgFull:      core.FullSort,
+		}[spec.Alg]
+		return program{spec: spec, run: func(runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
+			cfg := core.Config{
+				Shape: shape, BlockSide: spec.B, K: spec.K, Seed: spec.Seed,
+				Pool: pool, Runner: runner, FaultOpts: faultOpts(),
+			}
+			// The key generation matches cmd/meshsort: keys are seeded by
+			// Seed+1 so the same spec reproduces the same CLI run.
+			keys := core.RandomKeys(shape, spec.K, spec.Seed+1)
+			if spec.Alg == AlgSelect {
+				res, err := core.Select(cfg, keys, spec.Target)
+				if err != nil {
+					return Result{}, err
+				}
+				return FromSelect(res, shape), nil
+			}
+			res, err := sortAlg(cfg, keys)
+			if err != nil {
+				return Result{}, err
+			}
+			return FromSort(res), nil
+		}}, nil
+
+	case AlgRoute:
+		return program{spec: spec, run: func(runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
+			prob, err := permProblem(spec)
+			if err != nil {
+				return Result{}, err
+			}
+			cfg := core.RouteConfig{
+				Shape: shape, BlockSide: spec.B, Seed: spec.Seed,
+				Pool: pool, Runner: runner, FaultOpts: faultOpts(),
+			}
+			res, err := core.TwoPhaseRoute(cfg, prob)
+			if err != nil {
+				return Result{}, err
+			}
+			return FromRouteAlg(res, shape), nil
+		}}, nil
+	}
+	return program{}, fmt.Errorf("service: unknown alg %q", spec.Alg)
+}
+
+// permProblem builds the routing problem of an alg=route spec.
+func permProblem(spec JobSpec) (perm.Problem, error) {
+	shape := spec.Shape()
+	switch spec.Perm {
+	case "random":
+		return perm.Random(shape, xmath.NewRNG(spec.Seed)), nil
+	case "reversal":
+		return perm.Reversal(shape), nil
+	case "transpose":
+		return perm.Transpose(shape), nil
+	case "hotspot":
+		return perm.HotSpot(shape), nil
+	}
+	return perm.Problem{}, fmt.Errorf("service: unknown perm %q", spec.Perm)
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxSpecBody bounds POST bodies; a JobSpec is a few hundred bytes.
+const maxSpecBody = 1 << 16
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs        submit a JobSpec (JSON body). 200 with the
+//	                     terminal JobStatus on a cache hit, 202 with the
+//	                     queued JobStatus otherwise; ?wait=1 blocks until
+//	                     the job is terminal and returns 200. 400 for an
+//	                     invalid spec, 429 when the admission queue is
+//	                     full, 503 while draining.
+//	GET  /v1/jobs/{id}   the job's JobStatus; 404 for unknown IDs.
+//	GET  /healthz        liveness.
+//	GET  /metrics        Metrics JSON (pool, queue, and cache counters).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+		return
+	}
+
+	job, err := s.Submit(spec)
+	if err != nil {
+		var se *SpecError
+		switch {
+		case errors.As(err, &se):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// Client gone; report whatever state the job is in. It keeps
+			// running — admission, not connections, bounds the work.
+		}
+	}
+
+	st := job.Snapshot()
+	code := http.StatusAccepted
+	if st.Status == StatusDone || st.Status == StatusFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/pipeline"
+)
+
+// runnerSlot is one warm runner and the persistent engine worker pool
+// that serves every routing phase executed on it. The engine pool is
+// owned by the slot, not the runner: it survives Runner.Reset and even
+// shape changes, so repurposing a slot to a new shape reuses its worker
+// goroutines (the "pool sharing across runners" of the service design).
+type runnerSlot struct {
+	id       int
+	shapeKey string // "" until first built
+	runner   *pipeline.Runner
+	pool     *engine.Pool
+	busy     bool
+	jobs     int // jobs executed on this slot, for metrics
+}
+
+// runnerPool is a bounded set of warm runner slots leased by network
+// shape. Acquire prefers an idle slot whose last job had the same shape
+// (its runner then re-arms with a same-shape Reset, reusing the packet
+// arena and step scratch); failing that it takes a never-built slot,
+// and only then repurposes an idle slot of a different shape, which
+// pays the shape-changing Reset but keeps the slot's engine pool.
+type runnerPool struct {
+	workers int // engine workers per slot
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots []*runnerSlot
+
+	warmLeases uint64 // shape matched: Reset reused everything
+	coldBuilds uint64 // slot built for the first time
+	repurposed uint64 // idle slot re-shaped for a different ShapeKey
+}
+
+func newRunnerPool(slots, workersPerSlot int) *runnerPool {
+	p := &runnerPool{workers: workersPerSlot}
+	p.cond = sync.NewCond(&p.mu)
+	p.slots = make([]*runnerSlot, slots)
+	for i := range p.slots {
+		p.slots[i] = &runnerSlot{id: i}
+	}
+	return p
+}
+
+// acquire leases a slot for the given shape, blocking while every slot
+// is busy. The returned slot's runner is warm (possibly for a different
+// shape — the algorithm's Reset handles that) and must be returned with
+// release.
+func (p *runnerPool) acquire(shapeKey string, shape grid.Shape) *runnerSlot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		var unbuilt, other *runnerSlot
+		for _, s := range p.slots {
+			if s.busy {
+				continue
+			}
+			if s.shapeKey == shapeKey {
+				s.busy = true
+				s.jobs++
+				p.warmLeases++
+				return s
+			}
+			if s.runner == nil {
+				if unbuilt == nil {
+					unbuilt = s
+				}
+			} else if other == nil {
+				other = s
+			}
+		}
+		if unbuilt != nil {
+			unbuilt.busy = true
+			unbuilt.jobs++
+			unbuilt.shapeKey = shapeKey
+			unbuilt.pool = engine.NewPool(p.workers)
+			unbuilt.runner = pipeline.New(pipeline.Config{Shape: shape, Pool: unbuilt.pool})
+			p.coldBuilds++
+			return unbuilt
+		}
+		if other != nil {
+			other.busy = true
+			other.jobs++
+			other.shapeKey = shapeKey
+			p.repurposed++
+			return other
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *runnerPool) release(s *runnerSlot) {
+	p.mu.Lock()
+	if !s.busy {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("service: release of idle runner slot %d", s.id))
+	}
+	s.busy = false
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// close releases every slot's engine pool. The pool must be idle (the
+// scheduler closes it only after its workers exit).
+func (p *runnerPool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.slots {
+		if s.busy {
+			panic(fmt.Sprintf("service: close with runner slot %d still busy", s.id))
+		}
+		s.pool.Close() // nil-safe
+		s.pool = nil
+		s.runner = nil
+	}
+}
+
+// stats snapshots the leasing counters.
+func (p *runnerPool) stats() (slots, busy int, warm, cold, repurposed uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.slots {
+		if s.busy {
+			busy++
+		}
+	}
+	return len(p.slots), busy, p.warmLeases, p.coldBuilds, p.repurposed
+}

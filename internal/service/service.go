@@ -1,0 +1,378 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors of Submit. SpecError wraps canonicalization failures
+// so the HTTP layer can map each class to a status code.
+var (
+	// ErrOverloaded: the admission queue is full. The caller should shed
+	// or retry later; the service never queues unboundedly.
+	ErrOverloaded = errors.New("service: overloaded: admission queue is full")
+	// ErrDraining: Close has begun; no new jobs are admitted.
+	ErrDraining = errors.New("service: draining: no new jobs admitted")
+)
+
+// SpecError marks a job spec that failed canonicalization (a client
+// error, HTTP 400).
+type SpecError struct{ Err error }
+
+func (e *SpecError) Error() string { return e.Err.Error() }
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// Job states, in lifecycle order.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Job is one admitted simulation. Its mutable fields are guarded by mu;
+// Snapshot returns a consistent copy and Done unblocks when the job
+// reaches a terminal state.
+type Job struct {
+	ID   string
+	Spec JobSpec // canonical
+	Key  string  // cache key of the canonical spec
+
+	mu       sync.Mutex
+	status   string
+	cacheHit bool
+	result   *Result
+	err      error
+	created  time.Time
+	finished time.Time
+
+	done chan struct{}
+}
+
+// JobStatus is the wire form of a job: what POST /v1/jobs and
+// GET /v1/jobs/{id} return.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	Status   string  `json:"status"`
+	Spec     JobSpec `json:"spec"`
+	CacheHit bool    `json:"cacheHit,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// Snapshot returns a consistent view of the job.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.ID, Status: j.status, Spec: j.Spec, CacheHit: j.cacheHit, Result: j.result}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state
+// (done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) finish(status string, res *Result, err error) {
+	j.mu.Lock()
+	j.status = status
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Options configures a Service. The zero value picks sensible defaults
+// for an interactive server.
+type Options struct {
+	// Runners is the warm runner slot count — the maximum number of
+	// simulations in flight at once. 0 means 4.
+	Runners int
+	// WorkersPerRunner is the engine worker count of each slot's
+	// persistent pool. 0 means GOMAXPROCS divided over the runners
+	// (at least 1), so a fully loaded service uses about one worker per
+	// CPU in total.
+	WorkersPerRunner int
+	// QueueDepth bounds the admission queue; a submit beyond it returns
+	// ErrOverloaded. 0 means 64.
+	QueueDepth int
+	// CacheCapacity is the result cache size in completed results;
+	// 0 means 256, negative disables caching.
+	CacheCapacity int
+	// JobRetention caps how many terminal jobs stay queryable by ID;
+	// the oldest are forgotten first. 0 means 4096.
+	JobRetention int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runners == 0 {
+		o.Runners = 4
+	}
+	if o.WorkersPerRunner == 0 {
+		o.WorkersPerRunner = runtime.GOMAXPROCS(0) / o.Runners
+		if o.WorkersPerRunner < 1 {
+			o.WorkersPerRunner = 1
+		}
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 256
+	}
+	if o.JobRetention == 0 {
+		o.JobRetention = 4096
+	}
+	return o
+}
+
+// Service multiplexes simulation jobs over warm runners. Create with
+// New, submit with Submit (or the HTTP layer, see Handler), and shut
+// down with Close, which drains admitted jobs before returning.
+type Service struct {
+	opts  Options
+	cache *resultCache
+	pool  *runnerPool
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    uint64
+	jobs   map[string]*Job
+	order  []string // admission order of terminal-retention bookkeeping
+
+	submitted   atomic.Uint64
+	rejected    atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	simulations atomic.Uint64
+
+	// beforeRun and afterRun, if set (tests only), run on the worker
+	// goroutine around the simulation, while the job's runner slot is
+	// leased. Tests use them to stall workers (backpressure) and to
+	// prove lease exclusivity.
+	beforeRun func(j *Job, slot *runnerSlot)
+	afterRun  func(j *Job, slot *runnerSlot)
+}
+
+// New starts a service: its runner slots are allocated lazily, its
+// worker goroutines immediately.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:  opts,
+		cache: newResultCache(opts.CacheCapacity),
+		pool:  newRunnerPool(opts.Runners, opts.WorkersPerRunner),
+		queue: make(chan *Job, opts.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	s.wg.Add(opts.Runners)
+	for i := 0; i < opts.Runners; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit canonicalizes and admits one job. It returns immediately:
+// with a terminal job on a cache hit, with a queued job otherwise, or
+// with an error — (*SpecError) for an invalid spec, ErrOverloaded when
+// the admission queue is full, ErrDraining after Close has begun. Wait
+// for completion via (*Job).Done.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		s.rejected.Add(1)
+		return nil, &SpecError{Err: err}
+	}
+	job := &Job{
+		Spec:    canon,
+		Key:     canon.Key(),
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.seq++
+	job.ID = fmt.Sprintf("j-%06d", s.seq)
+
+	if res, ok := s.cache.get(job.Key); ok {
+		// Served from cache: terminal before it is even visible.
+		job.status = StatusDone
+		job.cacheHit = true
+		job.result = res
+		job.finished = time.Now()
+		close(job.done)
+		s.register(job)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		s.completed.Add(1)
+		return job, nil
+	}
+
+	select {
+	case s.queue <- job:
+		s.register(job)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		return job, nil
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// register records the job for ID lookup and evicts the oldest terminal
+// jobs beyond the retention cap. Caller holds s.mu.
+func (s *Service) register(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.jobs) > s.opts.JobRetention && len(s.order) > 0 {
+		oldest, ok := s.jobs[s.order[0]]
+		if ok && oldest.Snapshot().Status != StatusDone && oldest.Snapshot().Status != StatusFailed {
+			break // never forget a live job
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Job looks a job up by ID; ok is false for unknown (or already
+// forgotten) IDs.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker is one scheduler goroutine: it owns at most one leased runner
+// slot at a time and drains the admission queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Service) runJob(job *Job) {
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.mu.Unlock()
+
+	// A same-key job may have completed while this one sat in the queue;
+	// its cached result is the same simulation, so serve it.
+	if res, ok := s.cache.get(job.Key); ok {
+		job.mu.Lock()
+		job.cacheHit = true
+		job.mu.Unlock()
+		s.completed.Add(1)
+		job.finish(StatusDone, res, nil)
+		return
+	}
+
+	prog, err := compile(job.Spec)
+	if err != nil {
+		s.failed.Add(1)
+		job.finish(StatusFailed, nil, err)
+		return
+	}
+
+	slot := s.pool.acquire(job.Spec.ShapeKey(), job.Spec.Shape())
+	if s.beforeRun != nil {
+		s.beforeRun(job, slot)
+	}
+	s.simulations.Add(1)
+	res, err := prog.run(slot.runner, slot.pool)
+	if s.afterRun != nil {
+		s.afterRun(job, slot)
+	}
+	s.pool.release(slot)
+
+	if err != nil {
+		s.failed.Add(1)
+		job.finish(StatusFailed, nil, err)
+		return
+	}
+	s.cache.put(job.Key, &res)
+	s.completed.Add(1)
+	job.finish(StatusDone, &res, nil)
+}
+
+// Close drains the service: no new jobs are admitted, every already
+// admitted job runs to completion, and the runner slots' engine pools
+// are released. Safe to call once; Submit after Close returns
+// ErrDraining.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	s.pool.close()
+}
+
+// Metrics is the counter snapshot served at GET /metrics.
+type Metrics struct {
+	JobsSubmitted uint64 `json:"jobsSubmitted"`
+	JobsRejected  uint64 `json:"jobsRejected"` // bad specs + overload + draining
+	JobsCompleted uint64 `json:"jobsCompleted"`
+	JobsFailed    uint64 `json:"jobsFailed"`
+	Simulations   uint64 `json:"simulations"` // actual runs (completed - cache hits)
+
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+
+	Runners     int    `json:"runners"`
+	RunnersBusy int    `json:"runnersBusy"`
+	WarmLeases  uint64 `json:"warmLeases"`
+	ColdBuilds  uint64 `json:"coldBuilds"`
+	Repurposed  uint64 `json:"repurposed"`
+
+	CacheSize      int    `json:"cacheSize"`
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() Metrics {
+	slots, busy, warm, cold, rep := s.pool.stats()
+	return Metrics{
+		JobsSubmitted:  s.submitted.Load(),
+		JobsRejected:   s.rejected.Load(),
+		JobsCompleted:  s.completed.Load(),
+		JobsFailed:     s.failed.Load(),
+		Simulations:    s.simulations.Load(),
+		QueueDepth:     len(s.queue),
+		QueueCap:       cap(s.queue),
+		Runners:        slots,
+		RunnersBusy:    busy,
+		WarmLeases:     warm,
+		ColdBuilds:     cold,
+		Repurposed:     rep,
+		CacheSize:      s.cache.len(),
+		CacheHits:      s.cache.hits.Load(),
+		CacheMisses:    s.cache.misses.Load(),
+		CacheEvictions: s.cache.evictions.Load(),
+	}
+}

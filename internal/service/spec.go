@@ -1,0 +1,218 @@
+// Package service multiplexes many independent simulation jobs over a
+// bounded pool of warm pipeline runners.
+//
+// A JobSpec names one run of one of the paper's algorithms (algorithm,
+// shape, block side, packets per processor, seed, fault plan). Specs are
+// canonicalized — defaults filled in, fields validated — so that two
+// requests for the same simulation share one canonical form and one
+// cache key. The Service compiles a spec to a phase program, leases a
+// warm runner keyed by network shape (same-shape jobs hit Runner.Reset
+// instead of reallocating), and serves repeated specs from a sharded
+// LRU result cache without re-simulating. Admission is bounded: when
+// the queue is full Submit returns ErrOverloaded instead of queuing
+// unboundedly. See DESIGN.md §6.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"meshsort/internal/core"
+	"meshsort/internal/grid"
+)
+
+// Algorithms the service accepts. They are exactly the pipeline-backed
+// entry points of internal/core; baselines that bypass the runner
+// (odd-even transposition, whole-mesh shearsort) stay CLI-only.
+const (
+	AlgSimple    = "simple"    // SimpleSort, Theorem 3.1 (k-k via K)
+	AlgCopy      = "copy"      // CopySort, Theorem 3.2 (mesh only)
+	AlgTorusSort = "torussort" // TorusSort, Theorem 3.3 (torus only)
+	AlgFull      = "full"      // FullSort, the 2D + o(n) previous best
+	AlgRoute     = "route"     // TwoPhaseRoute, Theorems 5.1/5.2
+	AlgSelect    = "select"    // Select, Section 4.3
+)
+
+// IndexingBlockedSnake is the only indexing scheme the algorithms run
+// on (internal/index's blocked snake-like order); the field exists so
+// the canonical spec names its indexing explicitly.
+const IndexingBlockedSnake = "blocked-snake"
+
+// Resource ceilings enforced at canonicalization, so a single request
+// cannot ask the service to build an arbitrarily large network.
+const (
+	MaxDim        = 6
+	MaxSide       = 64
+	MaxProcessors = 1 << 17
+	MaxPackets    = 1 << 20 // k * N
+)
+
+// JobSpec is the canonical description of one simulation job. The zero
+// value of every optional field means "the default"; Canonicalize fills
+// the defaults in, so two specs that request the same simulation
+// canonicalize to identical values and share one cache Key.
+type JobSpec struct {
+	Alg   string `json:"alg"`             // simple|copy|torussort|full|route|select
+	D     int    `json:"d"`               // dimension
+	N     int    `json:"n"`               // side length
+	Torus bool   `json:"torus,omitempty"` // torus instead of mesh (forced by torussort)
+
+	// B is the block side length; 0 picks the default: 4 when it divides
+	// n, else n/2.
+	B int `json:"b,omitempty"`
+	// K is the number of packets per processor (k-k sorting, simple
+	// only); 0 means 1.
+	K int `json:"k,omitempty"`
+	// Indexing names the block indexing scheme; "" means (and the only
+	// accepted value is) "blocked-snake".
+	Indexing string `json:"indexing,omitempty"`
+	// Seed drives every random choice of the run (keys, permutations,
+	// class assignment); 0 means 1. Runs are deterministic in the spec.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Perm is the routing problem for alg=route:
+	// random|reversal|transpose|hotspot; "" means random. Must be empty
+	// for the other algorithms.
+	Perm string `json:"perm,omitempty"`
+	// Target is the rank to select for alg=select; 0 means N/2 (the
+	// median). Must be 0 for the other algorithms.
+	Target int `json:"target,omitempty"`
+
+	// Faults is the fraction of links to fail permanently (a seeded
+	// random fault plan, as cmd/meshsort -faults); 0 means a perfect
+	// network.
+	Faults    float64 `json:"faults,omitempty"`
+	FaultSeed uint64  `json:"faultSeed,omitempty"` // 0 means 1
+	// Patience is the engine's stranding budget; 0 means the engine
+	// default (auto when faults are on), negative disables stranding.
+	Patience int `json:"patience,omitempty"`
+}
+
+// Canonicalize validates the spec and returns it with every default
+// made explicit. The returned spec is what the service runs, hashes,
+// and reports back; Canonicalize is idempotent.
+func (s JobSpec) Canonicalize() (JobSpec, error) {
+	switch s.Alg {
+	case AlgSimple, AlgCopy, AlgTorusSort, AlgFull, AlgRoute, AlgSelect:
+	case "":
+		return s, fmt.Errorf("service: spec is missing alg")
+	default:
+		return s, fmt.Errorf("service: unknown alg %q", s.Alg)
+	}
+	if s.D < 1 || s.D > MaxDim {
+		return s, fmt.Errorf("service: dimension d=%d out of range [1,%d]", s.D, MaxDim)
+	}
+	if s.N < 2 || s.N > MaxSide {
+		return s, fmt.Errorf("service: side n=%d out of range [2,%d]", s.N, MaxSide)
+	}
+	n := 1
+	for i := 0; i < s.D; i++ {
+		n *= s.N
+		if n > MaxProcessors {
+			return s, fmt.Errorf("service: n^d = %d^%d exceeds the %d-processor ceiling", s.N, s.D, MaxProcessors)
+		}
+	}
+	if s.Alg == AlgTorusSort {
+		s.Torus = true
+	}
+	if s.Alg == AlgCopy && s.Torus {
+		return s, fmt.Errorf("service: copy is the mesh algorithm; use torussort on tori")
+	}
+	if s.B == 0 {
+		if s.N%4 == 0 {
+			s.B = 4
+		} else {
+			s.B = s.N / 2
+		}
+	}
+	if s.B < 1 || s.N%s.B != 0 {
+		return s, fmt.Errorf("service: block side b=%d must divide n=%d", s.B, s.N)
+	}
+	if s.K == 0 {
+		s.K = 1
+	}
+	if s.K < 0 || s.K*n > MaxPackets {
+		return s, fmt.Errorf("service: k=%d out of range (k*N must be in [1,%d])", s.K, MaxPackets)
+	}
+	if s.K > 1 && s.Alg != AlgSimple {
+		return s, fmt.Errorf("service: alg %s supports only k=1 (got k=%d); use simple for k-k", s.Alg, s.K)
+	}
+	switch s.Indexing {
+	case "":
+		s.Indexing = IndexingBlockedSnake
+	case IndexingBlockedSnake:
+	default:
+		return s, fmt.Errorf("service: unknown indexing %q (the algorithms run on %q)", s.Indexing, IndexingBlockedSnake)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Alg == AlgRoute {
+		switch s.Perm {
+		case "":
+			s.Perm = "random"
+		case "random", "reversal", "transpose", "hotspot":
+		default:
+			return s, fmt.Errorf("service: unknown perm %q", s.Perm)
+		}
+	} else if s.Perm != "" {
+		return s, fmt.Errorf("service: perm applies to alg=route only")
+	}
+	if s.Alg == AlgSelect {
+		if s.Target == 0 {
+			s.Target = n / 2
+		}
+		if s.Target < 0 || s.Target >= n {
+			return s, fmt.Errorf("service: target rank %d out of range [0,%d)", s.Target, n)
+		}
+	} else if s.Target != 0 {
+		return s, fmt.Errorf("service: target applies to alg=select only")
+	}
+	if s.Faults < 0 || s.Faults >= 1 {
+		return s, fmt.Errorf("service: fault rate %g out of range [0,1)", s.Faults)
+	}
+	if s.Faults == 0 {
+		s.FaultSeed = 0 // no plan: the seed is not part of the canonical form
+	} else if s.FaultSeed == 0 {
+		s.FaultSeed = 1
+	}
+	// The sorting algorithms have divisibility constraints beyond the
+	// ones above (even block count, block volume divisible by block
+	// count); surface them at admission time instead of as a failed job.
+	if s.Alg != AlgRoute {
+		cfg := core.Config{Shape: s.Shape(), BlockSide: s.B, K: s.K}
+		if err := cfg.Validate(); err != nil {
+			return s, fmt.Errorf("service: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Shape returns the network shape the spec runs on.
+func (s JobSpec) Shape() grid.Shape {
+	if s.Torus || s.Alg == AlgTorusSort {
+		return grid.NewTorus(s.D, s.N)
+	}
+	return grid.New(s.D, s.N)
+}
+
+// ShapeKey is the runner-leasing key: jobs with equal ShapeKeys can
+// share a warm runner with nothing but a Reset in between.
+func (s JobSpec) ShapeKey() string {
+	kind := "mesh"
+	if s.Torus || s.Alg == AlgTorusSort {
+		kind = "torus"
+	}
+	return fmt.Sprintf("%s/%d/%d", kind, s.D, s.N)
+}
+
+// Key returns the cache key: a sha256 over the canonical field values.
+// The spec must already be canonical (Key on a non-canonical spec would
+// hash defaults as distinct from their explicit forms).
+func (s JobSpec) Key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"alg=%s d=%d n=%d torus=%t b=%d k=%d idx=%s seed=%d perm=%s target=%d faults=%g fseed=%d patience=%d",
+		s.Alg, s.D, s.N, s.Torus, s.B, s.K, s.Indexing, s.Seed, s.Perm, s.Target, s.Faults, s.FaultSeed, s.Patience)))
+	return hex.EncodeToString(h[:])
+}

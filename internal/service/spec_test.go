@@ -1,0 +1,95 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCanon(t *testing.T, spec JobSpec) JobSpec {
+	t.Helper()
+	c, err := spec.Canonicalize()
+	if err != nil {
+		t.Fatalf("Canonicalize(%+v): %v", spec, err)
+	}
+	return c
+}
+
+func TestCanonicalizeDefaults(t *testing.T) {
+	c := mustCanon(t, JobSpec{Alg: AlgSimple, D: 3, N: 8})
+	if c.B != 4 || c.K != 1 || c.Seed != 1 || c.Indexing != IndexingBlockedSnake {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+	// Idempotent: canonicalizing the canonical form is a fixed point.
+	if c2 := mustCanon(t, c); c2 != c {
+		t.Errorf("Canonicalize not idempotent: %+v != %+v", c2, c)
+	}
+	// A spec with the defaults spelled out canonicalizes (and hashes)
+	// identically to one relying on the zero values.
+	explicit := mustCanon(t, JobSpec{Alg: AlgSimple, D: 3, N: 8, B: 4, K: 1, Seed: 1, Indexing: IndexingBlockedSnake})
+	if explicit != c || explicit.Key() != c.Key() {
+		t.Errorf("explicit defaults canonicalize differently: %+v vs %+v", explicit, c)
+	}
+
+	if r := mustCanon(t, JobSpec{Alg: AlgRoute, D: 2, N: 8}); r.Perm != "random" {
+		t.Errorf("route perm default = %q, want random", r.Perm)
+	}
+	if sel := mustCanon(t, JobSpec{Alg: AlgSelect, D: 2, N: 8}); sel.Target != 32 {
+		t.Errorf("select target default = %d, want N/2 = 32", sel.Target)
+	}
+	if ts := mustCanon(t, JobSpec{Alg: AlgTorusSort, D: 2, N: 8}); !ts.Torus {
+		t.Error("torussort did not force torus")
+	}
+	// The fault seed is canonicalized away when there is no fault plan.
+	a := mustCanon(t, JobSpec{Alg: AlgSimple, D: 2, N: 8, FaultSeed: 99})
+	b := mustCanon(t, JobSpec{Alg: AlgSimple, D: 2, N: 8})
+	if a.Key() != b.Key() {
+		t.Error("fault seed changed the key of a fault-free spec")
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"no alg", JobSpec{D: 2, N: 8}, "missing alg"},
+		{"unknown alg", JobSpec{Alg: "quicksort", D: 2, N: 8}, "unknown alg"},
+		{"dim", JobSpec{Alg: AlgSimple, D: 9, N: 4}, "out of range"},
+		{"side", JobSpec{Alg: AlgSimple, D: 2, N: 1000}, "out of range"},
+		{"too big", JobSpec{Alg: AlgSimple, D: 6, N: 32}, "ceiling"},
+		{"copy on torus", JobSpec{Alg: AlgCopy, D: 2, N: 8, Torus: true}, "mesh algorithm"},
+		{"block side", JobSpec{Alg: AlgSimple, D: 2, N: 8, B: 3}, "must divide"},
+		{"k on copy", JobSpec{Alg: AlgCopy, D: 2, N: 8, K: 2}, "only k=1"},
+		{"indexing", JobSpec{Alg: AlgSimple, D: 2, N: 8, Indexing: "hilbert"}, "unknown indexing"},
+		{"perm on sort", JobSpec{Alg: AlgSimple, D: 2, N: 8, Perm: "random"}, "alg=route only"},
+		{"bad perm", JobSpec{Alg: AlgRoute, D: 2, N: 8, Perm: "butterfly"}, "unknown perm"},
+		{"target on sort", JobSpec{Alg: AlgSimple, D: 2, N: 8, Target: 3}, "alg=select only"},
+		{"target range", JobSpec{Alg: AlgSelect, D: 2, N: 8, Target: 64}, "out of range"},
+		{"fault rate", JobSpec{Alg: AlgSimple, D: 2, N: 8, Faults: 1.5}, "out of range"},
+		{"odd blocks", JobSpec{Alg: AlgSimple, D: 2, N: 9, B: 3}, "even"},
+	}
+	for _, tc := range bad {
+		if _, err := tc.spec.Canonicalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestKeyAndShapeKey(t *testing.T) {
+	a := mustCanon(t, JobSpec{Alg: AlgSimple, D: 3, N: 8})
+	b := mustCanon(t, JobSpec{Alg: AlgSimple, D: 3, N: 8, Seed: 2})
+	if a.Key() == b.Key() {
+		t.Error("different seeds share a cache key")
+	}
+	if a.ShapeKey() != b.ShapeKey() || a.ShapeKey() != "mesh/3/8" {
+		t.Errorf("shape keys: %q vs %q, want mesh/3/8", a.ShapeKey(), b.ShapeKey())
+	}
+	tor := mustCanon(t, JobSpec{Alg: AlgTorusSort, D: 3, N: 8})
+	if tor.ShapeKey() != "torus/3/8" {
+		t.Errorf("torus shape key = %q", tor.ShapeKey())
+	}
+	if !tor.Shape().Torus || a.Shape().Torus {
+		t.Error("Shape torus flags wrong")
+	}
+}
