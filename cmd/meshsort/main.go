@@ -49,19 +49,20 @@ import (
 
 func main() {
 	var (
-		alg   = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|select")
-		d     = flag.Int("d", 3, "dimension")
-		n     = flag.Int("n", 16, "side length")
-		b     = flag.Int("b", 4, "block side length")
-		k     = flag.Int("k", 1, "packets per processor (simple only)")
-		torus = flag.Bool("torus", false, "use a torus instead of a mesh")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		real  = flag.Bool("real", false, "simulate local sorts in-mesh (shearsort) instead of charging the cost model")
-		alt   = flag.Bool("alt", false, "use the bias-corrected destination estimator (ablation E13)")
-		work  = flag.Int("workers", 0, "engine shard workers (0 = GOMAXPROCS)")
-		pperm = flag.String("perm", "random", "permutation for routing algorithms: random|reversal|transpose|hotspot")
-		heat  = flag.Bool("heat", false, "print an ASCII congestion heatmap after greedyroute (2-d meshes only)")
-		mode  = flag.String("classes", "local", "greedyroute class assignment: zero|random|local (zero = plain greedy)")
+		alg    = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|select")
+		d      = flag.Int("d", 3, "dimension")
+		n      = flag.Int("n", 16, "side length")
+		b      = flag.Int("b", 4, "block side length")
+		k      = flag.Int("k", 1, "packets per processor (simple only)")
+		torus  = flag.Bool("torus", false, "use a torus instead of a mesh")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		real   = flag.Bool("real", false, "simulate local sorts in-mesh (shearsort) instead of charging the cost model")
+		alt    = flag.Bool("alt", false, "use the bias-corrected destination estimator (ablation E13)")
+		work   = flag.Int("workers", 0, "engine shard workers (0 = GOMAXPROCS)")
+		sshift = flag.Int("shard-shift", 0, "log2 processors per engine shard (0 = auto; clamped to [4,16])")
+		pperm  = flag.String("perm", "random", "permutation for routing algorithms: random|reversal|transpose|hotspot")
+		heat   = flag.Bool("heat", false, "print an ASCII congestion heatmap after greedyroute (2-d meshes only)")
+		mode   = flag.String("classes", "local", "greedyroute class assignment: zero|random|local (zero = plain greedy)")
 
 		jsonOut = flag.Bool("json", false, "emit the final result as one JSON object on stdout instead of the text report")
 
@@ -113,8 +114,8 @@ func main() {
 		}
 	}
 	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
-		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, Pool: pool,
-		Observer: obs, FaultOpts: fo}
+		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, ShardShift: *sshift,
+		Pool: pool, Observer: obs, FaultOpts: fo}
 	keys := core.RandomKeys(shape, max(1, *k), *seed+1)
 	D := shape.Diameter()
 	if !*jsonOut {
@@ -157,7 +158,7 @@ func main() {
 		fmt.Printf("odd-even transposition: %d rounds (= steps), sorted=%v, %.2f x diameter\n",
 			res.Rounds, res.Sorted, float64(res.Rounds)/float64(D))
 	case "shear":
-		res, err := baseline.ShearSort(shape, keys, baseline.ShearSortOpts{Workers: *work, Pool: pool, Observer: obs})
+		res, err := baseline.ShearSort(shape, keys, baseline.ShearSortOpts{Workers: *work, ShardShift: *sshift, Pool: pool, Observer: obs})
 		fail(err)
 		if *jsonOut {
 			emitJSON(service.Result{Algorithm: "shearsort", Shape: shape.String(),
@@ -171,7 +172,7 @@ func main() {
 	case "route":
 		prob := pickPerm(*pperm, shape, *seed)
 		res, err := core.TwoPhaseRoute(core.RouteConfig{Shape: shape, BlockSide: *b, Seed: *seed,
-			Workers: *work, Pool: pool, Observer: obs, FaultOpts: fo}, prob)
+			Workers: *work, ShardShift: *sshift, Pool: pool, Observer: obs, FaultOpts: fo}, prob)
 		fail(err)
 		if *jsonOut {
 			emitJSON(service.FromRouteAlg(res, shape))
@@ -196,7 +197,7 @@ func main() {
 			cm = route.ClassRandom
 		}
 		res, net, err := route.RunProblem(shape, prob, route.BatchOpts{
-			Mode: cm, BlockSide: *b, Seed: *seed, Workers: *work, Pool: pool,
+			Mode: cm, BlockSide: *b, Seed: *seed, Workers: *work, ShardShift: *sshift, Pool: pool,
 			Faults: fo.Faults, Patience: fo.Patience, Paranoid: fo.Paranoid,
 			CountLoads: *heat, Observer: obs,
 		})

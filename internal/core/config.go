@@ -125,6 +125,10 @@ type Config struct {
 
 	Seed    uint64
 	Workers int // engine shard workers; 0 means GOMAXPROCS
+	// ShardShift overrides the engine's shard sizing (log2 processors per
+	// shard; 0 means automatic, see engine.Net.ShardShift). Exposed for
+	// benchmarking shard-size sensitivity (cmd/meshsort -shard-shift).
+	ShardShift int
 
 	// Pool optionally supplies a persistent engine worker pool shared by
 	// every routing phase of the run (and by other runs using the same
@@ -157,12 +161,13 @@ type Config struct {
 // learned storage.
 func (c Config) runner() *pipeline.Runner {
 	pcfg := pipeline.Config{
-		Shape:    c.Shape,
-		Workers:  c.Workers,
-		Pool:     c.Pool,
-		Policy:   c.Policy(c.Shape),
-		Route:    c.RouteOpts(),
-		Observer: c.Observer,
+		Shape:      c.Shape,
+		Workers:    c.Workers,
+		ShardShift: c.ShardShift,
+		Pool:       c.Pool,
+		Policy:     c.Policy(c.Shape),
+		Route:      c.RouteOpts(),
+		Observer:   c.Observer,
 	}
 	if c.Runner != nil {
 		c.Runner.Reset(pcfg)

@@ -31,6 +31,8 @@ type RouteConfig struct {
 	Nu      int
 	Seed    uint64
 	Workers int
+	// ShardShift overrides the engine's shard sizing; see core.Config.
+	ShardShift int
 	// Pool optionally supplies a persistent engine worker pool shared by
 	// both routing phases; nil means a transient pool per phase.
 	Pool *engine.Pool
@@ -50,12 +52,13 @@ type RouteConfig struct {
 // runner) the pipeline runner a routing run executes on.
 func (c RouteConfig) runner() *pipeline.Runner {
 	pcfg := pipeline.Config{
-		Shape:    c.Shape,
-		Workers:  c.Workers,
-		Pool:     c.Pool,
-		Policy:   c.Policy(c.Shape),
-		Route:    c.RouteOpts(),
-		Observer: c.Observer,
+		Shape:      c.Shape,
+		Workers:    c.Workers,
+		ShardShift: c.ShardShift,
+		Pool:       c.Pool,
+		Policy:     c.Policy(c.Shape),
+		Route:      c.RouteOpts(),
+		Observer:   c.Observer,
 	}
 	if c.Runner != nil {
 		c.Runner.Reset(pcfg)

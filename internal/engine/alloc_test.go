@@ -47,6 +47,47 @@ func TestWarmRouteDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestWarmRouteDoesNotAllocateLargeRung extends the zero-allocation
+// guard to a benchmark-ladder rung (d=3, n=32: 32768 processors), where
+// the arena spans multiple chunks and the slab growth, shard tracking,
+// and queue reuse all operate at scale. Skipped under -short: the warm-up
+// plus verification runs route ~100k packet-hops each.
+func TestWarmRouteDoesNotAllocateLargeRung(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("ladder-rung alloc guard skipped in -short mode")
+	}
+	s := grid.New(3, 32)
+	net := New(s)
+	pool := NewPool(2)
+	defer pool.Close()
+	net.Pool = pool
+
+	rng := xmath.NewRNG(17)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	var pol Policy = greedyTestPolicy{s}
+	run := func() {
+		net.Reset(s)
+		for i := range pkts {
+			p := net.NewPacket(int64(i), i)
+			p.Dst = dsts[i]
+			p.Class = i % s.Dim
+			pkts[i] = p
+		}
+		net.Inject(pkts)
+		if _, err := net.Route(pol, RouteOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if avg := testing.AllocsPerRun(2, run); avg != 0 {
+		t.Fatalf("warm ladder-rung route allocated %.1f times per run, want 0", avg)
+	}
+}
+
 // TestWarmRouteDoesNotAllocateSingleWorker covers the inline fast path
 // (workers == 1, no pool barrier) with the same guard.
 func TestWarmRouteDoesNotAllocateSingleWorker(t *testing.T) {

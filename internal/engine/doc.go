@@ -16,40 +16,65 @@
 // Each simulated step runs in two phases separated by barriers:
 //
 //   - Send: every processor with moving packets asks the Policy for the
-//     link each packet wants, grants each link to the highest-priority
+//     link each packet wants (the answer is cached in the queue entry —
+//     see Policy purity below), grants each link to the highest-priority
 //     requester (farthest-to-go first, ties to the lowest id — the
-//     paper's contention rule), and parks the winners in per-link out
-//     slots. Only processor-owned state is written.
-//   - Deliver: every processor with an incoming packet pulls from the
-//     out slots of its neighbors that point at it. Each (sender, link)
-//     slot is drained by exactly one receiver, so only receiver-owned
-//     state is written. On a 2-side torus both directions of a dimension
-//     reach the same neighbor; the two pulls drain that neighbor's two
-//     distinct link slots, modeling the double edge.
+//     paper's contention rule), and writes each winner into its
+//     *receiver's* inbox slot for the link it traveled. Each (receiver,
+//     link) inbox slot has exactly one possible writer per step — the
+//     unique processor whose link l points at that receiver — so sends
+//     from different shards never collide. The sender also sets the
+//     receiver's bit in a per-worker delivery bitmap.
+//   - Deliver: every processor flagged in the ORed delivery bitmaps
+//     drains its own inbox strip (one slot per incoming link) into its
+//     queue. Only receiver-owned state is written. On a 2-side torus
+//     both directions of a dimension reach the same neighbor; the two
+//     slots model the double edge.
 //
-// Because each phase writes disjoint, single-owner state, sharded
-// parallel execution is observationally identical to sequential
-// execution: Route returns bit-identical results and final packet
-// placements for any worker count.
+// Because each phase writes disjoint, single-owner state — and the
+// barrier between phases publishes one phase's plain writes to the
+// next — sharded parallel execution is observationally identical to
+// sequential execution: Route returns bit-identical results and final
+// packet placements for any worker count and any shard size.
+//
+// Packets in flight are represented by 16-byte pointer-free queue
+// entries (id, destination, remaining distance, class, cached link);
+// the cold identity fields live in a packet arena indexed by id, and
+// patience/overshoot accounting lives in side slabs touched only on
+// stranding and completion paths. The hot step loop therefore streams
+// over compact contiguous memory. See DESIGN.md for the measurements
+// behind this layout.
 //
 // # Worker pool and active-shard tracking
 //
 // Processors are grouped into contiguous shards, the unit of scheduling.
-// The step loop tracks which shards are live: the send phase visits only
-// shards holding moving packets (a per-shard count maintained by the
-// shard's owning worker), and the delivery phase visits only shards that
-// a sender flagged as receiving this step. Late in a phase, when most of
-// the n^d processors are idle, a step touches only the few shards where
-// packets remain instead of scanning the whole network.
+// The step loop tracks liveness at two resolutions: per shard, the send
+// phase visits only shards holding moving packets (a count maintained by
+// the shard's owning worker) and the delivery phase visits only shards a
+// sender flagged as receiving this step; per processor, bitmaps refine
+// the scan inside a live shard — a moving-queue bitmap steers the send
+// phase straight to non-empty queues, and the per-worker delivery
+// bitmaps steer the deliver phase straight to flagged receivers. Late in
+// a phase, when most of the n^d processors are idle, a step touches only
+// the few processors where packets remain instead of scanning the whole
+// network. The bitmaps are written with plain stores (the inter-phase
+// barrier publishes them); the one cross-shard clear uses a masked
+// atomic only when a 64-bit word straddles a shard boundary.
 //
-// Shard work executes on a Pool of persistent workers parked on a
-// channel barrier; the Route caller participates as worker 0, and
-// work-stealing over the live-shard list balances uneven shards. A pool
-// can (and should) be shared across all phases of a multi-phase
-// algorithm via Net.Pool or RouteOpts.Pool; when neither is set, Route
-// manages a transient pool per phase. With one worker — or one live
-// shard — the step loop runs entirely inline with no goroutines or
-// channel operations.
+// Shard work executes on a Pool of persistent workers synchronized by a
+// sense-reversing atomic barrier (an epoch counter publishes work, an
+// atomic countdown reports completion; waiters spin briefly and then
+// park on per-worker wake channels — see Pool). The Route caller
+// participates as worker 0, and work-stealing over the live-shard list
+// balances uneven shards. Shards shrink automatically when the network
+// is small or the worker count high, so a skewed active set — every
+// moving packet clustered in one region of a large mesh — still splits
+// across the pool instead of serializing on one worker
+// (Net.ShardShift overrides the sizing). A pool can (and should) be
+// shared across all phases of a multi-phase algorithm via Net.Pool or
+// RouteOpts.Pool; when neither is set, Route manages a transient pool
+// per phase. With one worker — or one live shard — the step loop runs
+// entirely inline with no goroutines or atomic barrier crossings.
 //
 // # Exact vs. sampled statistics
 //
@@ -69,8 +94,10 @@
 //
 // Policies are called concurrently from shard workers and may be called
 // any number of times per packet per step, so NextLink must be a pure
-// function of (rank, packet) with no side effects and no dependence on
-// call order. It must also be monotone — every requested move reduces
+// function of (rank, dst, class) with no side effects and no dependence
+// on call order. Purity is also what lets the engine cache NextLink's
+// answer in the queue entry and re-ask only when the packet moves: a
+// stalled packet's cached link is, by purity, still the link it wants. It must also be monotone — every requested move reduces
 // the packet's distance to its destination — unless it implements
 // DetourPolicy, which switches the engine to recomputing distances after
 // every hop. It must never route off a mesh boundary. The engine checks

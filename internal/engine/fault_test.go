@@ -221,7 +221,7 @@ func TestMaxStepsReturnsPartialResult(t *testing.T) {
 	p := net.NewPacket(0, 0)
 	p.Dst = s.N() - 1
 	net.Inject([]*Packet{p})
-	lazy := policyFunc(func(rank int, p *Packet) int { return -1 })
+	lazy := policyFunc(func(rank, dst, class int) int { return -1 })
 	res, err := net.Route(lazy, RouteOpts{MaxSteps: 5, NoProgress: -1})
 	var deg *DegradedError
 	if !errors.As(err, &deg) {
@@ -256,9 +256,10 @@ func TestTwoSideTorusFaultedDoubleEdge(t *testing.T) {
 	a.Dst = 1
 	b := net.NewPacket(2, 0)
 	b.Dst = 1
+	b.Class = 1 // policies see (rank, dst, class); class tells the packets apart
 	net.Inject([]*Packet{a, b})
-	split := policyFunc(func(rank int, p *Packet) int {
-		if p == a {
+	split := policyFunc(func(rank, dst, class int) int {
+		if class == 0 {
 			return LinkFor(0, 1) // the failed edge
 		}
 		return LinkFor(0, -1) // the live sibling

@@ -28,7 +28,7 @@ func TestHopConservation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Hops != sumDist {
+		if res.Hops != int64(sumDist) {
 			t.Errorf("%v: %d hops, want sum of distances %d", s, res.Hops, sumDist)
 		}
 	}
@@ -180,7 +180,7 @@ func TestLoadProfileMatchesHops(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := net.LoadProfile()
-	if prof.Total != int64(res.Hops) {
+	if prof.Total != res.Hops {
 		t.Errorf("load total %d != hops %d", prof.Total, res.Hops)
 	}
 	for dim := 0; dim < s.Dim; dim++ {
@@ -245,7 +245,7 @@ func TestLoadCountingEnabledLate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := net.LoadProfile().Total; got != int64(res.Hops) {
+	if got := net.LoadProfile().Total; got != res.Hops {
 		t.Errorf("late-enabled counters saw %d traversals, want %d", got, res.Hops)
 	}
 }

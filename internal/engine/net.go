@@ -2,6 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,19 +18,25 @@ import (
 // 0 means direction -1 and dirBit 1 means direction +1. A return value of
 // -1 means the packet does not want to move this step.
 //
-// Policies must be pure functions of (rank, packet): they are called
-// concurrently from shard workers. The packet pointer refers into the
-// network's arena (see NewPacket); it is stable for the packet's
-// lifetime, so policies may cache nothing and still touch no shared
-// state. They must also be monotone: every move they request must reduce
-// the packet's distance to its destination by one (all dimension-order
+// The packet is presented as its routing-relevant state — the current
+// destination rank and the dimension-order class — rather than as a
+// *Packet: the step loop keeps that state in struct-of-arrays slabs
+// (see Net) so the send phase never drags the cold Packet record through
+// the cache, and the narrow signature keeps policies honest about what
+// they may depend on.
+//
+// Policies must be pure functions of (rank, dst, class): they are called
+// concurrently from shard workers, possibly several times per packet per
+// step, so they may cache nothing and must touch no shared state. They
+// must also be monotone: every move they request must reduce the
+// packet's distance to its destination by one (all dimension-order
 // greedy variants qualify) — unless the policy implements DetourPolicy
 // and opts into detour accounting. The engine checks monotonicity and
 // mesh-boundary legality; a violation aborts the phase with an error
 // returned from Route (never a process-killing panic), since it
 // indicates an algorithm bug rather than a runtime condition.
 type Policy interface {
-	NextLink(rank int, p *Packet) int
+	NextLink(rank, dst, class int) int
 }
 
 // DetourPolicy is implemented by policies that may request moves that do
@@ -68,6 +77,21 @@ func LinkDir(link int) int {
 // collector sees no pointers to trace.
 const noPacket int32 = -1
 
+// pktDone is OR-ed into an inbox entry's id when the sender's
+// bookkeeping already determined the hop completes the packet's journey
+// (togo hits zero). The delivery phase then files the packet as held
+// without touching any per-packet state — on the transit path delivery
+// is a purely streaming scan. Reserving bit 30 caps the arena at
+// MaxPackets ids (over a billion packets; a load that size exhausts
+// memory long before it exhausts id space).
+const pktDone int32 = 1 << 30
+
+// MaxPackets is the number of packet ids a network can hand out between
+// Resets: ids are int32 arena indices with bit 30 reserved for in-flight
+// delivery flagging. pipeline.InjectKeys rejects larger loads up front;
+// NewPacket panics past the bound.
+const MaxPackets = 1 << 30
+
 // Packet arena chunking: packets live in fixed-size slabs so that the
 // *Packet handles NewPacket returns stay valid while the arena grows
 // (a flat slice would move on append and dangle every retained pointer).
@@ -77,10 +101,54 @@ const (
 	pktChunkMask  = pktChunkSize - 1
 )
 
+// pktRef is a moving-queue (and inbox) entry: the packet's id together
+// with the routing fields the step loop needs on every step. Carrying
+// the hot fields inside the queue entry — instead of in a slab indexed
+// by packet id — is what keeps the million-processor step loop off the
+// memory wall: queue entries are read and rebuilt sequentially, inbox
+// strips are scanned sequentially, so the send and delivery phases
+// stream through memory where an id-indexed lookup would take one cache
+// miss per packet per step (measured at ~40% of the whole n=128 rung).
+// The struct is 16 bytes and pointer-free.
+//
+// link caches the policy's answer for the packet's current position.
+// NextLink is contractually a pure function of (rank, dst, class) — see
+// the Policy docs — so the answer only changes when the packet moves:
+// the sender computes the receiver-side link once at forward time (with
+// the entry warm in its cache) and the request loop just reads it,
+// instead of paying a virtual NextLink call per moving packet per step.
+// Freshly activated entries carry linkUnknown and are resolved on their
+// first request.
+type pktRef struct {
+	id    int32 // arena index; noPacket marks an empty/consumed entry; inbox ids carry pktDone
+	dst   int32 // destination rank
+	togo  int32 // remaining distance to dst
+	class int16 // dimension-order class (< dim, so int16 is ample)
+	link  int16 // cached NextLink result at the current rank; -1 = no move, linkUnknown = unresolved
+}
+
+// linkUnknown marks a queue entry whose cached link has not been
+// resolved for its current position yet (only freshly activated
+// entries; forwarded entries arrive pre-resolved by the sender).
+const linkUnknown int16 = -2
+
+// Layout of the per-packet accounting record (Net.aux), indexed by
+// packet id. These fields are off the transit fast path by design: the
+// patience counters are only touched when stranding is enabled, the
+// activation stamps only on the delivery-completion hop — so their
+// scattered per-id access happens at most once per packet per phase.
+const (
+	auxBest   = iota // smallest togo reached this phase (patience accounting)
+	auxStall         // send-phase evaluations since best last improved
+	auxBorn          // clock at activation (overshoot accounting)
+	auxBornD         // distance at activation
+	auxStride        // accounting-record width
+)
+
 type proc struct {
-	moving []int32 // arena indices of packets in transit through this processor
-	held   []int32 // arena indices of packets at rest here
-	out    []int32 // one outgoing slot per link, len 2d, noPacket = empty
+	moving []pktRef // packets in transit through this processor, hot fields inline
+	held   []int32  // arena indices of packets at rest here
+	out    []int32  // one grant slot per link, len 2d: index into moving, noPacket = empty
 }
 
 // Net is a synchronous mesh or torus network holding packets.
@@ -90,13 +158,39 @@ type proc struct {
 // which is how steady-state routing reaches zero heap allocations per
 // step: after a warm-up run every buffer the step loop touches already
 // exists.
+//
+// Hot packet state (dst, class, togo) rides inside the moving-queue and
+// inbox entries themselves (see pktRef), so the step loop streams
+// through memory; only the accounting record (patience counters,
+// activation stamps — Net.aux, indexed by packet id) is looked up out
+// of line, and only on strand and delivery-completion paths. The cold
+// Packet structs (keys, tags, pair links) stay untouched until an
+// algorithm phase asks for them.
 type Net struct {
 	Shape grid.Shape
 
-	procs  []proc
+	procs []proc
+	// outs is the backing slab behind every proc's out window
+	// (outs[r*2d : (r+1)*2d]): send-phase contest scratch, owned by the
+	// sending processor and cleared before the send phase ends.
+	outs []int32
+	// inbox is the receiver-indexed transfer slab: the send phase copies
+	// each granted packet's full queue entry into inbox[recv*2d+slot]
+	// (slot = the sender's link id, which uniquely identifies the sender
+	// from the receiver's side — on a 2-side torus the double edge uses
+	// the two distinct slots). The delivery phase then drains one
+	// contiguous strip per receiver and appends the entries straight onto
+	// its moving queue — no per-packet state lookup on the transit path.
+	// Writers never collide: (recv, slot) is unique per directed edge.
+	inbox  []pktRef
 	chunks [][]Packet // packet arena: chunk i holds ids [i<<pktChunkShift, (i+1)<<pktChunkShift)
 	clock  int
 	nextID int
+
+	// aux is the per-packet accounting record slab (offsets
+	// auxBest..auxBornD above), grown in lockstep with the arena; see the
+	// aux* constants for why it stays out of the queue entries.
+	aux []int32
 
 	// Workers sizes the transient worker pool Route creates when neither
 	// Pool (below) nor RouteOpts.Pool provides one; 0 means GOMAXPROCS.
@@ -107,6 +201,14 @@ type Net struct {
 	// caller owns the pool's lifecycle; Route never closes it.
 	Pool *Pool
 
+	// ShardShift overrides the step loop's shard sizing: shards cover
+	// 1<<ShardShift processors each. 0 means automatic (see newStepState);
+	// out-of-range values are clamped. A profiling knob — exposed as
+	// cmd/meshsort -shard-shift — for tuning skewed-activation workloads
+	// at large N. Takes effect when the step scratch is (re)built, i.e.
+	// on a fresh network or after a shape-changing Reset.
+	ShardShift int
+
 	// MaxQueue is the high-water mark of packets co-resident at a single
 	// processor (moving + held) observed during routing phases.
 	MaxQueue int
@@ -116,8 +218,29 @@ type Net struct {
 	scratch *stepState // reusable per-phase routing state (lazily built, survives phases and Reset)
 }
 
-// New returns an empty network of the given shape.
+// CheckCapacity reports whether a shape fits the engine's int32 arena
+// indexing: processor ranks are stored in int32 packet-state slabs and
+// the out-slot backing slab carves N*2d windows, so both N and N*2d must
+// stay within int32 range. New and Reset enforce this with a panic
+// (mirroring grid.New's overflow rejection); callers that take shapes
+// from external input — the service layer, command-line tools — should
+// call CheckCapacity first and surface the error.
+func CheckCapacity(s grid.Shape) error {
+	n := int64(s.N())
+	slots := n * int64(2*s.Dim)
+	if n > math.MaxInt32 || slots > math.MaxInt32 {
+		return fmt.Errorf("engine: shape %v exceeds int32 arena capacity (N=%d, out slots=%d, limit %d)",
+			s, n, slots, math.MaxInt32)
+	}
+	return nil
+}
+
+// New returns an empty network of the given shape. It panics if the
+// shape exceeds the engine's int32 arena capacity (see CheckCapacity).
 func New(s grid.Shape) *Net {
+	if err := CheckCapacity(s); err != nil {
+		panic(err.Error())
+	}
 	n := &Net{Shape: s}
 	n.buildProcs(s)
 	return n
@@ -134,23 +257,39 @@ func (n *Net) buildProcs(s grid.Shape) {
 	for i := range backing {
 		backing[i] = noPacket
 	}
+	n.outs = backing
 	for i := range n.procs {
 		n.procs[i].out = backing[i*links : (i+1)*links : (i+1)*links]
+	}
+	n.inbox = make([]pktRef, s.N()*links)
+	for i := range n.inbox {
+		n.inbox[i].id = noPacket
 	}
 }
 
 // Reset returns the network to the empty state for a new problem,
-// reusing its storage: the packet arena keeps its chunks (ids restart at
-// 0 and overwrite in place), and per-processor queues keep their learned
-// capacities. When the new shape changes the processor count or the
-// links-per-processor, the per-processor queues and the out-slot backing
-// slab are rebuilt from scratch — the slab is sized and windowed by
-// (N, 2d), so reusing it across such a change would alias the out slots
-// of different processors.
+// reusing its storage: the packet arena and its hot-state slabs keep
+// their chunks (ids restart at 0 and overwrite in place), and
+// per-processor queues keep their learned capacities. When the new shape
+// changes the processor count or the links-per-processor, the
+// per-processor queues and the out-slot backing slab are rebuilt from
+// scratch — the slab is sized and windowed by (N, 2d), so reusing it
+// across such a change would alias the out slots of different
+// processors. (Since N = side^dim, an unchanged (N, dim) pair pins the
+// side length too, so no geometry survives the guard unnoticed; the
+// torus flag may flip freely — no torus-dependent state is cached.)
 //
 // All packets vanish: ids and *Packet handles from before the Reset are
-// dead. Load counting is switched off (re-enable with SetCountLoads).
+// dead. Stale per-packet state from the previous problem is unreachable
+// by construction — hot routing state lives in the moving queues (all
+// truncated here) and activation rewrites the accounting records of
+// every id before a phase reads them. Load counting is switched off
+// (re-enable with SetCountLoads). Reset panics if the new shape exceeds
+// the int32 arena capacity (see CheckCapacity).
 func (n *Net) Reset(s grid.Shape) {
+	if err := CheckCapacity(s); err != nil {
+		panic(err.Error())
+	}
 	if s.N() != len(n.procs) || s.Dim != n.Shape.Dim {
 		n.buildProcs(s)
 		n.scratch = nil // shard layout and dimension strides are stale
@@ -162,6 +301,12 @@ func (n *Net) Reset(s grid.Shape) {
 			for l := range pr.out {
 				pr.out[l] = noPacket
 			}
+		}
+		// The inbox can hold entries only if the previous phase died to a
+		// policy panic mid-step; clear it so the poisoned state cannot
+		// leak into the fresh problem.
+		for i := range n.inbox {
+			n.inbox[i].id = noPacket
 		}
 	}
 	n.Shape = s
@@ -242,17 +387,46 @@ func (n *Net) AdvanceClock(cost int) {
 	n.clock += cost
 }
 
+// growSlab extends the accounting-record slab by one packet chunk's
+// worth of records, zero-filled, reusing capacity when a Reset already
+// grew it.
+func growSlab(s []int32) []int32 {
+	const ext = pktChunkSize * auxStride
+	if cap(s) >= len(s)+ext {
+		s = s[:len(s)+ext]
+		tail := s[len(s)-ext:]
+		for i := range tail {
+			tail[i] = 0
+		}
+		return s
+	}
+	ns := make([]int32, len(s)+ext)
+	copy(ns, s)
+	return ns
+}
+
 // NewPacket allocates a packet in the network's arena with a fresh id
 // and returns a handle to it. The handle stays valid (the arena grows in
 // pointer-stable chunks) until the network is Reset. The packet's arena
 // index equals its ID; Packet converts back. The packet is not placed in
 // the network; use Inject or SetHeld.
+//
+// Packet ids are int32 arena indices with bit 30 reserved for the
+// in-flight delivery flag (pktDone); NewPacket panics if a problem
+// creates maxPackets or more packets (pipeline.InjectKeys rejects such
+// loads with an error before any packet is built).
 func (n *Net) NewPacket(key int64, src int) *Packet {
 	id := n.nextID
+	if id >= MaxPackets {
+		panic(fmt.Sprintf("engine: packet id %d exceeds the arena index space (%d ids)", id, MaxPackets))
+	}
 	n.nextID++
 	ci := id >> pktChunkShift
 	if ci == len(n.chunks) {
 		n.chunks = append(n.chunks, make([]Packet, pktChunkSize))
+	}
+	if id*auxStride >= len(n.aux) {
+		n.aux = growSlab(n.aux)
 	}
 	p := &n.chunks[ci][id&pktChunkMask]
 	*p = Packet{ID: id, Key: key, Src: src, Dst: src}
@@ -369,17 +543,21 @@ type RouteOpts struct {
 }
 
 // RouteResult reports the outcome of a routing phase.
+//
+// The volume counters that scale with N·steps (Hops, SumOvershoot) are
+// int64: a k-k load on a million-processor mesh moves billions of
+// packets per phase, which would silently wrap a 32-bit int.
 type RouteResult struct {
-	Steps     int // simulated steps the phase took
-	Delivered int // packets that moved (and arrived) during the phase
-	Hops      int // total link traversals; equals the sum of activation distances for monotone policies
-	MaxDist   int // maximum source-destination distance over moved packets
+	Steps     int   // simulated steps the phase took
+	Delivered int   // packets that moved (and arrived) during the phase
+	Hops      int64 // total link traversals; equals the sum of activation distances for monotone policies
+	MaxDist   int   // maximum source-destination distance over moved packets
 	// MaxOvershoot is max over delivered packets of
 	// (delivery time - activation distance); 0 means every packet was
 	// delivered distance-optimally with no slack at all.
 	MaxOvershoot int
-	SumOvershoot int // for averaging
-	MaxQueue     int // high-water mark of per-processor occupancy this phase
+	SumOvershoot int64 // for averaging
+	MaxQueue     int   // high-water mark of per-processor occupancy this phase
 
 	// Graceful degradation (see RouteOpts.Faults, Patience, NoProgress).
 	// Stranded lists the packets parked after exhausting their patience
@@ -508,10 +686,17 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 
 	active := 0
 	actQueue := 0
-	totalPackets := 0 // for the paranoid conservation check
-	totalTogo := 0    // remaining distance over all active packets
+	totalPackets := 0     // for the paranoid conservation check
+	totalTogo := int64(0) // remaining distance over all active packets
 	for r := range n.procs {
 		pr := &n.procs[r]
+		// Entries that survived a degraded abort keep routing this phase,
+		// but their cached links were resolved by the previous phase's
+		// policy — invalidate them (normally the queues are empty and
+		// this loop does not run).
+		for qi := range pr.moving {
+			pr.moving[qi].link = linkUnknown
+		}
 		kept := pr.held[:0]
 		for _, id := range pr.held {
 			p := n.pkt(id)
@@ -519,17 +704,24 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 				kept = append(kept, id)
 				continue
 			}
-			p.togo = n.Shape.Dist(r, p.Dst)
-			p.startStep = n.clock
-			p.startDist = p.togo
-			p.bestTogo = p.togo
-			p.stall = 0
+			// Build the queue entry from the (algorithm-owned) Packet
+			// record and arm the per-phase accounting state.
+			togo := int32(n.Shape.Dist(r, p.Dst))
+			ab := int(id) * auxStride
+			arec := n.aux[ab : ab+auxStride]
+			arec[auxBest] = togo
+			arec[auxStall] = 0
+			arec[auxBorn] = int32(n.clock)
+			arec[auxBornD] = togo
 			p.stranded = false
-			totalTogo += p.togo
-			if p.togo > res.MaxDist {
-				res.MaxDist = p.togo
+			totalTogo += int64(togo)
+			if int(togo) > res.MaxDist {
+				res.MaxDist = int(togo)
 			}
-			pr.moving = append(pr.moving, id)
+			pr.moving = append(pr.moving, pktRef{
+				id: id, dst: int32(p.Dst), class: int16(p.Class), togo: togo,
+				link: linkUnknown,
+			})
 			active++
 		}
 		pr.held = kept
@@ -538,6 +730,9 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			// Between phases every moving queue is empty, so this is the
 			// empty -> non-empty transition for the processor.
 			st.movingProcs[r>>st.shardShift]++
+			if st.movingBits != nil {
+				st.movingBits[r>>6] |= 1 << (uint(r) & 63)
+			}
 		}
 		// Occupancy high-water mark: a processor can be fullest at
 		// activation and only drain afterwards, so sample before the
@@ -575,6 +770,13 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 		if res.Steps >= maxSteps {
 			return st.abort(res, start, active, fmt.Sprintf("exceeded %d steps", maxSteps))
 		}
+		if n.clock >= math.MaxInt32 {
+			// The activation records store int32 born stamps; a clock past
+			// that range would alias stamps from 2^31 steps ago.
+			// Unreachable for any real phase (MaxSteps caps far lower), but
+			// a custom MaxSteps must not turn wraparound into silent loss.
+			return st.abort(res, start, active, "simulated clock exceeded int32 range")
+		}
 		n.clock++
 		res.Steps++
 		if err := st.runStep(); err != nil {
@@ -585,9 +787,9 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 		for w := 0; w < st.workers; w++ {
 			active -= st.delivered[w]
 			res.Delivered += st.delivered[w]
-			res.SumOvershoot += st.sumOver[w]
-			res.Hops += st.hops[w]
-			totalTogo -= st.togoDrop[w]
+			res.SumOvershoot += int64(st.sumOver[w])
+			res.Hops += int64(st.hops[w])
+			totalTogo -= int64(st.togoDrop[w])
 			if st.maxOver[w] > res.MaxOvershoot {
 				res.MaxOvershoot = st.maxOver[w]
 			}
@@ -606,7 +808,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 		if len(strands) > 0 {
 			sort.Sort(diagsByID(strands))
 			for _, d := range strands {
-				totalTogo -= d.Dist
+				totalTogo -= int64(d.Dist)
 			}
 			active -= len(strands)
 			res.Stranded = append(res.Stranded, strands...)
@@ -698,20 +900,51 @@ type stepState struct {
 	// barriers, so no atomics are needed.
 	movingProcs []int32
 
+	// movingBits refines movingProcs to processor resolution: bit r set
+	// means processor r's moving queue is non-empty. The send phase jumps
+	// straight to its shard's set bits instead of testing every queue
+	// header — at a million processors that linear test alone streams the
+	// whole proc table once per step. All writers own the bits they touch
+	// (activation runs single-threaded; send and delivery mutate only
+	// their own shard's processors), so the bitmap is plain-access — but
+	// that ownership argument needs words not to straddle shards, so the
+	// bitmap is only built when shards hold at least 64 processors (the
+	// default; nil otherwise, falling back to the linear test).
+	movingBits []uint64
+
 	// pending flags, per shard, that some processor in the shard has an
-	// incoming packet parked in a neighbor's out slot. Senders in other
-	// shards set flags concurrently during the send phase (atomically);
-	// the coordinator harvests and clears them between barriers.
+	// incoming packet parked in its inbox strip. Senders in other shards
+	// set flags concurrently during the send phase (atomically); the
+	// coordinator harvests and clears them between barriers and schedules
+	// only flagged shards for the delivery phase.
 	pending []int32
-	// pendingProc flags individual receivers the same way, so the
-	// delivery phase skips the (expensive) neighbor scan for every
-	// processor that is not receiving this step. A receiver clears its
-	// own flag as it processes its pulls.
-	pendingProc []int32
+
+	// inboxBits is the per-processor companion of pending: bit r of
+	// worker w's bitmap means w forwarded a packet into processor r's
+	// inbox strip. The delivery phase ORs the workers' words together and
+	// visits only set bits, instead of pre-scanning every strip of the
+	// shard's inbox region (2d entries per processor — a memory-bandwidth
+	// bill that dominated the million-processor rung). The bitmaps are
+	// per worker so the send phase marks them with plain stores into
+	// N/8 cache-resident bytes: a shared bitmap would need an atomic OR
+	// per forward, and a LOCK-prefixed instruction drains the store
+	// buffer — serializing the scattered inbox-store misses the buffer
+	// otherwise hides, which measured slower than having no bitmap at
+	// all. Sized by attach (the worker count), wiped by begin when dirty.
+	inboxBits [][]uint64
 
 	// divs caches side^(d-1-dim) per dimension: the rank stride of one
 	// hop along dim, precomputed so the hot loops never call Ipow.
 	divs []int
+	// Power-of-two strength reduction for the coordinate extraction
+	// (rank / div) % side in the shard loops: when side = 2^k it becomes
+	// (rank >> divShift[dim]) & sideMask — two single-cycle operations
+	// instead of two integer divisions, executed several times per packet
+	// per step. Every benchmark-ladder side qualifies; odd sides keep the
+	// division path.
+	divShift []uint
+	sideMask int
+	pow2     bool
 
 	sendList    []int32 // scratch: shards scheduled for the current send phase
 	deliverList []int32 // scratch: shards scheduled for the current delivery phase
@@ -738,17 +971,42 @@ type stepState struct {
 
 func newStepState(n *Net) *stepState {
 	st := &stepState{net: n}
-	// Shards default to 128 processors and shrink (to a floor of 16) on
-	// small networks so the active-set tracking still has resolution.
+	// Shard sizing: a shard is both the scheduling quantum and the
+	// resolution of active-set tracking. Shards default to 128 processors
+	// and shrink (to a floor of 16) until there are at least 8 shards per
+	// expected worker — on small networks so the tracking keeps
+	// resolution, and at high worker counts so a skewed active set (all
+	// packets clustered in one region) still splits across the pool
+	// instead of serializing on one worker. Net.ShardShift overrides the
+	// result (clamped to [4, 16]).
+	workers := n.Workers
+	if pool := n.Pool; pool != nil {
+		workers = pool.Workers()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	st.shardShift = 7
-	for st.shardShift > 4 && len(n.procs)>>st.shardShift < 8 {
+	for st.shardShift > 4 && len(n.procs)>>st.shardShift < 8*workers {
 		st.shardShift--
+	}
+	if n.ShardShift > 0 {
+		shift := n.ShardShift
+		if shift < 4 {
+			shift = 4
+		}
+		if shift > 16 {
+			shift = 16
+		}
+		st.shardShift = uint(shift)
 	}
 	st.shardSize = 1 << st.shardShift
 	st.numShards = (len(n.procs) + st.shardSize - 1) >> st.shardShift
 	st.movingProcs = make([]int32, st.numShards)
 	st.pending = make([]int32, st.numShards)
-	st.pendingProc = make([]int32, len(n.procs))
+	if st.shardSize >= 64 {
+		st.movingBits = make([]uint64, (len(n.procs)+63)/64)
+	}
 	st.sendList = make([]int32, 0, st.numShards)
 	st.deliverList = make([]int32, 0, st.numShards)
 	st.divs = make([]int, n.Shape.Dim)
@@ -756,6 +1014,15 @@ func newStepState(n *Net) *stepState {
 	for dim := n.Shape.Dim - 1; dim >= 0; dim-- {
 		st.divs[dim] = div
 		div *= n.Shape.Side
+	}
+	if side := n.Shape.Side; side&(side-1) == 0 {
+		st.pow2 = true
+		st.sideMask = side - 1
+		logSide := uint(bits.TrailingZeros(uint(side)))
+		st.divShift = make([]uint, n.Shape.Dim)
+		for dim := range st.divShift {
+			st.divShift[dim] = logSide * uint(n.Shape.Dim-1-dim)
+		}
 	}
 	st.workerFn = st.phaseWorker
 	return st
@@ -784,10 +1051,15 @@ func (st *stepState) begin(policy Policy) {
 		for i := range st.pending {
 			st.pending[i] = 0
 		}
-		for i := range st.pendingProc {
-			st.pendingProc[i] = 0
+		for _, bm := range st.inboxBits {
+			for i := range bm {
+				bm[i] = 0
+			}
 		}
 		st.dirty = false
+	}
+	for i := range st.movingBits {
+		st.movingBits[i] = 0
 	}
 }
 
@@ -806,6 +1078,11 @@ func (st *stepState) attach(pool *Pool) {
 		st.togoDrop = make([]int, w)
 		st.strand = make([][]PacketDiag, w)
 		st.busy = make([]int64, w)
+		words := (len(st.net.procs) + 63) / 64
+		st.inboxBits = make([][]uint64, w)
+		for i := range st.inboxBits {
+			st.inboxBits[i] = make([]uint64, words)
+		}
 		return
 	}
 	for i := 0; i < w; i++ {
@@ -932,129 +1209,44 @@ func (st *stepState) phaseWorker(w int) {
 // reject requests at grant time, and packets whose patience budget ran
 // out are parked as stranded instead of requesting. Receiving shards are
 // flagged for the delivery phase.
+//
+// The loop works entirely on the queue entries (hot fields inline) plus
+// the out-of-line patience counters when stranding is on; the cold
+// Packet record is only resolved on the stranding path, which allocates
+// diagnostics anyway.
 func (st *stepState) sendShard(w, sh, lo, hi int) {
 	n := st.net
+	aux := n.aux
+	patience := int32(st.patience)
 	emptied := int32(0)
-	for r := lo; r < hi; r++ {
-		pr := &n.procs[r]
-		if len(pr.moving) == 0 {
-			continue
-		}
-		// Grant each link to the best requester. The out slots are
-		// already empty: the delivery phase consumes every granted slot
-		// (each receiver is flagged at grant time), so slots never
-		// survive a step.
-		granted := 0
-		expired := false
-		for _, id := range pr.moving {
-			p := n.pkt(id)
-			if st.patience > 0 {
-				// Personal-best accounting: only a new best distance
-				// refunds patience, so a packet circling a blocked region
-				// runs out just like one that cannot move at all.
-				if p.togo < p.bestTogo {
-					p.bestTogo = p.togo
-					p.stall = 0
-				} else {
-					p.stall++
-				}
-				if p.stall > st.patience {
-					// Out of patience: stop requesting links; the queue
-					// rebuild below strands it.
-					expired = true
-					continue
-				}
-			}
-			l := st.policy.NextLink(r, p)
-			if l < 0 {
+	bm := st.inboxBits[w]
+	if mb := st.movingBits; mb != nil {
+		// Words lie wholly inside the shard (shardSize >= 64), so the
+		// owner may read and clear them with plain accesses; the tail
+		// word's bits past the processor count are never set.
+		for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+			word := mb[wi]
+			if word == 0 {
 				continue
 			}
-			if l >= len(pr.out) {
-				st.recordErr(r, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", l, p.ID, r))
-				continue
-			}
-			if st.faults != nil && st.faults.LinkDown(r, l, n.clock) {
-				continue
-			}
-			cur := pr.out[l]
-			if cur == noPacket {
-				granted++
-				pr.out[l] = id
-			} else if cp := n.pkt(cur); p.togo > cp.togo || (p.togo == cp.togo && p.ID < cp.ID) {
-				pr.out[l] = id
-			}
-		}
-		if granted == 0 && !expired {
-			continue
-		}
-		// Validate the grants, stamp the winners for removal below, and
-		// flag each receiver (and its shard) for the delivery phase; the
-		// receiver may live in a shard with no moving packets of its own.
-		side := n.Shape.Side
-		for l, id := range pr.out {
-			if id == noPacket {
-				continue
-			}
-			p := n.pkt(id)
-			div := st.divs[LinkDim(l)]
-			c := (r / div) % side
-			recv := r
-			legal := true
-			switch {
-			case LinkDir(l) > 0:
-				if c < side-1 {
-					recv = r + div
-				} else if n.Shape.Torus {
-					recv = r - (side-1)*div
-				} else {
-					legal = false
-				}
-			default:
-				if c > 0 {
-					recv = r - div
-				} else if n.Shape.Torus {
-					recv = r + (side-1)*div
-				} else {
-					legal = false
-				}
-			}
-			if !legal {
-				// Leave the packet in its queue (unstamped) and drop the
-				// grant: the error aborts the phase at the step barrier
-				// with the network conserved.
-				st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", p.ID, r, l))
-				pr.out[l] = noPacket
-				continue
-			}
-			p.sentStep = n.clock
-			if atomic.LoadInt32(&st.pendingProc[recv]) == 0 {
-				atomic.StoreInt32(&st.pendingProc[recv], 1)
-				dest := recv >> st.shardShift
-				if atomic.LoadInt32(&st.pending[dest]) == 0 {
-					atomic.StoreInt32(&st.pending[dest], 1)
+			wbase := wi << 6
+			for ; word != 0; word &= word - 1 {
+				r := wbase + bits.TrailingZeros64(word)
+				if st.sendProc(w, r, &n.procs[r], bm, aux, patience) {
+					emptied++
+					mb[wi] &^= 1 << uint(r-wbase)
 				}
 			}
 		}
-		// Remove winners (stamped above) from the moving queue and park
-		// packets whose patience ran out. Entries are plain integers, so
-		// the truncated tail needs no clearing for the collector.
-		kept := pr.moving[:0]
-		for _, id := range pr.moving {
-			p := n.pkt(id)
-			if p.sentStep == n.clock {
+	} else {
+		for r := lo; r < hi; r++ {
+			pr := &n.procs[r]
+			if len(pr.moving) == 0 {
 				continue
 			}
-			if st.patience > 0 && p.stall > st.patience {
-				p.stranded = true
-				st.strand[w] = append(st.strand[w], st.diagnose(r, p))
-				pr.held = append(pr.held, id)
-				continue
+			if st.sendProc(w, r, pr, bm, aux, patience) {
+				emptied++
 			}
-			kept = append(kept, id)
-		}
-		pr.moving = kept
-		if len(kept) == 0 {
-			emptied++
 		}
 	}
 	if emptied > 0 {
@@ -1062,112 +1254,346 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 	}
 }
 
+// sendProc runs the send phase for one processor with a non-empty moving
+// queue: the link-request contest, grant validation, the forward into
+// the receivers' inbox strips, and the queue rebuild. It reports whether
+// the queue emptied (the caller maintains the moving-processor
+// bookkeeping at both shard and bit resolution).
+func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, patience int32) bool {
+	n := st.net
+	// Grant each link to the best requester; out slots hold the
+	// winner's index into the moving queue. The slots are already
+	// empty: they are this processor's contest scratch, and the
+	// validation pass below clears every slot it reads, so slots
+	// never survive a send phase.
+	granted := 0
+	expired := false
+	for qi := range pr.moving {
+		e := &pr.moving[qi]
+		if patience > 0 {
+			// Personal-best accounting: only a new best distance
+			// refunds patience, so a packet circling a blocked region
+			// runs out just like one that cannot move at all.
+			ab := int(e.id) * auxStride
+			arec := aux[ab : ab+auxStride]
+			if e.togo < arec[auxBest] {
+				arec[auxBest] = e.togo
+				arec[auxStall] = 0
+			} else {
+				arec[auxStall]++
+			}
+			if arec[auxStall] > patience {
+				// Out of patience: stop requesting links; the queue
+				// rebuild below strands it.
+				expired = true
+				continue
+			}
+		}
+		// The cached link is valid until the packet moves (NextLink is a
+		// pure function of position — see pktRef); only freshly
+		// activated entries resolve it here. This keeps the request
+		// loop free of virtual calls: it streams queue entries and
+		// contests out slots, nothing else.
+		l := int(e.link)
+		if l == int(linkUnknown) {
+			l = st.policy.NextLink(r, int(e.dst), int(e.class))
+			if l >= len(pr.out) {
+				st.recordErr(r, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", l, e.id, r))
+				e.link = -1
+				continue
+			}
+			if l < 0 {
+				l = -1
+			}
+			e.link = int16(l)
+		}
+		if l < 0 {
+			continue
+		}
+		if st.faults != nil && st.faults.LinkDown(r, l, n.clock) {
+			continue
+		}
+		cur := pr.out[l]
+		if cur == noPacket {
+			granted++
+			pr.out[l] = int32(qi)
+		} else if ce := &pr.moving[cur]; e.togo > ce.togo || (e.togo == ce.togo && e.id < ce.id) {
+			pr.out[l] = int32(qi)
+		}
+	}
+	if granted == 0 && !expired {
+		return false
+	}
+	// Validate the grants, mark the winning queue entries consumed,
+	// hand each one to its receiver's inbox strip, and flag the
+	// receiver's shard for the delivery phase; the receiver may live
+	// in a shard with no moving packets of its own. The local out
+	// slots are cleared here — they are contest scratch and never
+	// survive the send phase.
+	side := n.Shape.Side
+	links := 2 * n.Shape.Dim
+	for l, qi := range pr.out {
+		if qi == noPacket {
+			continue
+		}
+		pr.out[l] = noPacket
+		e := &pr.moving[qi]
+		dim := LinkDim(l)
+		div := st.divs[dim]
+		var c int
+		if st.pow2 {
+			c = (r >> st.divShift[dim]) & st.sideMask
+		} else {
+			c = (r / div) % side
+		}
+		recv := r
+		legal := true
+		switch {
+		case LinkDir(l) > 0:
+			if c < side-1 {
+				recv = r + div
+			} else if n.Shape.Torus {
+				recv = r - (side-1)*div
+			} else {
+				legal = false
+			}
+		default:
+			if c > 0 {
+				recv = r - div
+			} else if n.Shape.Torus {
+				recv = r + (side-1)*div
+			} else {
+				legal = false
+			}
+		}
+		if !legal {
+			// Leave the packet in its queue (unconsumed) and drop the
+			// grant: the error aborts the phase at the step barrier
+			// with the network conserved.
+			st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", e.id, r, l))
+			continue
+		}
+		// Advance the packet's bookkeeping here, where its queue entry
+		// is already in cache: the delivery phase then needs no
+		// per-packet state access on the transit path at all — the
+		// receiver gets the advanced entry (and the done bit) from the
+		// inbox strip itself.
+		old := e.togo
+		var next int32
+		if st.detour {
+			// Detouring policies may move packets away from their
+			// destinations; recompute instead of decrementing.
+			next = int32(n.Shape.Dist(recv, int(e.dst)))
+		} else {
+			next = old - 1
+			if next <= 0 && int(e.dst) != recv {
+				st.recordErr(r, fmt.Errorf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", e.id))
+			}
+		}
+		st.togoDrop[w] += int(old - next)
+		id := e.id
+		nl := int16(-1)
+		if next == 0 && int(e.dst) == recv {
+			id |= pktDone
+		} else {
+			// Resolve the packet's next link from the receiver's
+			// position now, while its entry is warm in this cache: the
+			// receiver's request loop then just reads it. Same call
+			// count as resolving on request (one per hop), but off the
+			// hot loop — and stalled packets never re-resolve at all.
+			nl2 := st.policy.NextLink(recv, int(e.dst), int(e.class))
+			if nl2 >= links {
+				st.recordErr(recv, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", nl2, e.id, recv))
+				nl2 = -1
+			}
+			if nl2 >= 0 {
+				nl = int16(nl2)
+			}
+		}
+		n.inbox[recv*links+l] = pktRef{id: id, dst: e.dst, class: e.class, togo: next, link: nl}
+		// Mark the entry consumed; the queue rebuild below drops it.
+		e.id = noPacket
+		// Plain OR into this worker's own bitmap — see inboxBits for
+		// why this must not be a LOCK-prefixed instruction.
+		bm[recv>>6] |= 1 << (uint(recv) & 63)
+		dest := recv >> st.shardShift
+		if atomic.LoadInt32(&st.pending[dest]) == 0 {
+			atomic.StoreInt32(&st.pending[dest], 1)
+		}
+	}
+	// Remove winners (consumed above) from the moving queue and park
+	// packets whose patience ran out. Entries are pointer-free, so
+	// the truncated tail needs no clearing for the collector.
+	kept := pr.moving[:0]
+	for qi := range pr.moving {
+		e := pr.moving[qi]
+		if e.id == noPacket {
+			continue
+		}
+		if patience > 0 && aux[int(e.id)*auxStride+auxStall] > patience {
+			p := n.pkt(e.id)
+			p.stranded = true
+			st.strand[w] = append(st.strand[w], st.diagnose(r, e))
+			pr.held = append(pr.held, e.id)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	pr.moving = kept
+	return len(kept) == 0
+}
+
 // deliverShard implements the delivery phase for processors [lo, hi):
-// each processor pulls the packet (if any) from each neighboring
-// processor's outgoing slot that points at it. On a 2-side torus both
-// directions of a dimension reach the same neighbor; the two pulls then
-// drain that neighbor's two distinct link slots, modeling the double
-// edge.
+// each flagged receiver drains its contiguous inbox strip, where the
+// send phase parked incoming packets keyed by the sender's link id. On a
+// 2-side torus both directions of a dimension reach the same neighbor;
+// the double edge shows up as the strip's two distinct slots of that
+// dimension. Senders are only reconstructed (from the slot's direction)
+// when link-load counting is on — the hot path needs no coordinate math
+// at all.
 func (st *stepState) deliverShard(w, sh, lo, hi int) {
 	n := st.net
 	s := n.Shape
 	side := s.Side
-	for r := lo; r < hi; r++ {
-		if st.pendingProc[r] == 0 {
+	aux := n.aux
+	inbox, links := n.inbox, 2*s.Dim
+	clock := int32(n.clock)
+	// The shard-level pending flag got us here; the receivers within the
+	// shard are the set bits of the shard's slice of the pending bitmaps,
+	// OR-ed across the senders that wrote them. The bitmaps stay
+	// cache-resident (N/8 bytes each), so finding the receivers costs a
+	// few word loads per shard — where pre-scanning the shard's inbox
+	// region for non-empty strips (2d entries per processor) was a
+	// per-step sweep of the full transfer slab. The pool barrier between
+	// the phases orders the senders' plain bitmap stores before these
+	// reads. Claimed bits are cleared with plain stores when a word
+	// belongs wholly to this shard (shardShift >= 6, the default);
+	// smaller shards share words across workers and mask their bits out
+	// atomically.
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		var word uint64
+		for _, bm := range st.inboxBits {
+			word |= bm[wi]
+		}
+		if word == 0 {
 			continue
 		}
-		st.pendingProc[r] = 0
-		pr := &n.procs[r]
-		wasEmpty := len(pr.moving) == 0
-		for dim := 0; dim < s.Dim; dim++ {
-			div := st.divs[dim]
-			c := (r / div) % side
-			for _, dir := range [2]int{-1, 1} {
-				// The neighbor one hop in direction -dir sends to us via
-				// its link (dim, dir).
-				sender := r
-				if dir > 0 { // sender sits one hop below along dim
-					if c > 0 {
-						sender = r - div
-					} else if s.Torus {
-						sender = r + (side-1)*div
-					} else {
-						continue
-					}
-				} else { // sender sits one hop above along dim
-					if c < side-1 {
-						sender = r + div
-					} else if s.Torus {
-						sender = r - (side-1)*div
-					} else {
-						continue
-					}
-				}
-				slot := LinkFor(dim, dir)
-				id := n.procs[sender].out[slot]
-				if id == noPacket {
+		wbase := wi << 6
+		whole := lo <= wbase
+		if hb := hi - wbase; hb < 64 && hi < len(n.procs) {
+			word &= uint64(1)<<uint(hb) - 1
+			whole = false
+		}
+		if lo > wbase {
+			word &= ^uint64(0) << uint(lo-wbase)
+		}
+		if word == 0 {
+			continue
+		}
+		if whole {
+			for _, bm := range st.inboxBits {
+				bm[wi] = 0
+			}
+		} else {
+			for k := range st.inboxBits {
+				atomic.AndUint64(&st.inboxBits[k][wi], ^word)
+			}
+		}
+		for ; word != 0; word &= word - 1 {
+			r := wbase + bits.TrailingZeros64(word)
+			base := r * links
+			pr := &n.procs[r]
+			wasEmpty := len(pr.moving) == 0
+			for slot := 0; slot < links; slot++ {
+				e := inbox[base+slot]
+				if e.id == noPacket {
 					continue
 				}
-				n.procs[sender].out[slot] = noPacket
-				p := n.pkt(id)
+				inbox[base+slot].id = noPacket
 				st.hops[w]++
 				if n.loads != nil {
 					// The receiver owns this counter: one slot per
 					// (sender, link) pair, indexed by the sender, is
-					// touched by exactly one receiver per step.
-					n.loads[sender*2*s.Dim+slot]++
-				}
-				old := p.togo
-				if st.detour {
-					// Detouring policies may move packets away from their
-					// destinations; recompute instead of decrementing.
-					p.togo = s.Dist(r, p.Dst)
-				} else {
-					p.togo--
-					if p.togo <= 0 && p.Dst != r {
-						st.recordErr(r, fmt.Errorf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", p.ID))
-						st.togoDrop[w] += old - p.togo
-						pr.moving = append(pr.moving, id)
-						continue
+					// touched by exactly one receiver per step. The sender
+					// sits one hop against the slot's direction.
+					dim := LinkDim(slot)
+					div := st.divs[dim]
+					var c int
+					if st.pow2 {
+						c = (r >> st.divShift[dim]) & st.sideMask
+					} else {
+						c = (r / div) % side
 					}
+					sender := r
+					if LinkDir(slot) > 0 { // sent on +1: sender one hop below
+						if c > 0 {
+							sender = r - div
+						} else {
+							sender = r + (side-1)*div
+						}
+					} else {
+						if c < side-1 {
+							sender = r + div
+						} else {
+							sender = r - (side-1)*div
+						}
+					}
+					n.loads[sender*links+slot]++
 				}
-				st.togoDrop[w] += old - p.togo
-				if p.togo == 0 {
+				// The sender already advanced the packet's bookkeeping (with
+				// the queue entry warm in its cache), resolved its next link,
+				// and encoded completion in the entry's done bit — the
+				// transit path below appends the entry straight onto the
+				// moving queue, so delivery streams through memory instead
+				// of chasing a scattered record per hop.
+				if e.id&pktDone != 0 {
+					id := e.id &^ pktDone
 					pr.held = append(pr.held, id)
 					st.delivered[w]++
-					over := (n.clock - p.startStep) - p.startDist
+					ab := int(id) * auxStride
+					over := int((clock - aux[ab+auxBorn]) - aux[ab+auxBornD])
 					st.sumOver[w] += over
 					if over > st.maxOver[w] {
 						st.maxOver[w] = over
 					}
 				} else {
-					pr.moving = append(pr.moving, id)
+					pr.moving = append(pr.moving, e)
 				}
 			}
-		}
-		// Occupancy can only grow by receiving (or at activation), so
-		// sampling receivers right after their pulls preserves the exact
-		// high-water mark.
-		if q := len(pr.moving) + len(pr.held); q > st.maxQueue[w] {
-			st.maxQueue[w] = q
-		}
-		if wasEmpty && len(pr.moving) > 0 {
-			st.movingProcs[sh]++
+			// Occupancy can only grow by receiving (or at activation), so
+			// sampling receivers right after their pulls preserves the exact
+			// high-water mark.
+			if q := len(pr.moving) + len(pr.held); q > st.maxQueue[w] {
+				st.maxQueue[w] = q
+			}
+			if wasEmpty && len(pr.moving) > 0 {
+				st.movingProcs[sh]++
+				if st.movingBits != nil {
+					st.movingBits[r>>6] |= 1 << (uint(r) & 63)
+				}
+			}
 		}
 	}
 }
 
-// diagnose captures a PacketDiag for a packet at the given rank: its
-// profitable links (the ones that would reduce its distance) and which of
-// them the fault plan blocks right now. Read-only with respect to shared
-// state, so shard workers may call it concurrently.
-func (st *stepState) diagnose(rank int, p *Packet) PacketDiag {
-	d := PacketDiag{ID: p.ID, Key: p.Key, Rank: rank, Dst: p.Dst, Dist: p.togo, Waited: p.stall}
-	s := st.net.Shape
+// diagnose captures a PacketDiag for the packet with the given queue
+// entry at the given rank: its profitable links (the ones that would
+// reduce its distance) and which of them the fault plan blocks right
+// now. Read-only with respect to shared state, so shard workers may
+// call it concurrently. The cold Packet record is resolved here —
+// diagnostics are off the hot path by definition.
+func (st *stepState) diagnose(rank int, e pktRef) PacketDiag {
+	n := st.net
+	dst := int(e.dst)
+	d := PacketDiag{
+		ID: n.pkt(e.id).ID, Key: n.pkt(e.id).Key, Rank: rank, Dst: dst,
+		Dist: int(e.togo), Waited: int(n.aux[int(e.id)*auxStride+auxStall]),
+	}
+	s := n.Shape
 	for dim := 0; dim < s.Dim; dim++ {
 		div := st.divs[dim]
 		c := (rank / div) % s.Side
-		t := (p.Dst / div) % s.Side
+		t := (dst / div) % s.Side
 		if c == t {
 			continue
 		}
@@ -1190,7 +1616,7 @@ func (st *stepState) diagnose(rank int, p *Packet) PacketDiag {
 		}
 		for _, l := range links {
 			d.Wants = append(d.Wants, l)
-			if st.faults.LinkDown(rank, l, st.net.clock) {
+			if st.faults.LinkDown(rank, l, n.clock) {
 				d.Blocked = append(d.Blocked, l)
 			}
 		}
@@ -1203,8 +1629,8 @@ func (st *stepState) diagnose(rank int, p *Packet) PacketDiag {
 func (st *stepState) stuckSnapshot() []PacketDiag {
 	var out []PacketDiag
 	for r := range st.net.procs {
-		for _, id := range st.net.procs[r].moving {
-			out = append(out, st.diagnose(r, st.net.pkt(id)))
+		for _, e := range st.net.procs[r].moving {
+			out = append(out, st.diagnose(r, e))
 		}
 	}
 	sort.Sort(diagsByRankID(out))
@@ -1243,11 +1669,17 @@ func (d diagsByRankID) Swap(i, j int) { d[i], d[j] = d[j], d[i] }
 func (st *stepState) checkInvariants(total int) error {
 	n := st.net
 	count := 0
+	links := 2 * n.Shape.Dim
 	for r := range n.procs {
 		pr := &n.procs[r]
-		for l, id := range pr.out {
-			if id != noPacket {
-				return fmt.Errorf("engine: invariant violated: packet %d left on link %d of rank %d across a step barrier", n.pkt(id).ID, l, r)
+		for l, qi := range pr.out {
+			if qi != noPacket {
+				return fmt.Errorf("engine: invariant violated: grant %d left on link %d of rank %d across a step barrier", qi, l, r)
+			}
+		}
+		for l, e := range n.inbox[r*links : (r+1)*links] {
+			if e.id != noPacket {
+				return fmt.Errorf("engine: invariant violated: packet %d left in the inbox slot %d of rank %d across a step barrier", e.id, l, r)
 			}
 		}
 		count += len(pr.moving) + len(pr.held)
@@ -1257,10 +1689,26 @@ func (st *stepState) checkInvariants(total int) error {
 				return fmt.Errorf("engine: invariant violated: packet %d held at rank %d away from destination %d without being stranded", p.ID, r, p.Dst)
 			}
 		}
-		for _, id := range pr.moving {
-			p := n.pkt(id)
-			if want := n.Shape.Dist(r, p.Dst); p.togo != want {
-				return fmt.Errorf("engine: invariant violated: packet %d at rank %d carries distance budget %d but is %d hops from its destination", p.ID, r, p.togo, want)
+		if st.movingBits != nil {
+			if got := st.movingBits[r>>6]&(1<<(uint(r)&63)) != 0; got != (len(pr.moving) > 0) {
+				return fmt.Errorf("engine: invariant violated: rank %d holds %d moving packets but its moving bit reads %v", r, len(pr.moving), got)
+			}
+		}
+		for _, e := range pr.moving {
+			if want := n.Shape.Dist(r, int(e.dst)); int(e.togo) != want {
+				return fmt.Errorf("engine: invariant violated: packet %d at rank %d carries distance budget %d but is %d hops from its destination", e.id, r, e.togo, want)
+			}
+			if l := int(e.link); l != int(linkUnknown) && l >= 0 {
+				if want := st.policy.NextLink(r, int(e.dst), int(e.class)); l != want {
+					return fmt.Errorf("engine: invariant violated: packet %d at rank %d caches link %d but the policy picks %d", e.id, r, l, want)
+				}
+			}
+		}
+	}
+	for k, bm := range st.inboxBits {
+		for wi, word := range bm {
+			if word != 0 {
+				return fmt.Errorf("engine: invariant violated: worker %d left inbox pending bits %#x for processors [%d,%d) across a step barrier", k, word, wi*64, wi*64+64)
 			}
 		}
 	}
@@ -1276,8 +1724,8 @@ func (st *stepState) checkInvariants(total int) error {
 func (n *Net) Snapshot() map[int]int {
 	out := make(map[int]int, n.nextID)
 	for r := range n.procs {
-		for _, id := range n.procs[r].moving {
-			out[n.pkt(id).ID] = r
+		for _, e := range n.procs[r].moving {
+			out[n.pkt(e.id).ID] = r
 		}
 		for _, id := range n.procs[r].held {
 			out[n.pkt(id).ID] = r

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"reflect"
-	"runtime"
 	"strings"
 	"testing"
 
@@ -16,12 +15,12 @@ import (
 // here avoids an import cycle in tests).
 type greedyTestPolicy struct{ s grid.Shape }
 
-func (g greedyTestPolicy) NextLink(rank int, p *Packet) int {
+func (g greedyTestPolicy) NextLink(rank, dst, class int) int {
 	d := g.s.Dim
 	for i := 0; i < d; i++ {
-		dim := (p.Class + i) % d
+		dim := (class + i) % d
 		c := g.s.Coord(rank, dim)
-		t := g.s.Coord(p.Dst, dim)
+		t := g.s.Coord(dst, dim)
 		if c == t {
 			continue
 		}
@@ -175,16 +174,16 @@ func TestMaxStepsAborts(t *testing.T) {
 	p.Dst = s.N() - 1
 	net.Inject([]*Packet{p})
 	// A policy that never moves the packet.
-	lazy := policyFunc(func(rank int, p *Packet) int { return -1 })
+	lazy := policyFunc(func(rank, dst, class int) int { return -1 })
 	_, err := net.Route(lazy, RouteOpts{MaxSteps: 5})
 	if err == nil || !strings.Contains(err.Error(), "exceeded") {
 		t.Errorf("expected max-steps error, got %v", err)
 	}
 }
 
-type policyFunc func(rank int, p *Packet) int
+type policyFunc func(rank, dst, class int) int
 
-func (f policyFunc) NextLink(rank int, p *Packet) int { return f(rank, p) }
+func (f policyFunc) NextLink(rank, dst, class int) int { return f(rank, dst, class) }
 
 func TestOffGridSendErrors(t *testing.T) {
 	s := grid.New(1, 4)
@@ -192,7 +191,7 @@ func TestOffGridSendErrors(t *testing.T) {
 	p := net.NewPacket(0, 0)
 	p.Dst = 3
 	net.Inject([]*Packet{p})
-	bad := policyFunc(func(rank int, p *Packet) int { return LinkFor(0, -1) }) // off the low edge
+	bad := policyFunc(func(rank, dst, class int) int { return LinkFor(0, -1) }) // off the low edge
 	_, err := net.Route(bad, RouteOpts{})
 	if err == nil || !strings.Contains(err.Error(), "off the mesh boundary") {
 		t.Errorf("off-grid send: got %v, want boundary error", err)
@@ -208,7 +207,7 @@ func TestInvalidLinkErrors(t *testing.T) {
 	p := net.NewPacket(0, 0)
 	p.Dst = 3
 	net.Inject([]*Packet{p})
-	bad := policyFunc(func(rank int, p *Packet) int { return 99 })
+	bad := policyFunc(func(rank, dst, class int) int { return 99 })
 	_, err := net.Route(bad, RouteOpts{})
 	if err == nil || !strings.Contains(err.Error(), "invalid link") {
 		t.Errorf("invalid link: got %v, want invalid-link error", err)
@@ -222,7 +221,7 @@ func TestNonMonotonePolicyErrors(t *testing.T) {
 	p.Dst = 5
 	net.Inject([]*Packet{p})
 	// Always move left: walks away from the destination.
-	bad := policyFunc(func(rank int, p *Packet) int { return LinkFor(0, -1) })
+	bad := policyFunc(func(rank, dst, class int) int { return LinkFor(0, -1) })
 	_, err := net.Route(bad, RouteOpts{})
 	if err == nil || !strings.Contains(err.Error(), "non-monotone") {
 		t.Errorf("non-monotone policy: got %v, want monotonicity error", err)
@@ -238,7 +237,7 @@ func TestPolicyPanicBecomesError(t *testing.T) {
 	p := net.NewPacket(0, 0)
 	p.Dst = 7
 	net.Inject([]*Packet{p})
-	bad := policyFunc(func(rank int, p *Packet) int {
+	bad := policyFunc(func(rank, dst, class int) int {
 		if rank == 3 {
 			panic("policy bug")
 		}
@@ -365,7 +364,7 @@ func TestTorusWrapRouting(t *testing.T) {
 // packet placement must be identical for every worker count, on meshes
 // and tori. Run it under -race to also exercise the memory model.
 func TestRouteDeterministicAcrossWorkers(t *testing.T) {
-	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0), 5}
+	workerCounts := []int{1, 2, 4, 5, 16}
 	shapes := []grid.Shape{grid.New(3, 6), grid.NewTorus(3, 6), grid.NewTorus(3, 2)}
 	for _, s := range shapes {
 		run := func(workers int) (RouteResult, string) {
@@ -408,6 +407,58 @@ func TestRouteDeterministicAcrossWorkers(t *testing.T) {
 			if fp != baseFP {
 				t.Errorf("%v: final placement differs between %d and %d workers", s, workerCounts[0], w)
 			}
+		}
+	}
+}
+
+// TestRouteDeterministicAcrossShardShifts pins the claim that shard
+// sizing is pure scheduling: the same problem must produce the same
+// RouteResult and placement at every shard resolution and worker count.
+// The spread of shifts matters for coverage, not just determinism — at
+// shardShift >= 6 the active-set bitmaps use word-aligned plain claims,
+// below that shards share bitmap words and the engine switches to
+// masked atomic claims (and drops the moving bitmap entirely), so under
+// -race this test exercises both memory-model regimes.
+func TestRouteDeterministicAcrossShardShifts(t *testing.T) {
+	s := grid.NewTorus(3, 8) // 512 procs: several shards at every shift
+	type cfg struct{ shift, workers int }
+	cfgs := []cfg{{0, 1}, {4, 4}, {5, 2}, {6, 4}, {7, 2}, {9, 4}}
+	run := func(c cfg) (RouteResult, string) {
+		net := New(s)
+		net.Workers = c.workers
+		net.ShardShift = c.shift
+		rng := xmath.NewRNG(123)
+		dsts := rng.Perm(s.N())
+		pkts := make([]*Packet, s.N())
+		for i := range pkts {
+			pkts[i] = net.NewPacket(int64(i), i)
+			pkts[i].Dst = dsts[i]
+			pkts[i].Class = i % s.Dim
+		}
+		net.Inject(pkts)
+		res, err := net.Route(greedyTestPolicy{s}, RouteOpts{Paranoid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fp strings.Builder
+		for r := 0; r < s.N(); r++ {
+			fmt.Fprintf(&fp, "%d:", r)
+			for _, id := range net.Held(r) {
+				fmt.Fprintf(&fp, " %d", net.Packet(id).ID)
+			}
+			fp.WriteByte('\n')
+		}
+		return normalizeResult(res), fp.String()
+	}
+	baseRes, baseFP := run(cfgs[0])
+	for _, c := range cfgs[1:] {
+		res, fp := run(c)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Errorf("shift=%d workers=%d: RouteResult differs from the auto-sharded run:\n%+v\n%+v",
+				c.shift, c.workers, baseRes, res)
+		}
+		if fp != baseFP {
+			t.Errorf("shift=%d workers=%d: final placement differs from the auto-sharded run", c.shift, c.workers)
 		}
 	}
 }
@@ -481,9 +532,10 @@ func TestTwoSideTorusDoubleEdge(t *testing.T) {
 	a.Dst = 1
 	b := net.NewPacket(2, 0)
 	b.Dst = 1
+	b.Class = 1 // policies see (rank, dst, class); class tells the packets apart
 	net.Inject([]*Packet{a, b})
-	split := policyFunc(func(rank int, p *Packet) int {
-		if p == a {
+	split := policyFunc(func(rank, dst, class int) int {
+		if class == 0 {
 			return LinkFor(0, 1)
 		}
 		return LinkFor(0, -1)

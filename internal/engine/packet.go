@@ -1,10 +1,18 @@
 package engine
 
-// Packet is a unit of routable data. Exactly one goroutine touches a
-// packet at any time (the worker owning the processor currently holding
-// it), so packets need no locks.
+// Packet is a unit of routable data: the algorithm-facing record of the
+// arena. Exactly one goroutine touches a packet at any time (the worker
+// owning the processor currently holding it), so packets need no locks.
+//
+// The engine's per-step routing state (remaining distance, patience
+// counters, grant stamps, activation records) does not live here: it is
+// kept in struct-of-arrays slabs on the Net, indexed by ID, so the step
+// loop never pulls these cold fields through the cache. Dst and Class
+// are copied into those slabs when a routing phase activates the packet
+// — changing them mid-phase has no effect (and is illegal anyway:
+// algorithms only modify packets between phases).
 type Packet struct {
-	ID  int   // unique id, assigned at creation
+	ID  int   // unique id == arena index, assigned at creation
 	Key int64 // sort key (ignored by pure routing)
 
 	Src int // canonical rank of the processor that injected the packet
@@ -20,25 +28,6 @@ type Packet struct {
 	Tag  int
 	Pair int
 
-	// togo is the remaining distance to Dst, maintained by the engine
-	// during a routing phase.
-	togo int
-	// sentStep is the clock value of the last step this packet won a
-	// link grant; the send phase uses it to strip winners from the
-	// moving queue without re-scanning the out slots.
-	sentStep int
-	// startStep and startDist record when and how far from its
-	// destination the packet was activated, for distance-optimality
-	// accounting.
-	startStep int
-	startDist int
-	// bestTogo is the smallest togo the packet has reached this phase and
-	// stall the number of consecutive send-phase evaluations since it last
-	// improved; together they implement the patience budget (a packet that
-	// moves without getting closer — circling a blocked region — runs out
-	// of patience just like one that cannot move at all).
-	bestTogo int
-	stall    int
 	// stranded marks a packet parked in the held queue by the patience
 	// mechanism with its destination unreached; cleared at activation so
 	// later phases retry it.

@@ -64,6 +64,49 @@ func TestResetRebuildsOutSlotsAcrossShapes(t *testing.T) {
 	routePerm(t, net, grid.NewTorus(2, 8), 24)
 }
 
+// TestResetLadderShapeChain walks a warm network through every same-N
+// geometry of N = 64 — 6d side-2, 3d side-4, 2d side-8, with torus flips
+// interleaved — the transition pattern of the benchmark ladder, where one
+// warm network is repurposed rung to rung. Every hop changes the
+// links-per-processor count while keeping N fixed, so any stale reuse of
+// the out-slot slab or the cached step scratch (whose shard layout and
+// dimension strides are shape-derived) corrupts routing; the paranoid
+// checker in routePerm catches it at the first misstep.
+func TestResetLadderShapeChain(t *testing.T) {
+	chain := []grid.Shape{
+		grid.New(6, 2), grid.New(3, 4), grid.NewTorus(6, 2),
+		grid.New(2, 8), grid.NewTorus(3, 4), grid.NewTorus(2, 8),
+		grid.New(6, 2), // and back to the start, shrinking links again
+	}
+	for _, s := range chain {
+		if s.N() != 64 {
+			t.Fatalf("test premise broken: %v has %d processors, want 64", s, s.N())
+		}
+	}
+	net := New(chain[0])
+	for i, s := range chain {
+		if i > 0 {
+			net.Reset(s)
+		}
+		routePerm(t, net, s, uint64(40+i))
+	}
+}
+
+// TestResetGrowShrinkN covers the N-changing Reset directions of the
+// ladder (a warm runner leased for n=16 repurposed to n=32 and back):
+// growth must rebuild the queues and slab, shrink must not leave the
+// larger network's tail reachable.
+func TestResetGrowShrinkN(t *testing.T) {
+	small := grid.New(3, 4)
+	big := grid.New(3, 8)
+	net := New(small)
+	routePerm(t, net, small, 51)
+	net.Reset(big)
+	routePerm(t, net, big, 52)
+	net.Reset(small)
+	routePerm(t, net, small, 53)
+}
+
 // TestResetSameShapeReusesState: a same-shape Reset must behave exactly
 // like a fresh network (clock, ids, MaxQueue, load counting all reset)
 // while reusing storage.

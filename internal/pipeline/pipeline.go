@@ -26,11 +26,11 @@ type PhaseStat struct {
 	// informational, carried into traces and experiment tables.
 	Bound int
 	// Routing phases also record:
-	MaxDist      int // max activation distance
-	MaxOvershoot int // max delivery slack beyond the packet's distance
-	MaxQueue     int // peak per-processor occupancy
-	Hops         int // total link traversals
-	Stranded     int // packets parked by the patience budget this phase
+	MaxDist      int   // max activation distance
+	MaxOvershoot int   // max delivery slack beyond the packet's distance
+	MaxQueue     int   // peak per-processor occupancy
+	Hops         int64 // total link traversals; int64 — a k-k phase at N≈2M wraps 32 bits
+	Stranded     int   // packets parked by the patience budget this phase
 
 	// Engine throughput for the phase (wall-clock; varies run to run).
 	engine.Throughput
@@ -122,6 +122,10 @@ type Inspect struct {
 type Config struct {
 	Shape   grid.Shape
 	Workers int // engine shard workers; 0 means GOMAXPROCS
+	// ShardShift overrides the engine's shard sizing (log2 processors per
+	// shard; 0 means automatic). See engine.Net.ShardShift for the
+	// clamping rules. Exposed for benchmarking shard-size sensitivity.
+	ShardShift int
 	// Pool optionally supplies a persistent engine worker pool shared by
 	// every routing phase (and by other runners using the same pool).
 	// The caller owns its lifecycle; nil means a transient pool per
@@ -153,6 +157,7 @@ func New(cfg Config) *Runner {
 	net := engine.New(cfg.Shape)
 	net.Workers = cfg.Workers
 	net.Pool = cfg.Pool
+	net.ShardShift = cfg.ShardShift
 	return &Runner{cfg: cfg, net: net}
 }
 
@@ -189,6 +194,7 @@ func (r *Runner) Reset(cfg Config) {
 	r.net.Reset(cfg.Shape)
 	r.net.Workers = cfg.Workers
 	r.net.Pool = cfg.Pool
+	r.net.ShardShift = cfg.ShardShift
 	r.tot = Totals{}
 	r.last = engine.RouteResult{}
 }
@@ -219,6 +225,14 @@ func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
 	n := r.net.Shape.N()
 	if k < 1 {
 		return nil, fmt.Errorf("pipeline: InjectKeys needs k >= 1 packets per processor, got k=%d", k)
+	}
+	// Packet ids are bounded arena indices (engine.CheckCapacity bounds N,
+	// but a k-k load multiplies it); reject before the key-count check so
+	// callers see the real problem instead of being asked for a slice
+	// that could not be indexed anyway.
+	if int64(k)*int64(n) > engine.MaxPackets {
+		return nil, fmt.Errorf("pipeline: InjectKeys load k*N = %d exceeds the packet id space (%d ids; k=%d, N=%d)",
+			int64(k)*int64(n), int64(engine.MaxPackets), k, n)
 	}
 	if len(keys) != k*n {
 		return nil, fmt.Errorf("pipeline: InjectKeys got %d keys, want k*N = %d (k=%d, N=%d on %v)",

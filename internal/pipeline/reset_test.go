@@ -103,6 +103,39 @@ func TestResetAcrossShapes(t *testing.T) {
 	}
 }
 
+// TestResetAcrossLadderRungs repurposes one warm runner up and down the
+// benchmark ladder's d=3 rungs (the service's warm-runner pool does
+// exactly this when a lease asks for a different rung): every warm run
+// must match a fresh runner of that rung exactly, in both the growing and
+// the shrinking direction and including an InjectKeys-driven load, so no
+// arena, queue, or step-scratch state learned at one N leaks into
+// another.
+func TestResetAcrossLadderRungs(t *testing.T) {
+	rungs := []grid.Shape{grid.New(3, 4), grid.New(3, 8), grid.New(3, 4), grid.New(3, 8)}
+	r := pipeline.New(pipeline.Config{Shape: rungs[0], Policy: route.NewGreedy(rungs[0])})
+	for i, s := range rungs {
+		if i > 0 {
+			r.Reset(pipeline.Config{Shape: s, Policy: route.NewGreedy(s)})
+		}
+		warm := runReversal(t, r)
+		fresh := runReversal(t, pipeline.New(pipeline.Config{Shape: s, Policy: route.NewGreedy(s)}))
+		if warm.TotalSteps != fresh.TotalSteps || warm.MaxQueue != fresh.MaxQueue {
+			t.Errorf("rung %v: warm totals %+v differ from fresh %+v", s, warm, fresh)
+		}
+		// The warm arena must also accept a fresh key injection at the new
+		// rung's size (ids restart at 0, capacity is reused or grown).
+		r.Reset(pipeline.Config{Shape: s, Policy: route.NewGreedy(s)})
+		pkts, err := r.InjectKeys(2, make([]int64, 2*s.N()))
+		if err != nil {
+			t.Fatalf("rung %v: inject on the warm runner: %v", s, err)
+		}
+		if pkts[0].ID != 0 || pkts[len(pkts)-1].ID != 2*s.N()-1 {
+			t.Fatalf("rung %v: ids did not restart cleanly after repurposing", s)
+		}
+		r.Reset(pipeline.Config{Shape: s, Policy: route.NewGreedy(s)})
+	}
+}
+
 // TestInjectKeysErrors: every misuse of InjectKeys is a clear error, not
 // an index panic downstream.
 func TestInjectKeysErrors(t *testing.T) {
@@ -118,6 +151,12 @@ func TestInjectKeysErrors(t *testing.T) {
 	}
 	if _, err := r.InjectKeys(-2, make([]int64, 4)); err == nil || !strings.Contains(err.Error(), "k >= 1") {
 		t.Errorf("k=-2: got %v, want a k >= 1 error", err)
+	}
+	// A load past the int32 packet-id space must be rejected before the
+	// key-count check (no caller could supply that slice anyway).
+	if _, err := r.InjectKeys(1<<28, nil); err == nil ||
+		!strings.Contains(err.Error(), "packet id space") {
+		t.Errorf("overflowing k*N: got %v, want a packet-id-space error", err)
 	}
 
 	if _, err := r.InjectKeys(1, make([]int64, s.N())); err != nil {

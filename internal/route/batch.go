@@ -21,6 +21,9 @@ type BatchOpts struct {
 	Seed      uint64 // seed for ClassRandom
 	MaxSteps  int    // engine safety limit; 0 for default
 	Workers   int    // engine shard workers; 0 for GOMAXPROCS
+	// ShardShift overrides the engine's shard sizing (log2 processors
+	// per shard; 0 means automatic, see engine.Net.ShardShift).
+	ShardShift int
 	// Pool optionally supplies a persistent engine worker pool shared
 	// across problems; nil means a transient pool per phase.
 	Pool *engine.Pool
@@ -55,10 +58,11 @@ func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteRe
 		pol = NewFaultGreedy(s, opts.Faults)
 	}
 	runner := pipeline.New(pipeline.Config{
-		Shape:   s,
-		Workers: opts.Workers,
-		Pool:    opts.Pool,
-		Policy:  pol,
+		Shape:      s,
+		Workers:    opts.Workers,
+		ShardShift: opts.ShardShift,
+		Pool:       opts.Pool,
+		Policy:     pol,
 		Route: engine.RouteOpts{
 			MaxSteps:   opts.MaxSteps,
 			Faults:     opts.Faults,

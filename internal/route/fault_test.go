@@ -34,7 +34,7 @@ func TestFaultGreedyMatchesGreedyWithoutFaults(t *testing.T) {
 			p := net.NewPacket(0, r)
 			p.Dst = rng.Intn(s.N())
 			p.Class = rng.Intn(s.Dim)
-			if got, want := fg.NextLink(r, p), g.NextLink(r, p); got != want {
+			if got, want := fg.NextLink(r, p.Dst, p.Class), g.NextLink(r, p.Dst, p.Class); got != want {
 				t.Fatalf("%v: FaultGreedy chose %d, Greedy chose %d (rank %d dst %d class %d)",
 					s, got, want, r, p.Dst, p.Class)
 			}

@@ -125,14 +125,14 @@ func (g *FaultGreedy) open(rank, dst, exceptDim int) bool {
 }
 
 // NextLink implements engine.Policy.
-func (g *FaultGreedy) NextLink(rank int, p *engine.Packet) int {
+func (g *FaultGreedy) NextLink(rank, dst, class int) int {
 	d := g.shape.Dim
 	side := g.shape.Side
 	firstLive := -1
-	dim := p.Class
+	dim := class
 	for i := 0; i < d; i++ {
 		c := (rank / g.pows[dim]) % side
-		t := (p.Dst / g.pows[dim]) % side
+		t := (dst / g.pows[dim]) % side
 		if c != t {
 			dirs, nd := g.towards(c, t)
 			for j := 0; j < nd; j++ {
@@ -141,13 +141,13 @@ func (g *FaultGreedy) NextLink(rank int, p *engine.Packet) int {
 					continue
 				}
 				nb := g.neighbor(rank, dim, dirs[j])
-				if nb == p.Dst {
+				if nb == dst {
 					return l
 				}
 				if firstLive < 0 {
 					firstLive = l
 				}
-				if g.open(nb, p.Dst, -1) {
+				if g.open(nb, dst, -1) {
 					return l
 				}
 			}
@@ -162,10 +162,10 @@ func (g *FaultGreedy) NextLink(rank int, p *engine.Packet) int {
 	}
 	// Every profitable link is permanently down: sidestep along a
 	// perpendicular dimension onto a neighbor that is open elsewhere.
-	dim = p.Class
+	dim = class
 	for i := 0; i < d; i++ {
 		c := (rank / g.pows[dim]) % side
-		t := (p.Dst / g.pows[dim]) % side
+		t := (dst / g.pows[dim]) % side
 		if c == t {
 			dirs := [2]int{1, -1}
 			if !g.shape.Torus && 2*c >= side {
@@ -179,7 +179,7 @@ func (g *FaultGreedy) NextLink(rank int, p *engine.Packet) int {
 				if g.faults.PermDown(rank, l) {
 					continue
 				}
-				if g.open(g.neighbor(rank, dim, dir), p.Dst, dim) {
+				if g.open(g.neighbor(rank, dim, dir), dst, dim) {
 					return l
 				}
 			}

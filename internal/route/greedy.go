@@ -6,6 +6,8 @@
 package route
 
 import (
+	"math/bits"
+
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/xmath"
@@ -23,6 +25,15 @@ import (
 type Greedy struct {
 	shape grid.Shape
 	pows  []int // pows[i] = side^(dim-1-i): stride of dimension i
+	// Power-of-two strength reduction: every benchmark-ladder side is a
+	// power of two, and NextLink runs once per moving packet per step —
+	// hundreds of millions of times in a million-processor phase — so
+	// when side = 2^k the coordinate extraction (rank / pow) % side
+	// becomes (rank >> shift) & mask, replacing two integer divisions
+	// with two single-cycle operations.
+	shifts []uint // shifts[i] = log2(pows[i]); valid only when pow2
+	mask   int    // side - 1; valid only when pow2
+	pow2   bool
 }
 
 // NewGreedy returns a greedy policy for the given shape.
@@ -33,18 +44,34 @@ func NewGreedy(s grid.Shape) *Greedy {
 		g.pows[i] = p
 		p *= s.Side
 	}
+	if s.Side&(s.Side-1) == 0 {
+		g.pow2 = true
+		g.mask = s.Side - 1
+		logSide := uint(bits.TrailingZeros(uint(s.Side)))
+		g.shifts = make([]uint, s.Dim)
+		for i := range g.shifts {
+			g.shifts[i] = logSide * uint(s.Dim-1-i)
+		}
+	}
 	return g
 }
 
 // NextLink implements engine.Policy.
-func (g *Greedy) NextLink(rank int, p *engine.Packet) int {
+func (g *Greedy) NextLink(rank, dst, class int) int {
 	d := g.shape.Dim
 	side := g.shape.Side
-	dim := p.Class
+	dim := class
 	for i := 0; i < d; i++ {
-		pow := g.pows[dim]
-		c := (rank / pow) % side
-		t := (p.Dst / pow) % side
+		var c, t int
+		if g.pow2 {
+			sh := g.shifts[dim]
+			c = (rank >> sh) & g.mask
+			t = (dst >> sh) & g.mask
+		} else {
+			pow := g.pows[dim]
+			c = (rank / pow) % side
+			t = (dst / pow) % side
+		}
 		if c != t {
 			dir := 1
 			if g.shape.Torus {

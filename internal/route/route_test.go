@@ -20,7 +20,7 @@ func TestGreedyNextLinkMovesToward(t *testing.T) {
 			p := net.NewPacket(0, r)
 			p.Dst = rng.Intn(s.N())
 			p.Class = rng.Intn(s.Dim)
-			l := g.NextLink(r, p)
+			l := g.NextLink(r, p.Dst, p.Class)
 			if r == p.Dst {
 				if l != -1 {
 					t.Fatalf("%v: at destination but wants to move", s)
@@ -50,7 +50,7 @@ func TestGreedyHonorsClassOrder(t *testing.T) {
 	p.Dst = s.Rank([]int{2, 2, 2})
 	for class := 0; class < 3; class++ {
 		p.Class = class
-		l := g.NextLink(s.Rank([]int{1, 1, 1}), p)
+		l := g.NextLink(s.Rank([]int{1, 1, 1}), p.Dst, p.Class)
 		if engine.LinkDim(l) != class {
 			t.Errorf("class %d packet moved along dimension %d first", class, engine.LinkDim(l))
 		}
@@ -58,7 +58,7 @@ func TestGreedyHonorsClassOrder(t *testing.T) {
 	// With dimension Class already correct, the next one is used.
 	p.Dst = s.Rank([]int{1, 2, 2})
 	p.Class = 0
-	if l := g.NextLink(s.Rank([]int{1, 1, 1}), p); engine.LinkDim(l) != 1 {
+	if l := g.NextLink(s.Rank([]int{1, 1, 1}), p.Dst, p.Class); engine.LinkDim(l) != 1 {
 		t.Error("greedy did not skip the already-correct dimension")
 	}
 }
@@ -69,11 +69,11 @@ func TestGreedyTorusTakesShortWay(t *testing.T) {
 	net := engine.New(s)
 	p := net.NewPacket(0, 1)
 	p.Dst = 7 // short way is -1 (distance 2) not +1 (distance 6)
-	if l := g.NextLink(1, p); engine.LinkDir(l) != -1 {
+	if l := g.NextLink(1, p.Dst, p.Class); engine.LinkDir(l) != -1 {
 		t.Error("greedy took the long way around the ring")
 	}
 	p.Dst = 5 // exactly opposite: tie broken toward +1
-	if l := g.NextLink(1, p); engine.LinkDir(l) != 1 {
+	if l := g.NextLink(1, p.Dst, p.Class); engine.LinkDir(l) != 1 {
 		t.Error("greedy tie-break changed")
 	}
 }

@@ -66,7 +66,7 @@ type PhaseTrace struct {
 	MaxDist        int     `json:"maxDist,omitempty"`
 	MaxOvershoot   int     `json:"maxOvershoot,omitempty"`
 	MaxQueue       int     `json:"maxQueue,omitempty"`
-	Hops           int     `json:"hops,omitempty"`
+	Hops           int64   `json:"hops,omitempty"`
 	Stranded       int     `json:"stranded,omitempty"`
 	StepsPerSec    float64 `json:"stepsPerSec,omitempty"`
 	PacketsPerStep float64 `json:"packetsPerStep,omitempty"`
