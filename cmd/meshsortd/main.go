@@ -3,27 +3,39 @@
 // Usage:
 //
 //	meshsortd -addr :8080 -runners 4 -queue 64 -cache 256
+//	meshsortd -journal /var/lib/meshsortd/jobs.journal -journal-fsync interval
 //	meshsortd -smoke -target http://127.0.0.1:8080
 //
 // The server multiplexes jobs over a bounded pool of warm pipeline
 // runners (see internal/service): same-shape jobs reuse a runner's
 // arenas via Reset instead of reallocating, the admission queue is
-// bounded (a full queue answers 429, never an unbounded goroutine
-// pile-up), and repeated specs are served from a sharded LRU result
-// cache. The API:
+// bounded (a full queue answers 429 with a computed Retry-After, never
+// an unbounded goroutine pile-up), and repeated specs are served from a
+// sharded LRU result cache. With -journal the server is crash-safe:
+// every job transition is appended to an append-only JSONL journal, and
+// a restart replays it — completed results stay queryable by ID and
+// interrupted jobs are re-queued. The API:
 //
-//	POST /v1/jobs        submit a JobSpec JSON body (?wait=1 blocks)
-//	GET  /v1/jobs/{id}   job status and result
-//	GET  /healthz        liveness
-//	GET  /metrics        pool, queue, and cache counters as JSON
+//	POST   /v1/jobs        submit a JobSpec JSON body (?wait=1 blocks;
+//	                       X-Tenant and X-Priority route admission)
+//	GET    /v1/jobs/{id}   job status and result
+//	DELETE /v1/jobs/{id}   cancel: queued jobs immediately, running jobs
+//	                       at the engine's next step boundary
+//	GET    /healthz        liveness
+//	GET    /metrics        pool, queue, cache, journal, quota, and
+//	                       failure counters as JSON
 //
 // On SIGTERM or SIGINT the server stops listening, finishes in-flight
 // requests, drains every admitted job, and exits 0.
 //
 // -smoke turns the binary into its own client: it runs one end-to-end
 // exchange against -target (health, a reference sort job, a cache-hit
-// repeat, a metrics read) and exits nonzero on any mismatch. CI uses
-// this as the service smoke test.
+// repeat, a cancelled routing job, a metrics read) and exits nonzero on
+// any mismatch. CI uses this as the service smoke test.
+//
+// The -chaos-* flags inject deterministic failures (worker panics,
+// deadline-busting delays) into job execution; they exist for the chaos
+// harness and for soak-testing deployments, never for production use.
 package main
 
 import (
@@ -55,6 +67,16 @@ func main() {
 		cache   = flag.Int("cache", 0, "result cache capacity in completed jobs (0 = 256, negative disables)")
 		smoke   = flag.Bool("smoke", false, "run as a smoke client against -target instead of serving")
 		target  = flag.String("target", "http://127.0.0.1:8080", "base URL the -smoke client exercises")
+
+		journal      = flag.String("journal", "", "append-only job journal path; empty disables durability")
+		journalFsync = flag.String("journal-fsync", "", "journal fsync policy: always|interval|none (default interval)")
+		tenantCap    = flag.Int("tenant-inflight", 0, "per-tenant in-flight job cap; at the cap submits get 429 (0 = unlimited)")
+		drain        = flag.Duration("drain-timeout", 0, "how long shutdown waits for busy runner slots (0 = 30s)")
+
+		chaosPanicRate = flag.Float64("chaos-panic-rate", 0, "chaos: fraction of jobs whose worker panics mid-run")
+		chaosSlowRate  = flag.Float64("chaos-slow-rate", 0, "chaos: fraction of jobs delayed by -chaos-slow before running")
+		chaosSlow      = flag.Duration("chaos-slow", 100*time.Millisecond, "chaos: the injected delay")
+		chaosSeed      = flag.Uint64("chaos-seed", 1, "chaos: seed of the deterministic per-job failure roll")
 	)
 	flag.Parse()
 
@@ -66,8 +88,16 @@ func main() {
 		return
 	}
 
-	opts := service.Options{Runners: *runners, WorkersPerRunner: *workers,
-		QueueDepth: *queue, CacheCapacity: *cache}
+	opts := service.Options{
+		Runners: *runners, WorkersPerRunner: *workers,
+		QueueDepth: *queue, CacheCapacity: *cache,
+		JournalPath: *journal, JournalFsync: *journalFsync,
+		TenantInFlight: *tenantCap, DrainTimeout: *drain,
+		Chaos: service.ChaosOpts{
+			PanicRate: *chaosPanicRate, SlowRate: *chaosSlowRate,
+			Slow: *chaosSlow, Seed: *chaosSeed,
+		},
+	}
 	if err := serve(*addr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -90,10 +120,19 @@ func serve(addr string, opts service.Options) error {
 // drainTimeout), and Service.Close waits for every admitted job before
 // run returns. A nil return means a clean drain.
 func run(ctx context.Context, ln net.Listener, opts service.Options) error {
-	svc := service.New(opts)
+	svc, err := service.Open(opts)
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	srv := &http.Server{Handler: svc.Handler()}
+	m := svc.Metrics()
 	log.Printf("meshsortd: listening on %s (%d runners, queue %d)",
-		ln.Addr(), svc.Metrics().Runners, svc.Metrics().QueueCap)
+		ln.Addr(), m.Runners, m.QueueCap)
+	if m.Journal.Enabled {
+		log.Printf("meshsortd: journal replayed %d records (%d bytes of corrupted tail discarded)",
+			m.Journal.Replayed, m.Journal.TruncatedBytes)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -118,8 +157,8 @@ func run(ctx context.Context, ln net.Listener, opts service.Options) error {
 		return err
 	}
 	svc.Close()
-	m := svc.Metrics()
-	log.Printf("meshsortd: drained: completed=%d failed=%d simulations=%d cacheHits=%d",
-		m.JobsCompleted, m.JobsFailed, m.Simulations, m.CacheHits)
+	m = svc.Metrics()
+	log.Printf("meshsortd: drained: completed=%d failed=%d cancelled=%d timedOut=%d simulations=%d cacheHits=%d",
+		m.JobsCompleted, m.JobsFailed, m.JobsCancelled, m.JobsTimedOut, m.Simulations, m.CacheHits)
 	return nil
 }

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"meshsort/internal/service"
+)
+
+// The crash-recovery tests re-exec the test binary as a child server
+// process (the standard helper-process pattern), SIGKILL it mid-job,
+// and assert that reopening the journal recovers: completed results
+// stay queryable by ID, interrupted jobs are re-queued and finish, and
+// a corrupted tail (the torn write a SIGKILL can leave) is truncated
+// instead of poisoning the replay.
+
+const (
+	childEnv    = "MESHSORTD_TEST_CHILD"
+	journalEnv  = "MESHSORTD_TEST_JOURNAL"
+	addrFileEnv = "MESHSORTD_TEST_ADDRFILE"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		childServe()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// childServe is the re-exec'd server: it listens on an ephemeral port,
+// hands the address back through the addr file, and serves with an
+// always-fsync journal until the parent kills it.
+func childServe() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.Exit(2)
+	}
+	addr := "http://" + ln.Addr().String()
+	if err := os.WriteFile(os.Getenv(addrFileEnv), []byte(addr), 0o644); err != nil {
+		os.Exit(2)
+	}
+	opts := service.Options{
+		Runners: 1, WorkersPerRunner: 1,
+		JournalPath:  os.Getenv(journalEnv),
+		JournalFsync: service.FsyncAlways,
+	}
+	// The context never fires; the parent ends this process with SIGKILL,
+	// which is the point — no graceful path runs.
+	_ = run(context.Background(), ln, opts)
+}
+
+// spawnChild re-execs the test binary as a journaled server and waits
+// for its address. The returned kill function SIGKILLs it.
+func spawnChild(t *testing.T, journalPath string) (string, func()) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		childEnv+"=1", journalEnv+"="+journalPath, addrFileEnv+"="+addrFile)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kill := func() {
+		cmd.Process.Kill() // SIGKILL: no deferred handlers, no journal close
+		cmd.Wait()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base := string(data)
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return base, kill
+			}
+		}
+		if time.Now().After(deadline) {
+			kill()
+			t.Fatal("child server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postSpec(t *testing.T, base, body string, wait bool) service.JobStatus {
+	t.Helper()
+	url := base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		t.Fatalf("POST %s: status %d", body, resp.StatusCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRecoveryAfterSIGKILL: kill -9 mid-job, corrupt the journal tail
+// the way a torn write would, reopen — the completed job's result is
+// still there, the interrupted job runs to completion, and the garbage
+// is discarded.
+func TestRecoveryAfterSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child server")
+	}
+	journalPath := filepath.Join(t.TempDir(), "jobs.journal")
+	base, kill := spawnChild(t, journalPath)
+
+	// One job completes cleanly before the crash...
+	done := postSpec(t, base, `{"alg":"simple","d":2,"n":8,"seed":1}`, true)
+	if done.Status != service.StatusDone || done.Result == nil {
+		t.Fatalf("pre-crash job: %+v", done)
+	}
+	// ...one big routing job is mid-run when the SIGKILL lands.
+	interrupted := postSpec(t, base, `{"alg":"route","d":3,"n":32,"seed":2}`, false)
+	time.Sleep(300 * time.Millisecond) // let its submit/running records hit the disk
+	kill()
+
+	// A SIGKILL mid-append leaves a torn line; simulate the worst case.
+	f, err := os.OpenFile(journalPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"j-9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart on the same journal, in-process this time.
+	s, err := service.Open(service.Options{
+		Runners: 1, WorkersPerRunner: 1, JournalPath: journalPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	jm := s.Metrics().Journal
+	if !jm.Enabled || jm.Replayed == 0 {
+		t.Fatalf("journal not replayed: %+v", jm)
+	}
+	if jm.TruncatedBytes == 0 {
+		t.Error("torn tail not truncated")
+	}
+
+	// The completed job survived the crash with its result.
+	recovered, ok := s.Job(done.ID)
+	if !ok {
+		t.Fatalf("completed job %s lost in the crash", done.ID)
+	}
+	rst := recovered.Snapshot()
+	if rst.Status != service.StatusDone || rst.Result == nil {
+		t.Fatalf("recovered job: status=%s result=%v", rst.Status, rst.Result != nil)
+	}
+	if rst.Result.KeySum != done.Result.KeySum {
+		t.Errorf("recovered keySum = %s, want %s", rst.Result.KeySum, done.Result.KeySum)
+	}
+
+	// The interrupted job was re-queued and reaches a terminal state.
+	rq, ok := s.Job(interrupted.ID)
+	if !ok {
+		t.Fatalf("interrupted job %s not replayed", interrupted.ID)
+	}
+	select {
+	case <-rq.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("re-queued job %s never finished: %+v", interrupted.ID, rq.Snapshot())
+	}
+	if st := rq.Snapshot(); st.Status != service.StatusDone {
+		t.Errorf("re-queued job ended %s: %s", st.Status, st.Error)
+	}
+}
+
+// TestRecoveryKillBeforeAnyJob: killing an idle journaled server leaves
+// a journal (possibly empty) that reopens cleanly.
+func TestRecoveryKillBeforeAnyJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child server")
+	}
+	journalPath := filepath.Join(t.TempDir(), "jobs.journal")
+	_, kill := spawnChild(t, journalPath)
+	kill()
+
+	s, err := service.Open(service.Options{
+		Runners: 1, WorkersPerRunner: 1, JournalPath: journalPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}

@@ -54,6 +54,11 @@ func runSmoke(base string, out io.Writer) error {
 			second.Result.KeySum, first.Result.KeySum)
 	}
 
+	cancelled, err := smokeCancel(client, base)
+	if err != nil {
+		return fmt.Errorf("cancel job: %w", err)
+	}
+
 	mResp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
@@ -66,11 +71,80 @@ func runSmoke(base string, out io.Writer) error {
 	if m.JobsCompleted < 2 || m.Simulations < 1 || m.CacheHits < 1 {
 		return fmt.Errorf("metrics do not reflect the smoke jobs: %+v", m)
 	}
+	if m.QueueCap <= 0 || m.QueueDepth < 0 {
+		return fmt.Errorf("implausible queue gauge: depth=%d cap=%d", m.QueueDepth, m.QueueCap)
+	}
+	if m.RetryAfterSec < 1 {
+		return fmt.Errorf("retryAfterSec = %d, want >= 1", m.RetryAfterSec)
+	}
+	if cancelled && m.JobsCancelled < 1 {
+		return fmt.Errorf("a job was cancelled but jobsCancelled = %d", m.JobsCancelled)
+	}
 
-	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), cache hit confirmed, %d simulation(s)\n",
+	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), cache hit confirmed, DELETE exercised (cancelled=%t), %d simulation(s)\n",
 		first.Result.Algorithm, first.Result.Shape,
-		first.Result.TotalSteps, first.Result.Bound, m.Simulations)
+		first.Result.TotalSteps, first.Result.Bound, cancelled, m.Simulations)
 	return nil
+}
+
+// smokeCancel submits a routing job large enough to still be in flight
+// when the DELETE lands, cancels it, and polls until it is terminal.
+// Returns whether the job ended cancelled (a very fast server may
+// legitimately finish it first; what must hold is that DELETE answers
+// 200 and the job reaches a terminal state promptly either way).
+func smokeCancel(client *http.Client, base string) (bool, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"alg":"route","d":3,"n":32,"seed":7}`))
+	if err != nil {
+		return false, err
+	}
+	var st service.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return false, fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		return false, err
+	}
+	dResp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	dResp.Body.Close()
+	if dResp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("DELETE: status %d", dResp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		gResp, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return false, err
+		}
+		err = json.NewDecoder(gResp.Body).Decode(&st)
+		gResp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		switch st.Status {
+		case service.StatusCancelled:
+			return true, nil
+		case service.StatusDone:
+			return false, nil
+		case service.StatusFailed, service.StatusTimedOut:
+			return false, fmt.Errorf("cancelled job ended %s: %s", st.Status, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return false, fmt.Errorf("job %s still %s 30s after DELETE", st.ID, st.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // smokeJob submits the reference spec with ?wait=1 and checks the

@@ -69,6 +69,14 @@ type FaultOpts struct {
 	Patience   int  // see engine.RouteOpts.Patience
 	NoProgress int  // see engine.RouteOpts.NoProgress
 	Paranoid   bool // per-step engine invariant checking
+
+	// Cancel, if non-nil, cooperatively cancels the run: routing phases
+	// stop at the next step boundary, the pipeline stops at the next
+	// phase boundary, and the algorithm returns its partial result with
+	// an error satisfying errors.Is(err, engine.ErrCancelled). The
+	// service layer wires a job context's Done channel here to implement
+	// deadlines and DELETE /v1/jobs/{id}.
+	Cancel <-chan struct{}
 }
 
 // RouteOpts returns the engine options shared by every routing phase of
@@ -79,6 +87,7 @@ func (f FaultOpts) RouteOpts() engine.RouteOpts {
 		Patience:   f.Patience,
 		NoProgress: f.NoProgress,
 		Paranoid:   f.Paranoid,
+		Cancel:     f.Cancel,
 	}
 }
 

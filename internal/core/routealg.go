@@ -149,7 +149,28 @@ func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 		return bs.MaxProcDist(x, z) <= limit(pnu) && bs.MaxProcDist(z, y) <= limit(pnu)
 	}
 	slotCounter := make([]int, B)
+	// The assignment below is O(packets * blocks) in the worst case —
+	// minutes of CPU on the largest admissible meshes — and runs outside
+	// the engine's step loop, so it polls the cancellation hook itself:
+	// without this, a deadline or DELETE would go unnoticed until the
+	// first routing phase starts.
+	const cancelPollStride = 512
+	cancelled := func() bool {
+		if cfg.Cancel == nil {
+			return false
+		}
+		select {
+		case <-cfg.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
 	for i, p := range pkts {
+		if i%cancelPollStride == 0 && cancelled() {
+			res.fromTotals(runner.Totals())
+			return res, fmt.Errorf("core: two-phase routing: %w during intermediate assignment", engine.ErrCancelled)
+		}
 		x := bs.BlockOf(prob.Src[i])
 		y := bs.BlockOf(prob.Dst[i])
 		key := x*B + y

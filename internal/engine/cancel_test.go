@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/xmath"
+)
+
+// TestCancelStopsAtStepBoundary cancels a routing phase from OnStep and
+// checks the contract: the phase stops at the next step boundary with a
+// *CancelledError, the partial result counts the completed steps, and
+// the network is left consistent enough to finish the job with a second
+// Route call.
+func TestCancelStopsAtStepBoundary(t *testing.T) {
+	s := grid.New(2, 16)
+	net := New(s)
+	rng := xmath.NewRNG(7)
+	dsts := rng.Perm(s.N())
+	pkts := make([]*Packet, s.N())
+	activated := 0 // fixed points of the permutation never activate
+	for r := range pkts {
+		p := net.NewPacket(int64(r), r)
+		p.Dst = dsts[r]
+		pkts[r] = p
+		if dsts[r] != r {
+			activated++
+		}
+	}
+	net.Inject(pkts)
+
+	cancel := make(chan struct{})
+	const stopAt = 3
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{
+		Cancel: cancel,
+		OnStep: func(step int) {
+			if step == stopAt {
+				close(cancel)
+			}
+		},
+	})
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelledError, got %v", err)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("errors.Is(err, ErrCancelled) = false for %v", err)
+	}
+	if res.Steps != stopAt || ce.Steps != stopAt {
+		t.Errorf("cancelled at step %d, want %d (error says %d)", res.Steps, stopAt, ce.Steps)
+	}
+	if ce.Undelivered == 0 {
+		t.Errorf("cancel after %d steps on a %d-packet permutation reports 0 undelivered", stopAt, s.N())
+	}
+	if ce.Undelivered+res.Delivered != activated {
+		t.Errorf("undelivered %d + delivered %d != %d activated packets", ce.Undelivered, res.Delivered, activated)
+	}
+
+	// The network must be reusable: a fresh Route finishes the job.
+	res2, err := net.Route(greedyTestPolicy{s}, RouteOpts{})
+	if err != nil {
+		t.Fatalf("route after cancel: %v", err)
+	}
+	if res2.Delivered != ce.Undelivered {
+		t.Errorf("second route delivered %d, want the %d survivors", res2.Delivered, ce.Undelivered)
+	}
+	for r := 0; r < s.N(); r++ {
+		if len(net.Held(r)) != 1 {
+			t.Fatalf("rank %d holds %d packets after finishing the cancelled route", r, len(net.Held(r)))
+		}
+	}
+}
+
+// TestCancelAlreadyClosed checks that a phase whose cancel channel is
+// closed on entry yields before the first step.
+func TestCancelAlreadyClosed(t *testing.T) {
+	s := grid.New(2, 8)
+	net := New(s)
+	p := net.NewPacket(0, 0)
+	p.Dst = s.N() - 1
+	net.Inject([]*Packet{p})
+
+	cancel := make(chan struct{})
+	close(cancel)
+	res, err := net.Route(greedyTestPolicy{s}, RouteOpts{Cancel: cancel})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if res.Steps != 0 || res.Delivered != 0 {
+		t.Errorf("pre-closed cancel ran %d steps, delivered %d; want 0/0", res.Steps, res.Delivered)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"meshsort/internal/grid"
@@ -238,6 +239,31 @@ func (d PacketDiag) String() string {
 	return fmt.Sprintf("packet %d at rank %d: %d hops from destination %d after %d steps without progress (wants links %v, blocked %v)",
 		d.ID, d.Rank, d.Dist, d.Dst, d.Waited, d.Wants, d.Blocked)
 }
+
+// ErrCancelled is the sentinel every cooperative-cancellation error
+// wraps (errors.Is works across the engine, pipeline, and service
+// layers). A cancelled phase is not a network failure: the partial
+// RouteResult is valid and the network is quiescent, exactly as for a
+// *DegradedError abort.
+var ErrCancelled = errors.New("engine: routing cancelled")
+
+// CancelledError reports a routing phase stopped at a step boundary
+// because RouteOpts.Cancel fired. Unlike DegradedError it carries no
+// stuck-packet snapshot: cancellation is latency-sensitive (a caller is
+// waiting for the phase to yield), so the phase returns without the
+// O(N) diagnostic scan.
+type CancelledError struct {
+	Steps       int // steps the phase completed before the cancel
+	Undelivered int // packets still moving at cancel time
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("engine: routing cancelled after %d steps (%d packets undelivered)", e.Steps, e.Undelivered)
+}
+
+// Unwrap makes errors.Is(err, ErrCancelled) hold.
+func (e *CancelledError) Unwrap() error { return ErrCancelled }
 
 // DegradedError reports a routing phase that ended abnormally — the
 // no-progress watchdog fired or MaxSteps was exceeded — together with a

@@ -540,6 +540,16 @@ type RouteOpts struct {
 	// equal to its true distance. A violation aborts the phase with an
 	// error. Costs a full network scan per step; off by default.
 	Paranoid bool
+
+	// Cancel, if non-nil, is the cooperative cancellation hook: the step
+	// loop polls it (non-blocking) at every step boundary and, once the
+	// channel is closed, stops with a partial RouteResult and a
+	// *CancelledError (errors.Is(err, ErrCancelled)). The network is left
+	// quiescent and consistent, but marked dirty like any abnormal end,
+	// so the next phase on it pays one clean-sweep pass. Cancellation
+	// latency is therefore bounded by one simulated step. Typically wired
+	// to a context.Context's Done channel by the service layer.
+	Cancel <-chan struct{}
 }
 
 // RouteResult reports the outcome of a routing phase.
@@ -690,12 +700,19 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	totalTogo := int64(0) // remaining distance over all active packets
 	for r := range n.procs {
 		pr := &n.procs[r]
-		// Entries that survived a degraded abort keep routing this phase,
-		// but their cached links were resolved by the previous phase's
-		// policy — invalidate them (normally the queues are empty and
-		// this loop does not run).
+		// Entries that survived a degraded abort (or a cancel) keep routing
+		// this phase, but their cached links were resolved by the previous
+		// phase's policy — invalidate them, and count them as active so the
+		// step loop does not terminate before they are delivered (normally
+		// the queues are empty and this loop does not run).
 		for qi := range pr.moving {
 			pr.moving[qi].link = linkUnknown
+			togo := pr.moving[qi].togo
+			totalTogo += int64(togo)
+			if int(togo) > res.MaxDist {
+				res.MaxDist = int(togo)
+			}
+			active++
 		}
 		kept := pr.held[:0]
 		for _, id := range pr.held {
@@ -767,6 +784,20 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	lastImprove := 0
 	start := time.Now()
 	for active > 0 {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				// Cancellation is latency-sensitive: skip the stuckSnapshot
+				// diagnostic scan abort would pay and return immediately.
+				// The network stays consistent (between steps); dirty makes
+				// the next phase clean-sweep the survivors.
+				res.Elapsed = time.Since(start)
+				res.WorkerBusy = st.busyTotal()
+				st.dirty = true
+				return res, &CancelledError{Steps: res.Steps, Undelivered: active}
+			default:
+			}
+		}
 		if res.Steps >= maxSteps {
 			return st.abort(res, start, active, fmt.Sprintf("exceeded %d steps", maxSteps))
 		}

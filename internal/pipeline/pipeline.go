@@ -256,8 +256,22 @@ func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
 // aborts the program; the error is wrapped with the phase name and the
 // totals keep the completed prefix's stats (plus the aborted phase's
 // clock in TotalSteps).
+//
+// When cfg.Route.Cancel is set, Run also polls it between phases, so a
+// program whose remaining phases are all local/oracle work still yields:
+// Route phases cancel at step boundaries inside the engine, everything
+// else at the next phase boundary. A cancelled run returns an error
+// satisfying errors.Is(err, engine.ErrCancelled) and the totals keep the
+// completed prefix, exactly as for any other mid-program error.
 func (r *Runner) Run(prog ...Phase) error {
 	for _, ph := range prog {
+		if c := r.cfg.Route.Cancel; c != nil {
+			select {
+			case <-c:
+				return fmt.Errorf("pipeline: %w at a phase boundary", engine.ErrCancelled)
+			default:
+			}
+		}
 		if err := ph.run(r); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"meshsort/internal/core"
@@ -19,8 +20,12 @@ type program struct {
 	// run executes the simulation on the given warm runner, which the
 	// scheduler has leased for the job's shape. The runner's engine pool
 	// is threaded through so every routing phase shares the slot's
-	// persistent workers.
-	run func(runner *pipeline.Runner, pool *engine.Pool) (Result, error)
+	// persistent workers. The context's Done channel is wired into the
+	// engine's cooperative cancellation hook: on cancellation or deadline
+	// the run stops at the next step/phase boundary and returns the
+	// partial Result encoded so far alongside the error — timed-out jobs
+	// report what they measured instead of vanishing.
+	run func(ctx context.Context, runner *pipeline.Runner, pool *engine.Pool) (Result, error)
 }
 
 // compile translates a canonical spec into an executable program. The
@@ -28,8 +33,8 @@ type program struct {
 // invariants and only algorithm dispatch can fail.
 func compile(spec JobSpec) (program, error) {
 	shape := spec.Shape()
-	faultOpts := func() core.FaultOpts {
-		fo := core.FaultOpts{Patience: spec.Patience}
+	faultOpts := func(ctx context.Context) core.FaultOpts {
+		fo := core.FaultOpts{Patience: spec.Patience, Cancel: ctx.Done()}
 		if spec.Faults > 0 {
 			fo.Faults = engine.RandomFaultPlan(shape, spec.Faults, spec.FaultSeed)
 		}
@@ -44,43 +49,37 @@ func compile(spec JobSpec) (program, error) {
 			AlgTorusSort: core.TorusSort,
 			AlgFull:      core.FullSort,
 		}[spec.Alg]
-		return program{spec: spec, run: func(runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
+		return program{spec: spec, run: func(ctx context.Context, runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
 			cfg := core.Config{
 				Shape: shape, BlockSide: spec.B, K: spec.K, Seed: spec.Seed,
-				Pool: pool, Runner: runner, FaultOpts: faultOpts(),
+				Pool: pool, Runner: runner, FaultOpts: faultOpts(ctx),
 			}
 			// The key generation matches cmd/meshsort: keys are seeded by
 			// Seed+1 so the same spec reproduces the same CLI run.
 			keys := core.RandomKeys(shape, spec.K, spec.Seed+1)
+			// The partial result is returned even on error: the core
+			// algorithms populate the phase prefix and clock before
+			// reporting cancellation or degradation.
 			if spec.Alg == AlgSelect {
 				res, err := core.Select(cfg, keys, spec.Target)
-				if err != nil {
-					return Result{}, err
-				}
-				return FromSelect(res, shape), nil
+				return FromSelect(res, shape), err
 			}
 			res, err := sortAlg(cfg, keys)
-			if err != nil {
-				return Result{}, err
-			}
-			return FromSort(res), nil
+			return FromSort(res), err
 		}}, nil
 
 	case AlgRoute:
-		return program{spec: spec, run: func(runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
+		return program{spec: spec, run: func(ctx context.Context, runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
 			prob, err := permProblem(spec)
 			if err != nil {
 				return Result{}, err
 			}
 			cfg := core.RouteConfig{
 				Shape: shape, BlockSide: spec.B, Seed: spec.Seed,
-				Pool: pool, Runner: runner, FaultOpts: faultOpts(),
+				Pool: pool, Runner: runner, FaultOpts: faultOpts(ctx),
 			}
 			res, err := core.TwoPhaseRoute(cfg, prob)
-			if err != nil {
-				return Result{}, err
-			}
-			return FromRouteAlg(res, shape), nil
+			return FromRouteAlg(res, shape), err
 		}}, nil
 	}
 	return program{}, fmt.Errorf("service: unknown alg %q", spec.Alg)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // maxSpecBody bounds POST bodies; a JobSpec is a few hundred bytes.
@@ -12,19 +13,31 @@ const maxSpecBody = 1 << 16
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs        submit a JobSpec (JSON body). 200 with the
+//	POST   /v1/jobs      submit a JobSpec (JSON body). 200 with the
 //	                     terminal JobStatus on a cache hit, 202 with the
 //	                     queued JobStatus otherwise; ?wait=1 blocks until
 //	                     the job is terminal and returns 200. 400 for an
-//	                     invalid spec, 429 when the admission queue is
-//	                     full, 503 while draining.
-//	GET  /v1/jobs/{id}   the job's JobStatus; 404 for unknown IDs.
-//	GET  /healthz        liveness.
-//	GET  /metrics        Metrics JSON (pool, queue, and cache counters).
+//	                     invalid spec, 429 with a computed Retry-After
+//	                     when the admission queue or the tenant's quota
+//	                     is full, 503 while draining. The X-Tenant header
+//	                     names the billing tenant (default "default");
+//	                     X-Priority: high queues on the priority lane.
+//	GET    /v1/jobs/{id} the job's JobStatus; 404 for unknown IDs.
+//	DELETE /v1/jobs/{id} cancel the job: queued jobs go terminal
+//	                     immediately, running jobs stop cooperatively at
+//	                     the next step boundary and report their partial
+//	                     result. Returns the JobStatus as of the request;
+//	                     poll GET for the terminal state. 404 for
+//	                     unknown IDs; cancelling a terminal job is a
+//	                     no-op 200.
+//	GET    /healthz      liveness.
+//	GET    /metrics      Metrics JSON (pool, queue, cache, journal,
+//	                     quota, and failure counters).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -44,14 +57,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.Submit(spec)
+	job, err := s.SubmitWith(spec, SubmitOpts{
+		Tenant:   r.Header.Get("X-Tenant"),
+		Priority: r.Header.Get("X-Priority"),
+	})
 	if err != nil {
 		var se *SpecError
 		switch {
 		case errors.As(err, &se):
 			writeError(w, http.StatusBadRequest, err)
-		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQuota):
+			// Honest backoff hint: expected seconds until a slot opens,
+			// from the live backlog and the recent per-job service time.
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -72,7 +90,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	st := job.Snapshot()
 	code := http.StatusAccepted
-	if st.Status == StatusDone || st.Status == StatusFailed {
+	if terminalStatus(st.Status) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
@@ -80,6 +98,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
 		return

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func jsonDecode(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestHTTPDelete: DELETE /v1/jobs/{id} cancels a running job, which
+// goes terminal (cancelled) shortly after; unknown IDs are 404.
+func TestHTTPDelete(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1})
+	gate := make(chan struct{})
+	released := false
+	s.beforeRun = func(j *Job, slot *runnerSlot) { <-gate }
+	defer func() {
+		if !released {
+			close(gate)
+		}
+		s.Close()
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, st := postJob(t, ts, `{"alg":"simple","d":2,"n":8,"seed":1}`, false)
+	job, _ := s.Job(st.ID)
+	for job.Snapshot().Status == StatusQueued {
+		runtime.Gosched()
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d, want 200", resp.StatusCode)
+	}
+	close(gate)
+	released = true
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("deleted job never went terminal")
+	}
+	// The job was gated in beforeRun, so the closed context stops it at
+	// the engine's first step boundary: terminal cancelled.
+	if got := job.Snapshot().Status; got != StatusCancelled {
+		t.Errorf("status after DELETE = %s, want %s", got, StatusCancelled)
+	}
+
+	req404, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j-999999", nil)
+	resp404, err := http.DefaultClient.Do(req404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown: status %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestHTTPRetryAfterComputed: the 429 Retry-After header reflects the
+// actual backlog and service rate instead of the old hard-coded "1".
+func TestHTTPRetryAfterComputed(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1, QueueDepth: 4, CacheCapacity: -1})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *Job, slot *runnerSlot) { <-gate }
+	defer func() { s.Close() }()
+	// Teach the rate estimator that jobs are slow, as a string of heavy
+	// completed jobs would.
+	for i := 0; i < 8; i++ {
+		s.rate.observe(10 * time.Second)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp1, st1 := postJob(t, ts, `{"alg":"simple","d":2,"n":8,"seed":1}`, false)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST: %d", resp1.StatusCode)
+	}
+	j1, _ := s.Job(st1.ID)
+	for j1.Snapshot().Status == StatusQueued {
+		runtime.Gosched()
+	}
+	for i := 0; i < 4; i++ { // fill the normal lane
+		body := `{"alg":"simple","d":2,"n":8,"seed":` + strconv.Itoa(i+2) + `}`
+		if resp, _ := postJob(t, ts, body, false); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("backlog POST %d: %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := postJob(t, ts, `{"alg":"simple","d":2,"n":8,"seed":99}`, false)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue POST: %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// 4 queued jobs over 1 runner at ~10s each: the honest hint is tens
+	// of seconds. The regression this pins: the old code always said 1.
+	if ra <= 1 {
+		t.Errorf("Retry-After = %d with a 4-deep backlog of 10s jobs; hard-coded hint regressed", ra)
+	}
+	close(gate)
+}
+
+// TestHTTPTenantHeaders: X-Tenant routes quota accounting and shows up
+// in the job status; a tenant at its cap gets 429 with Retry-After.
+func TestHTTPTenantHeaders(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1, QueueDepth: 8, TenantInFlight: 1})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *Job, slot *runnerSlot) { <-gate }
+	defer func() { s.Close() }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(tenant, body string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("acme", `{"alg":"simple","d":2,"n":8,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("acme POST: %d", resp.StatusCode)
+	}
+	resp := post("acme", `{"alg":"simple","d":2,"n":8,"seed":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("acme over quota: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("quota 429 without Retry-After")
+	}
+	if resp := post("globex", `{"alg":"simple","d":2,"n":8,"seed":3}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("globex POST blocked by acme quota: %d", resp.StatusCode)
+	}
+	close(gate)
+}
+
+// TestHTTPPriorityHeader: X-Priority: high is accepted and recorded;
+// garbage is a 400.
+func TestHTTPPriorityHeader(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=1", strings.NewReader(`{"alg":"simple","d":2,"n":8}`))
+	req.Header.Set("X-Priority", "high")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("high-priority POST: %d", resp.StatusCode)
+	}
+	if err := jsonDecode(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Priority != PriorityHigh {
+		t.Errorf("priority = %q, want %q", st.Priority, PriorityHigh)
+	}
+
+	bad, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(`{"alg":"simple","d":2,"n":8}`))
+	bad.Header.Set("X-Priority", "urgent")
+	badResp, err := http.DefaultClient.Do(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown priority: %d, want 400", badResp.StatusCode)
+	}
+}
+
+// TestHTTPTimedOutReported: a timed-out job answers GET with the
+// timed-out status (200 — terminal states are successes of the query,
+// not of the job).
+func TestHTTPTimedOutReported(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1, QueueDepth: 4})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *Job, slot *runnerSlot) { <-gate }
+	defer func() { s.Close() }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, blocking := postJob(t, ts, `{"alg":"simple","d":2,"n":8,"seed":1}`, false)
+	jb, _ := s.Job(blocking.ID)
+	for jb.Snapshot().Status == StatusQueued {
+		runtime.Gosched()
+	}
+	_, doomed := postJob(t, ts, `{"alg":"simple","d":2,"n":8,"seed":2,"deadline_ms":20}`, false)
+	jd, _ := s.Job(doomed.ID)
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	select {
+	case <-jd.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadline job never terminal")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doomed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := jsonDecode(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.Status != StatusTimedOut {
+		t.Errorf("GET timed-out job: code=%d status=%s", resp.StatusCode, st.Status)
+	}
+}

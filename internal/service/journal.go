@@ -1,0 +1,267 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Journal fsync policies (Options.JournalFsync). The journal is an
+// append-only JSONL file; the policy decides when appended records are
+// forced to disk:
+//
+//   - FsyncAlways syncs after every record: no acknowledged record is
+//     ever lost, at the cost of one fsync per job transition (submits
+//     serialize on the disk, since admission holds the service lock).
+//   - FsyncInterval (the default) syncs at most once per
+//     journalSyncInterval and on Close: a crash loses at most the last
+//     interval's records, admission stays memory-speed.
+//   - FsyncNone never syncs: the OS page cache decides. A process crash
+//     (panic, SIGKILL) loses nothing — the data is in kernel buffers —
+//     but a machine crash can lose everything since the last writeback.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNone     = "none"
+)
+
+// journalSyncInterval is the FsyncInterval flush cadence.
+const journalSyncInterval = 100 * time.Millisecond
+
+// Journal ops, one per job-lifecycle transition. Terminal ops reuse the
+// job status strings, so a record's op is exactly the status the job
+// entered.
+const (
+	opSubmit  = "submit"
+	opRunning = "running"
+)
+
+// journalRecord is one JSONL line of the job journal. A job's history is
+// its submit record (spec, tenant, priority), an optional running
+// record, and one terminal record carrying the outcome.
+type journalRecord struct {
+	Op       string   `json:"op"`
+	ID       string   `json:"id"`
+	Tenant   string   `json:"tenant,omitempty"`
+	Priority string   `json:"priority,omitempty"`
+	Spec     *JobSpec `json:"spec,omitempty"` // submit records only
+	CacheHit bool     `json:"cacheHit,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Result   *Result  `json:"result,omitempty"`
+}
+
+func (r journalRecord) valid() bool {
+	switch r.Op {
+	case opSubmit:
+		return r.ID != "" && r.Spec != nil
+	case opRunning, StatusDone, StatusFailed, StatusCancelled, StatusTimedOut:
+		return r.ID != ""
+	}
+	return false
+}
+
+// replayedJob is one job's state reconstructed from the journal at open
+// time, in first-submit order.
+type replayedJob struct {
+	ID       string
+	Spec     JobSpec
+	Tenant   string
+	Priority string
+	Status   string // StatusQueued/StatusRunning, or a terminal status
+	CacheHit bool
+	Error    string
+	Result   *Result
+}
+
+// journal is the durable append-only job log. All methods are safe on a
+// nil receiver (journalling disabled), so callers append unconditionally.
+// It has its own lock: appends from workers never contend on the service
+// admission lock, and per-job record order is guaranteed by program
+// order (a job's submit record is appended before the job becomes
+// visible to any worker).
+type journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	policy   string
+	lastSync time.Time
+
+	records atomic.Uint64 // appended by this process
+	fsyncs  atomic.Uint64
+	errs    atomic.Uint64 // write/sync failures (journalling is best-effort once the disk fails)
+
+	replayed  uint64 // records recovered at open
+	truncated int64  // garbage-tail bytes discarded at open
+}
+
+// openJournal opens (or creates) the journal at path, replays every
+// intact record, truncates any corrupted tail — a crash mid-append
+// leaves at most one partial line — and returns the journal positioned
+// for appending plus the replayed jobs in first-submit order.
+func openJournal(path, policy string) (*journal, []replayedJob, error) {
+	switch policy {
+	case "":
+		policy = FsyncInterval
+	case FsyncAlways, FsyncInterval, FsyncNone:
+	default:
+		return nil, nil, fmt.Errorf("service: unknown journal fsync policy %q (want %s|%s|%s)",
+			policy, FsyncAlways, FsyncInterval, FsyncNone)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	j := &journal{f: f, policy: policy, lastSync: time.Now()}
+
+	// Replay: scan line by line, applying records until the first one
+	// that does not parse as a complete, valid record. Everything from
+	// there on is a torn write or garbage — truncate it away.
+	byID := make(map[string]*replayedJob)
+	var order []string // first-submit order of IDs
+	r := bufio.NewReaderSize(f, 1<<16)
+	var good int64 // offset one past the last intact record
+	for {
+		line, err := r.ReadBytes('\n')
+		complete := err == nil
+		if err != nil && err != io.EOF {
+			f.Close()
+			return nil, nil, fmt.Errorf("service: read journal: %w", err)
+		}
+		if len(line) > 0 {
+			var rec journalRecord
+			if jerr := json.Unmarshal(line, &rec); jerr != nil || !rec.valid() {
+				break // corrupted tail starts here
+			}
+			j.replayed++
+			switch rec.Op {
+			case opSubmit:
+				if _, dup := byID[rec.ID]; !dup {
+					byID[rec.ID] = &replayedJob{
+						ID: rec.ID, Spec: *rec.Spec, Tenant: rec.Tenant,
+						Priority: rec.Priority, Status: StatusQueued,
+					}
+					order = append(order, rec.ID)
+				}
+			case opRunning:
+				if rj := byID[rec.ID]; rj != nil && !terminalStatus(rj.Status) {
+					rj.Status = StatusRunning
+				}
+			default: // terminal
+				if rj := byID[rec.ID]; rj != nil && !terminalStatus(rj.Status) {
+					rj.Status = rec.Op
+					rj.CacheHit = rec.CacheHit
+					rj.Error = rec.Error
+					rj.Result = rec.Result
+				}
+			}
+			good += int64(len(line))
+		}
+		if !complete {
+			break
+		}
+	}
+	if end, serr := f.Seek(0, io.SeekEnd); serr == nil && end > good {
+		j.truncated = end - good
+		if terr := f.Truncate(good); terr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("service: truncate corrupted journal tail: %w", terr)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("service: seek journal: %w", err)
+	}
+	j.w = bufio.NewWriter(f)
+	out := make([]replayedJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return j, out, nil
+}
+
+// append writes one record and applies the fsync policy. Best-effort: a
+// failing disk increments the error counter instead of failing jobs —
+// the journal is a recovery aid, not a correctness dependency.
+func (j *journal) append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		j.errs.Add(1)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	buf = append(buf, '\n')
+	if _, err := j.w.Write(buf); err != nil {
+		j.errs.Add(1)
+		return
+	}
+	if err := j.w.Flush(); err != nil {
+		j.errs.Add(1)
+		return
+	}
+	j.records.Add(1)
+	switch j.policy {
+	case FsyncAlways:
+		j.sync()
+	case FsyncInterval:
+		if time.Since(j.lastSync) >= journalSyncInterval {
+			j.sync()
+		}
+	}
+}
+
+// sync forces the file to disk. Caller holds j.mu.
+func (j *journal) sync() {
+	if err := j.f.Sync(); err != nil {
+		j.errs.Add(1)
+		return
+	}
+	j.fsyncs.Add(1)
+	j.lastSync = time.Now()
+}
+
+// close flushes, syncs, and closes the journal file.
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.errs.Add(1)
+	}
+	j.sync()
+	j.f.Close()
+}
+
+// JournalMetrics is the journal slice of the /metrics snapshot.
+type JournalMetrics struct {
+	Enabled        bool   `json:"enabled"`
+	Records        uint64 `json:"records"`  // appended by this process
+	Replayed       uint64 `json:"replayed"` // recovered at startup
+	Fsyncs         uint64 `json:"fsyncs"`
+	Errors         uint64 `json:"errors,omitempty"`
+	TruncatedBytes int64  `json:"truncatedBytes,omitempty"` // corrupted tail discarded at startup
+}
+
+func (j *journal) metrics() JournalMetrics {
+	if j == nil {
+		return JournalMetrics{}
+	}
+	return JournalMetrics{
+		Enabled:        true,
+		Records:        j.records.Load(),
+		Replayed:       j.replayed,
+		Fsyncs:         j.fsyncs.Load(),
+		Errors:         j.errs.Load(),
+		TruncatedBytes: j.truncated,
+	}
+}

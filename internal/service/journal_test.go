@@ -1,0 +1,237 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journaledService opens a service whose journal lives in a temp dir
+// and returns the journal path alongside it.
+func journaledService(t *testing.T, opts Options) (*Service, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	opts.JournalPath = path
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+// TestJournalSurvivesRestart: results of jobs completed before a clean
+// shutdown are retrievable by ID after reopening, and the cache is
+// re-warmed from the journal (a repeated spec is a hit, not a rerun).
+func TestJournalSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	spec := JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 7}
+
+	s1, err := Open(Options{Runners: 1, WorkersPerRunner: 1, JournalPath: path, JournalFsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, job)
+	s1.Close()
+
+	s2, err := Open(Options{Runners: 1, WorkersPerRunner: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	replayed, ok := s2.Job(job.ID)
+	if !ok {
+		t.Fatalf("job %s not retrievable after restart", job.ID)
+	}
+	rst := replayed.Snapshot()
+	if rst.Status != StatusDone || rst.Result == nil {
+		t.Fatalf("replayed job: status=%s result=%v", rst.Status, rst.Result != nil)
+	}
+	if rst.Result.KeySum != st.Result.KeySum {
+		t.Errorf("replayed keySum = %s, want %s", rst.Result.KeySum, st.Result.KeySum)
+	}
+	if jm := s2.Metrics().Journal; !jm.Enabled || jm.Replayed == 0 {
+		t.Errorf("journal metrics after replay: %+v", jm)
+	}
+
+	// The cache was re-warmed: the same spec is a hit without simulating.
+	again, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast := waitDone(t, again); !ast.CacheHit {
+		t.Error("repeated spec after restart was not a cache hit")
+	}
+	if sims := s2.Metrics().Simulations; sims != 0 {
+		t.Errorf("simulations after restart = %d, want 0 (cache-warmed)", sims)
+	}
+	// The ID sequence continues past the replayed jobs.
+	if again.ID == job.ID {
+		t.Errorf("new job reused replayed ID %s", job.ID)
+	}
+}
+
+// TestJournalReplayRequeuesInterrupted: a journal whose jobs never
+// reached a terminal record (submitted, or submitted+running, at crash
+// time) re-queues them on open, and they run to completion.
+func TestJournalReplayRequeuesInterrupted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	lines := []string{
+		`{"op":"submit","id":"j-000001","tenant":"default","priority":"normal","spec":{"alg":"simple","d":2,"n":8,"b":4,"k":1,"indexing":"blocked-snake","seed":5}}`,
+		`{"op":"submit","id":"j-000002","tenant":"acme","priority":"high","spec":{"alg":"simple","d":2,"n":8,"b":4,"k":1,"indexing":"blocked-snake","seed":6}}`,
+		`{"op":"running","id":"j-000002"}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(Options{Runners: 1, WorkersPerRunner: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, id := range []string{"j-000001", "j-000002"} {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("interrupted job %s not replayed", id)
+		}
+		st := waitDone(t, j)
+		if st.Status != StatusDone {
+			t.Errorf("re-queued job %s: status %s (%s)", id, st.Status, st.Error)
+		}
+	}
+	if j, _ := s.Job("j-000002"); j.Tenant != "acme" || j.Priority != PriorityHigh {
+		t.Errorf("replayed tenant/priority = %s/%s, want acme/high", j.Tenant, j.Priority)
+	}
+	// The sequence continues past the highest replayed ID.
+	next, err := s.Submit(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "j-000003" {
+		t.Errorf("next ID after replaying j-000002 = %s, want j-000003", next.ID)
+	}
+}
+
+// TestJournalTruncatesCorruptTail: a torn write (crash mid-append)
+// leaves a partial line; open truncates it away, keeps every intact
+// record, and appends cleanly from there.
+func TestJournalTruncatesCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	intact := `{"op":"submit","id":"j-000001","spec":{"alg":"simple","d":2,"n":8,"b":4,"k":1,"indexing":"blocked-snake","seed":5}}` + "\n" +
+		`{"op":"done","id":"j-000001","result":{"algorithm":"simple","shape":"2d-mesh(n=8)","processors":64,"diameter":14,"delivered":true,"sorted":true,"bound":1,"totalSteps":1,"routeSteps":1,"oracleSteps":0,"maxQueue":1,"phases":[]}}` + "\n"
+	garbage := `{"op":"done","id":"j-0000` // torn mid-record, no newline
+	if err := os.WriteFile(path, []byte(intact+garbage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, jobs, err := openJournal(path, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.truncated != int64(len(garbage)) {
+		t.Errorf("truncated %d bytes, want %d", j.truncated, len(garbage))
+	}
+	if len(jobs) != 1 || jobs[0].Status != StatusDone || jobs[0].Result == nil {
+		t.Fatalf("replayed jobs: %+v", jobs)
+	}
+	// Appending after truncation lands on a clean record boundary.
+	j.append(journalRecord{Op: opRunning, ID: "j-000002"})
+	j.close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "{\"op\":\"running\",\"id\":\"j-000002\"}\n") {
+		t.Errorf("journal tail after truncate+append:\n%s", data)
+	}
+	if strings.Contains(string(data), "j-0000\n") {
+		t.Error("garbage survived truncation")
+	}
+}
+
+// TestJournalGarbageMiddleStopsReplay: replay is prefix-only — a
+// corrupted record in the middle discards it and everything after it
+// (the suffix cannot be trusted), without failing the open.
+func TestJournalGarbageMiddleStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	lines := `{"op":"submit","id":"j-000001","spec":{"alg":"simple","d":2,"n":8,"b":4,"k":1,"indexing":"blocked-snake","seed":5}}` + "\n" +
+		"not json at all\n" +
+		`{"op":"submit","id":"j-000002","spec":{"alg":"simple","d":2,"n":8,"b":4,"k":1,"indexing":"blocked-snake","seed":6}}` + "\n"
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, jobs, err := openJournal(path, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if len(jobs) != 1 || jobs[0].ID != "j-000001" {
+		t.Fatalf("replayed %d jobs (%+v), want only the pre-garbage prefix", len(jobs), jobs)
+	}
+	if j.truncated == 0 {
+		t.Error("corrupted middle not counted as truncated")
+	}
+}
+
+// TestJournalUnknownPolicy: a bad fsync policy fails Open loudly
+// instead of silently defaulting.
+func TestJournalUnknownPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	if _, err := Open(Options{JournalPath: path, JournalFsync: "sometimes"}); err == nil {
+		t.Fatal("unknown fsync policy accepted")
+	}
+}
+
+// TestJournalDisabledIsNilSafe: without a JournalPath every journal
+// call is a no-op and metrics report disabled.
+func TestJournalDisabledIsNilSafe(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1})
+	defer s.Close()
+	j, err := s.Submit(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if jm := s.Metrics().Journal; jm.Enabled || jm.Records != 0 {
+		t.Errorf("journal metrics with journalling disabled: %+v", jm)
+	}
+}
+
+// TestJournalRecordPerTransition: a submit, a running, and a terminal
+// record per executed job, in order.
+func TestJournalRecordPerTransition(t *testing.T) {
+	s, path := journaledService(t, Options{Runners: 1, WorkersPerRunner: 1})
+	job, err := s.Submit(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		fmt.Sprintf(`"op":"submit","id":"%s"`, job.ID),
+		fmt.Sprintf(`"op":"running","id":"%s"`, job.ID),
+		fmt.Sprintf(`"op":"done","id":"%s"`, job.ID),
+	}
+	text := string(data)
+	pos := 0
+	for _, frag := range want {
+		i := strings.Index(text[pos:], frag)
+		if i < 0 {
+			t.Fatalf("journal missing %q after offset %d:\n%s", frag, pos, text)
+		}
+		pos += i
+	}
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant that jobs without an explicit tenant (no
+// X-Tenant header, zero SubmitOpts) bill against.
+const DefaultTenant = "default"
+
+// Admission priorities (SubmitOpts.Priority, X-Priority header). High
+// jobs go to a separate, smaller lane that workers always drain first;
+// both lanes are bounded, so priority changes ordering, never capacity.
+const (
+	PriorityNormal = "normal"
+	PriorityHigh   = "high"
+)
+
+// ErrQuota: the tenant's in-flight cap is reached. Like ErrOverloaded it
+// maps to HTTP 429 with an honest Retry-After, but it blames one tenant,
+// not the queue — other tenants are still being admitted.
+var ErrQuota = errors.New("service: tenant in-flight quota reached")
+
+// tenantState tracks one tenant's admission accounting.
+type tenantState struct {
+	inFlight int // jobs admitted and not yet terminal
+	admitted uint64
+	rejected uint64
+}
+
+// quotas enforces the per-tenant in-flight cap. In-flight counts every
+// non-terminal admitted job (queued or running): a tenant at its cap is
+// rejected with ErrQuota until one of its jobs finishes, so no tenant
+// can occupy the whole bounded queue.
+type quotas struct {
+	limit int // per-tenant in-flight cap; <= 0 means unlimited
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+func newQuotas(limit int) *quotas {
+	return &quotas{limit: limit, tenants: make(map[string]*tenantState)}
+}
+
+func (q *quotas) state(tenant string) *tenantState {
+	t := q.tenants[tenant]
+	if t == nil {
+		t = &tenantState{}
+		q.tenants[tenant] = t
+	}
+	return t
+}
+
+// admit reserves one in-flight slot for the tenant, or rejects with
+// ErrQuota at the cap.
+func (q *quotas) admit(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.state(tenant)
+	if q.limit > 0 && t.inFlight >= q.limit {
+		t.rejected++
+		return fmt.Errorf("%w (tenant %q, %d in flight)", ErrQuota, tenant, t.inFlight)
+	}
+	t.inFlight++
+	t.admitted++
+	return nil
+}
+
+// forceAdmit reserves a slot bypassing the cap: journal replay re-admits
+// interrupted jobs even for tenants that were at their cap at crash
+// time (the work was already accepted once).
+func (q *quotas) forceAdmit(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.state(tenant)
+	t.inFlight++
+	t.admitted++
+}
+
+// note counts an admission that consumes no in-flight slot (cache hits:
+// terminal before visible).
+func (q *quotas) note(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.state(tenant).admitted++
+}
+
+// release returns a tenant's in-flight slot when its job goes terminal.
+func (q *quotas) release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.state(tenant)
+	if t.inFlight > 0 {
+		t.inFlight--
+	}
+}
+
+// TenantMetrics is one tenant's slice of the /metrics snapshot.
+type TenantMetrics struct {
+	InFlight int    `json:"inFlight"`
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+func (q *quotas) snapshot() map[string]TenantMetrics {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantMetrics, len(q.tenants))
+	for name, t := range q.tenants {
+		out[name] = TenantMetrics{InFlight: t.inFlight, Admitted: t.admitted, Rejected: t.rejected}
+	}
+	return out
+}
+
+// serviceRate is an EWMA over completed jobs' run times (lease to
+// terminal, queue wait excluded): the recent service rate that makes
+// Retry-After honest. Before the first observation it reports a 250ms
+// prior — the right order of magnitude for the small interactive jobs a
+// cold server sees first, and immediately corrected by real data.
+type serviceRate struct {
+	mu  sync.Mutex
+	avg time.Duration
+}
+
+const serviceRatePrior = 250 * time.Millisecond
+
+func (e *serviceRate) observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.avg == 0 {
+		e.avg = d
+		return
+	}
+	e.avg = (3*e.avg + d) / 4
+}
+
+func (e *serviceRate) estimate() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.avg == 0 {
+		return serviceRatePrior
+	}
+	return e.avg
+}
+
+// retryAfterSeconds computes the Retry-After hint for a rejected
+// submit: the queue ahead of the caller, divided over the runner slots,
+// times the recent per-job service time — the expected wait for a slot
+// to open — rounded up to whole seconds and clamped to [1, 300]. It
+// grows with backlog by construction, which is the regression the tests
+// pin down (the old code always said "1").
+func retryAfterSeconds(queued, runners int, perJob time.Duration) int {
+	if runners < 1 {
+		runners = 1
+	}
+	wait := time.Duration(queued/runners+1) * perJob
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterGrowsWithBacklog pins the regression of the old HTTP
+// layer, which answered every 429 with "Retry-After: 1" regardless of
+// load: the hint must grow with the queue and with the per-job service
+// time, and stay clamped to sane bounds.
+func TestRetryAfterGrowsWithBacklog(t *testing.T) {
+	perJob := 2 * time.Second
+	empty := retryAfterSeconds(0, 2, perJob)
+	shallow := retryAfterSeconds(4, 2, perJob)
+	deep := retryAfterSeconds(32, 2, perJob)
+	if !(empty < shallow && shallow < deep) {
+		t.Errorf("retry-after not increasing with backlog: %d, %d, %d", empty, shallow, deep)
+	}
+	if got := retryAfterSeconds(0, 4, 10*time.Millisecond); got != 1 {
+		t.Errorf("floor: got %d, want 1", got)
+	}
+	if got := retryAfterSeconds(1<<20, 1, time.Hour); got != 300 {
+		t.Errorf("ceiling: got %d, want 300", got)
+	}
+	if got := retryAfterSeconds(5, 0, time.Second); got < 1 {
+		t.Errorf("zero runners: got %d, want >= 1", got)
+	}
+}
+
+// TestServiceRateEWMA: the estimate starts at the prior and converges
+// toward observed run times.
+func TestServiceRateEWMA(t *testing.T) {
+	var r serviceRate
+	if got := r.estimate(); got != serviceRatePrior {
+		t.Errorf("cold estimate = %v, want the %v prior", got, serviceRatePrior)
+	}
+	for i := 0; i < 20; i++ {
+		r.observe(4 * time.Second)
+	}
+	if got := r.estimate(); got < 3*time.Second {
+		t.Errorf("estimate after twenty 4s jobs = %v, want near 4s", got)
+	}
+	r.observe(-time.Second) // nonsense input is ignored
+	if got := r.estimate(); got < 3*time.Second {
+		t.Errorf("estimate corrupted by non-positive observation: %v", got)
+	}
+}
+
+// TestTenantQuota: a tenant at its in-flight cap is rejected with
+// ErrQuota while other tenants still get in, and finishing a job frees
+// the slot.
+func TestTenantQuota(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1, QueueDepth: 8, TenantInFlight: 1})
+	gate := make(chan struct{})
+	s.beforeRun = func(j *Job, slot *runnerSlot) { <-gate }
+
+	first, err := s.SubmitWith(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 1}, SubmitOpts{Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitWith(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 2}, SubmitOpts{Tenant: "acme"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("tenant at cap: got %v, want ErrQuota", err)
+	}
+	other, err := s.SubmitWith(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 3}, SubmitOpts{Tenant: "globex"})
+	if err != nil {
+		t.Fatalf("other tenant blocked by acme's quota: %v", err)
+	}
+
+	tm := s.Metrics().Tenants
+	if tm["acme"].InFlight != 1 || tm["acme"].Rejected != 1 {
+		t.Errorf("acme metrics = %+v", tm["acme"])
+	}
+	if tm["globex"].InFlight != 1 || tm["globex"].Rejected != 0 {
+		t.Errorf("globex metrics = %+v", tm["globex"])
+	}
+
+	close(gate)
+	waitDone(t, first)
+	waitDone(t, other)
+
+	// The terminal job released its slot: acme can submit again.
+	retry, err := s.SubmitWith(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 4}, SubmitOpts{Tenant: "acme"})
+	if err != nil {
+		t.Fatalf("acme still blocked after its job finished: %v", err)
+	}
+	waitDone(t, retry)
+	s.Close()
+	if tm := s.Metrics().Tenants; tm["acme"].InFlight != 0 || tm["globex"].InFlight != 0 {
+		t.Errorf("in-flight not drained: %+v", tm)
+	}
+}
+
+// TestQuotaCacheHitFree: cache hits run nothing, so they never consume
+// the tenant's in-flight budget.
+func TestQuotaCacheHitFree(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1, TenantInFlight: 1})
+	defer s.Close()
+	spec := JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 5}
+	warm, err := s.SubmitWith(spec, SubmitOpts{Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, warm)
+	for i := 0; i < 5; i++ {
+		hit, err := s.SubmitWith(spec, SubmitOpts{Tenant: "acme"})
+		if err != nil {
+			t.Fatalf("cache hit %d rejected by quota: %v", i, err)
+		}
+		if st := waitDone(t, hit); !st.CacheHit {
+			t.Fatalf("expected a cache hit, got %+v", st)
+		}
+	}
+}
+
+// TestPriorityLaneJumpsQueue: with one worker, a high-priority job
+// submitted after a backlog of normal jobs runs before them.
+func TestPriorityLaneJumpsQueue(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1, QueueDepth: 8, CacheCapacity: -1})
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	s.beforeRun = func(j *Job, slot *runnerSlot) {
+		mu.Lock()
+		order = append(order, j.Priority)
+		mu.Unlock()
+		<-gate
+	}
+
+	first, err := s.Submit(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for first.Snapshot().Status == StatusQueued {
+		runtime.Gosched()
+	}
+	var rest []*Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: uint64(i + 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, j)
+	}
+	hi, err := s.SubmitWith(JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 99}, SubmitOpts{Priority: PriorityHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest = append(rest, hi)
+
+	close(gate)
+	waitDone(t, first)
+	for _, j := range rest {
+		waitDone(t, j)
+	}
+	s.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5 (order: %v)", len(order), order)
+	}
+	// order[0] is the gated first job; the high job must run next,
+	// ahead of the three normal jobs queued before it.
+	if order[1] != PriorityHigh {
+		t.Errorf("high-priority job did not jump the queue: run order %v", order)
+	}
+}
+
+// TestSubmitRejectsUnknownPriority: an unrecognized X-Priority is a
+// client error, not a silent default.
+func TestSubmitRejectsUnknownPriority(t *testing.T) {
+	s := New(Options{Runners: 1, WorkersPerRunner: 1})
+	defer s.Close()
+	var se *SpecError
+	if _, err := s.SubmitWith(JobSpec{Alg: AlgSimple, D: 2, N: 8}, SubmitOpts{Priority: "urgent"}); !errors.As(err, &se) {
+		t.Errorf("unknown priority: got %v, want a SpecError", err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// thresholds in the chaos tests scale by it.
+const raceEnabled = true

@@ -120,9 +120,16 @@ func KeySum(keys []int64) string {
 }
 
 // FromSort encodes a sorting run (SimpleSort, CopySort, TorusSort,
-// FullSort).
+// FullSort). It also encodes partial runs (cancelled, timed out, or
+// degraded mid-program): the phase prefix and clock are real, Sorted is
+// false, and KeySum is omitted — a digest of a half-routed key placement
+// would be noise masquerading as a witness.
 func FromSort(res core.Result) Result {
 	s := res.Config.Shape
+	keySum := ""
+	if res.Sorted {
+		keySum = KeySum(res.Final)
+	}
 	return Result{
 		Algorithm:   res.Algorithm,
 		Shape:       s.String(),
@@ -137,7 +144,7 @@ func FromSort(res core.Result) Result {
 		MaxQueue:    res.MaxQueue,
 		Stranded:    res.Stranded,
 		MergeRounds: res.MergeRounds,
-		KeySum:      KeySum(res.Final),
+		KeySum:      keySum,
 		Phases:      tracePhases(res.Phases),
 	}
 }

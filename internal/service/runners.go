@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
@@ -39,6 +40,7 @@ type runnerPool struct {
 	warmLeases uint64 // shape matched: Reset reused everything
 	coldBuilds uint64 // slot built for the first time
 	repurposed uint64 // idle slot re-shaped for a different ShapeKey
+	rebuilt    uint64 // slots quarantined after a panic (rebuilt cold on next lease)
 }
 
 func newRunnerPool(slots, workersPerSlot int) *runnerPool {
@@ -106,26 +108,89 @@ func (p *runnerPool) release(s *runnerSlot) {
 	}
 	s.busy = false
 	p.mu.Unlock()
-	p.cond.Signal()
+	// Broadcast, not Signal: both acquirers and a drain-waiting close may
+	// be parked on the cond, and a Signal could wake the wrong one.
+	p.cond.Broadcast()
 }
 
-// close releases every slot's engine pool. The pool must be idle (the
-// scheduler closes it only after its workers exit).
-func (p *runnerPool) close() {
+// quarantine retires a slot whose job panicked: the runner and its
+// engine pool may hold arbitrary mid-phase state (or wedged workers),
+// so nothing is reused — the slot goes back idle but unbuilt, and the
+// next lease rebuilds it cold. The poisoned engine pool is closed
+// best-effort; a pool too wedged to close cleanly must not take the
+// scheduler down with it.
+func (p *runnerPool) quarantine(s *runnerSlot) {
+	p.mu.Lock()
+	if !s.busy {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("service: quarantine of idle runner slot %d", s.id))
+	}
+	poisoned := s.pool
+	s.pool = nil
+	s.runner = nil
+	s.shapeKey = ""
+	s.busy = false
+	p.rebuilt++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	func() {
+		defer func() { recover() }()
+		poisoned.Close() // nil-safe
+	}()
+}
+
+// close waits for every slot to be released (bounded by drain) and then
+// frees the engine pools. Slots still busy at the deadline are skipped —
+// their pools leak until process exit — and reported as an error; the
+// drain path must degrade, never crash.
+func (p *runnerPool) close(drain time.Duration) error {
+	deadline := time.Now().Add(drain)
+	// The lock/unlock before Broadcast is load-bearing: it delays the
+	// wakeup until the closer is parked in cond.Wait (which releases the
+	// mutex), so the deadline firing between the closer's time check and
+	// its Wait cannot be lost.
+	timeout := time.AfterFunc(drain, func() {
+		p.mu.Lock()
+		p.mu.Unlock() //nolint:staticcheck // empty critical section is the handoff
+		p.cond.Broadcast()
+	})
+	defer timeout.Stop()
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, s := range p.slots {
-		if s.busy {
-			panic(fmt.Sprintf("service: close with runner slot %d still busy", s.id))
+	for {
+		busy := 0
+		for _, s := range p.slots {
+			if s.busy {
+				busy++
+			}
 		}
+		if busy == 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			for _, s := range p.slots {
+				if s.busy {
+					continue
+				}
+				s.pool.Close() // nil-safe
+				s.pool = nil
+				s.runner = nil
+			}
+			return fmt.Errorf("service: close timed out after %v with %d runner slots still busy", drain, busy)
+		}
+		p.cond.Wait()
+	}
+	for _, s := range p.slots {
 		s.pool.Close() // nil-safe
 		s.pool = nil
 		s.runner = nil
 	}
+	return nil
 }
 
 // stats snapshots the leasing counters.
-func (p *runnerPool) stats() (slots, busy int, warm, cold, repurposed uint64) {
+func (p *runnerPool) stats() (slots, busy int, warm, cold, repurposed, rebuilt uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, s := range p.slots {
@@ -133,5 +198,5 @@ func (p *runnerPool) stats() (slots, busy int, warm, cold, repurposed uint64) {
 			busy++
 		}
 	}
-	return len(p.slots), busy, p.warmLeases, p.coldBuilds, p.repurposed
+	return len(p.slots), busy, p.warmLeases, p.coldBuilds, p.repurposed, p.rebuilt
 }

@@ -1,12 +1,17 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"meshsort/internal/engine"
 )
 
 // Sentinel errors of Submit. SpecError wraps canonicalization failures
@@ -17,6 +22,12 @@ var (
 	ErrOverloaded = errors.New("service: overloaded: admission queue is full")
 	// ErrDraining: Close has begun; no new jobs are admitted.
 	ErrDraining = errors.New("service: draining: no new jobs admitted")
+
+	// errInterrupted marks a journaled job that could not be re-queued
+	// after a restart (its lane was full); errCancelledQueued marks a job
+	// cancelled before a worker picked it up.
+	errInterrupted     = errors.New("service: interrupted by restart (journal replay could not re-queue)")
+	errCancelledQueued = errors.New("service: cancelled while queued")
 )
 
 // SpecError marks a job spec that failed canonicalization (a client
@@ -26,31 +37,77 @@ type SpecError struct{ Err error }
 func (e *SpecError) Error() string { return e.Err.Error() }
 func (e *SpecError) Unwrap() error { return e.Err }
 
-// Job states, in lifecycle order.
+// Job states. The lifecycle is a DAG:
+//
+//	queued → running → done | failed | cancelled | timed-out
+//	queued → cancelled | timed-out | failed     (before any worker ran it)
+//
+// done/failed/cancelled/timed-out are terminal (terminalStatus); a
+// cache hit goes queued→done without ever being visible as queued.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+	StatusTimedOut  = "timed-out"
 )
+
+// terminalStatus reports whether a status is terminal: the job's done
+// channel is closed and its fields are frozen.
+func terminalStatus(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusCancelled, StatusTimedOut:
+		return true
+	}
+	return false
+}
 
 // Job is one admitted simulation. Its mutable fields are guarded by mu;
 // Snapshot returns a consistent copy and Done unblocks when the job
 // reaches a terminal state.
 type Job struct {
-	ID   string
-	Spec JobSpec // canonical
-	Key  string  // cache key of the canonical spec
+	ID       string
+	Spec     JobSpec // canonical
+	Key      string  // cache key of the canonical spec
+	Tenant   string
+	Priority string
 
-	mu       sync.Mutex
-	status   string
-	cacheHit bool
-	result   *Result
-	err      error
-	created  time.Time
-	finished time.Time
+	// ctx carries the job's deadline (Spec.DeadlineMS) and cancellation;
+	// its Done channel is threaded into the engine's step loop. cancel is
+	// idempotent and always called at finish to release the timer.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	status    string
+	cacheHit  bool
+	quotaHeld bool // an in-flight quota slot is reserved until finish
+	result    *Result
+	err       error
+	created   time.Time
+	started   time.Time // when running began; zero for jobs that never ran
+	finished  time.Time
 
 	done chan struct{}
+}
+
+func newJob(spec JobSpec, tenant, priority string) *Job {
+	j := &Job{
+		Spec:     spec,
+		Key:      spec.Key(),
+		Tenant:   tenant,
+		Priority: priority,
+		status:   StatusQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	if spec.DeadlineMS > 0 {
+		j.ctx, j.cancel = context.WithTimeout(context.Background(), time.Duration(spec.DeadlineMS)*time.Millisecond)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+	}
+	return j
 }
 
 // JobStatus is the wire form of a job: what POST /v1/jobs and
@@ -59,34 +116,115 @@ type JobStatus struct {
 	ID       string  `json:"id"`
 	Status   string  `json:"status"`
 	Spec     JobSpec `json:"spec"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Priority string  `json:"priority,omitempty"`
 	CacheHit bool    `json:"cacheHit,omitempty"`
 	Error    string  `json:"error,omitempty"`
-	Result   *Result `json:"result,omitempty"`
+	// Result is the full result for done jobs and the partial result —
+	// completed phase prefix, clock so far — for cancelled, timed-out,
+	// and degraded-failed jobs.
+	Result *Result `json:"result,omitempty"`
 }
 
 // Snapshot returns a consistent view of the job.
 func (j *Job) Snapshot() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.ID, Status: j.status, Spec: j.Spec, CacheHit: j.cacheHit, Result: j.result}
+	st := JobStatus{
+		ID: j.ID, Status: j.status, Spec: j.Spec,
+		Tenant: j.Tenant, Priority: j.Priority,
+		CacheHit: j.cacheHit, Result: j.result,
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
 	return st
 }
 
-// Done returns a channel closed when the job reaches a terminal state
-// (done or failed).
+// Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) finish(status string, res *Result, err error) {
+// finish moves the job to a terminal state exactly once; the false
+// return tells racing finishers (worker vs Cancel vs deadline) they
+// lost.
+func (j *Job) finish(status string, res *Result, err error) bool {
 	j.mu.Lock()
+	if terminalStatus(j.status) {
+		j.mu.Unlock()
+		return false
+	}
 	j.status = status
 	j.result = res
 	j.err = err
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
+	return true
+}
+
+// setRunning marks the queued job running; false if a cancel or
+// deadline finished it first.
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// runDuration is the lease-to-terminal run time; zero if the job never
+// ran.
+func (j *Job) runDuration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// ChaosOpts injects failures for the chaos harness (tests and the
+// meshsortd -chaos-* flags): a deterministic per-job roll decides
+// whether the job panics mid-run or sleeps before running (to bust
+// deadlines). Decisions hash the job ID with Seed, so a storm is
+// reproducible run to run.
+type ChaosOpts struct {
+	PanicRate float64       // fraction of runs that panic on the worker
+	SlowRate  float64       // fraction of runs delayed by Slow before simulating
+	Slow      time.Duration // the injected delay
+	Seed      uint64
+}
+
+func (c ChaosOpts) enabled() bool { return c.PanicRate > 0 || c.SlowRate > 0 }
+
+// roll returns the deterministic chaos decision for a job ID. The panic
+// draw wins over the slow draw. FNV's high bits are weakly mixed for
+// short similar inputs (sequential job IDs), so the hash goes through a
+// murmur-style finalizer before being treated as uniform.
+func (c ChaosOpts) roll(id string) (panics, slow bool) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", c.Seed, id)
+	x := mix64(h.Sum64())
+	u1 := float64(x>>11) / float64(uint64(1)<<53)
+	u2 := float64(mix64(x+0x9E3779B97F4A7C15)>>11) / float64(uint64(1)<<53)
+	if u1 < c.PanicRate {
+		return true, false
+	}
+	return false, u2 < c.SlowRate
+}
+
+// mix64 is the murmur3 fmix64 finalizer: a bijection whose output bits
+// are all well mixed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
 // Options configures a Service. The zero value picks sensible defaults
@@ -100,8 +238,9 @@ type Options struct {
 	// (at least 1), so a fully loaded service uses about one worker per
 	// CPU in total.
 	WorkersPerRunner int
-	// QueueDepth bounds the admission queue; a submit beyond it returns
-	// ErrOverloaded. 0 means 64.
+	// QueueDepth bounds the normal admission lane; a submit beyond it
+	// returns ErrOverloaded. The high-priority lane is a quarter of it
+	// (at least 1). 0 means 64.
 	QueueDepth int
 	// CacheCapacity is the result cache size in completed results;
 	// 0 means 256, negative disables caching.
@@ -109,6 +248,27 @@ type Options struct {
 	// JobRetention caps how many terminal jobs stay queryable by ID;
 	// the oldest are forgotten first. 0 means 4096.
 	JobRetention int
+
+	// JournalPath, when set, makes the service durable: every job
+	// transition is appended to the JSONL journal at this path, and Open
+	// replays it — terminal jobs become queryable history (done results
+	// re-warm the cache), interrupted jobs are re-queued or failed.
+	JournalPath string
+	// JournalFsync is the journal's fsync policy: FsyncAlways,
+	// FsyncInterval (the default), or FsyncNone.
+	JournalFsync string
+
+	// TenantInFlight caps each tenant's non-terminal jobs; at the cap
+	// Submit returns ErrQuota. 0 means unlimited.
+	TenantInFlight int
+
+	// DrainTimeout bounds how long Close waits for busy runner slots.
+	// 0 means 30s.
+	DrainTimeout time.Duration
+
+	// Chaos, when enabled, injects deterministic failures into runs (the
+	// chaos harness; see ChaosOpts). Never enable in production.
+	Chaos ChaosOpts
 }
 
 func (o Options) withDefaults() Options {
@@ -130,18 +290,29 @@ func (o Options) withDefaults() Options {
 	if o.JobRetention == 0 {
 		o.JobRetention = 4096
 	}
+	if o.JournalFsync == "" {
+		o.JournalFsync = FsyncInterval
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
 	return o
 }
 
 // Service multiplexes simulation jobs over warm runners. Create with
-// New, submit with Submit (or the HTTP layer, see Handler), and shut
-// down with Close, which drains admitted jobs before returning.
+// Open (or New), submit with Submit/SubmitWith (or the HTTP layer, see
+// Handler), cancel with Cancel, and shut down with Close, which drains
+// admitted jobs before returning.
 type Service struct {
-	opts  Options
-	cache *resultCache
-	pool  *runnerPool
-	queue chan *Job
-	wg    sync.WaitGroup
+	opts    Options
+	cache   *resultCache
+	pool    *runnerPool
+	queue   chan *Job // normal lane
+	queueHi chan *Job // high-priority lane; workers drain it first
+	journal *journal
+	quota   *quotas
+	rate    serviceRate
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -153,6 +324,9 @@ type Service struct {
 	rejected    atomic.Uint64
 	completed   atomic.Uint64
 	failed      atomic.Uint64
+	cancelled   atomic.Uint64
+	timedOut    atomic.Uint64
+	panicked    atomic.Uint64
 	simulations atomic.Uint64
 
 	// beforeRun and afterRun, if set (tests only), run on the worker
@@ -163,77 +337,190 @@ type Service struct {
 	afterRun  func(j *Job, slot *runnerSlot)
 }
 
-// New starts a service: its runner slots are allocated lazily, its
-// worker goroutines immediately.
+// New starts a service, panicking if the journal cannot be opened (use
+// Open to handle that error; without Options.JournalPath New cannot
+// fail). Runner slots are allocated lazily, workers immediately.
 func New(opts Options) *Service {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a service: it opens and replays the journal when
+// Options.JournalPath is set — rebuilding terminal history, re-warming
+// the result cache, and re-queueing interrupted jobs — and then starts
+// the worker goroutines.
+func Open(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
+	hiDepth := opts.QueueDepth / 4
+	if hiDepth < 1 {
+		hiDepth = 1
+	}
 	s := &Service{
-		opts:  opts,
-		cache: newResultCache(opts.CacheCapacity),
-		pool:  newRunnerPool(opts.Runners, opts.WorkersPerRunner),
-		queue: make(chan *Job, opts.QueueDepth),
-		jobs:  make(map[string]*Job),
+		opts:    opts,
+		cache:   newResultCache(opts.CacheCapacity),
+		pool:    newRunnerPool(opts.Runners, opts.WorkersPerRunner),
+		queue:   make(chan *Job, opts.QueueDepth),
+		queueHi: make(chan *Job, hiDepth),
+		quota:   newQuotas(opts.TenantInFlight),
+		jobs:    make(map[string]*Job),
+	}
+	if opts.JournalPath != "" {
+		j, replayed, err := openJournal(opts.JournalPath, opts.JournalFsync)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.replay(replayed)
 	}
 	s.wg.Add(opts.Runners)
 	for i := 0; i < opts.Runners; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Submit canonicalizes and admits one job. It returns immediately:
-// with a terminal job on a cache hit, with a queued job otherwise, or
-// with an error — (*SpecError) for an invalid spec, ErrOverloaded when
-// the admission queue is full, ErrDraining after Close has begun. Wait
-// for completion via (*Job).Done.
+// replay rebuilds state from journaled jobs, before any worker starts.
+// Terminal jobs become queryable history; queued and running jobs were
+// interrupted by the crash and are re-queued (with a fresh deadline —
+// the original admission time is gone with the process) or, if their
+// lane is somehow full, failed as interrupted.
+func (s *Service) replay(jobs []replayedJob) {
+	for _, rj := range jobs {
+		var n uint64
+		if _, err := fmt.Sscanf(rj.ID, "j-%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+		job := newJob(rj.Spec, rj.Tenant, rj.Priority)
+		job.ID = rj.ID
+		if terminalStatus(rj.Status) {
+			job.status = rj.Status
+			job.cacheHit = rj.CacheHit
+			job.result = rj.Result
+			if rj.Error != "" {
+				job.err = errors.New(rj.Error)
+			}
+			job.finished = job.created
+			close(job.done)
+			job.cancel()
+			if rj.Status == StatusDone && rj.Result != nil && !rj.CacheHit {
+				s.cache.put(job.Key, rj.Result)
+			}
+			s.register(job)
+			continue
+		}
+		// Interrupted. Re-admit past the quota check: the work was already
+		// accepted once.
+		s.quota.forceAdmit(job.Tenant)
+		job.quotaHeld = true
+		s.register(job)
+		lane := s.lane(job.Priority)
+		select {
+		case lane <- job:
+		default:
+			s.finishJob(job, StatusFailed, nil, errInterrupted)
+		}
+	}
+}
+
+func (s *Service) lane(priority string) chan *Job {
+	if priority == PriorityHigh {
+		return s.queueHi
+	}
+	return s.queue
+}
+
+// SubmitOpts carries the admission metadata of a job: who it bills to
+// and which lane it queues on. The zero value is the default tenant at
+// normal priority.
+type SubmitOpts struct {
+	Tenant   string // "" means DefaultTenant
+	Priority string // "" means PriorityNormal
+}
+
+// Submit admits one job for the default tenant at normal priority; see
+// SubmitWith.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitWith(spec, SubmitOpts{})
+}
+
+// SubmitWith canonicalizes and admits one job. It returns immediately:
+// with a terminal job on a cache hit, with a queued job otherwise, or
+// with an error — (*SpecError) for an invalid spec or unknown priority,
+// ErrOverloaded when the job's lane is full, ErrQuota at the tenant's
+// in-flight cap, ErrDraining after Close has begun. Wait for completion
+// via (*Job).Done; cancel via Cancel.
+func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (*Job, error) {
 	canon, err := spec.Canonicalize()
 	if err != nil {
 		s.rejected.Add(1)
 		return nil, &SpecError{Err: err}
 	}
-	job := &Job{
-		Spec:    canon,
-		Key:     canon.Key(),
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+	tenant := opts.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
+	priority := opts.Priority
+	switch priority {
+	case "":
+		priority = PriorityNormal
+	case PriorityNormal, PriorityHigh:
+	default:
+		s.rejected.Add(1)
+		return nil, &SpecError{Err: fmt.Errorf("service: unknown priority %q (want %s or %s)", opts.Priority, PriorityNormal, PriorityHigh)}
+	}
+	job := newJob(canon, tenant, priority)
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		s.rejected.Add(1)
+		job.cancel()
 		return nil, ErrDraining
 	}
 	s.seq++
 	job.ID = fmt.Sprintf("j-%06d", s.seq)
 
 	if res, ok := s.cache.get(job.Key); ok {
-		// Served from cache: terminal before it is even visible.
-		job.status = StatusDone
+		// Served from cache: terminal before it is even visible, and no
+		// in-flight quota is consumed (nothing runs).
 		job.cacheHit = true
-		job.result = res
-		job.finished = time.Now()
-		close(job.done)
+		s.quota.note(tenant)
 		s.register(job)
-		s.mu.Unlock()
+		s.journal.append(submitRecord(job))
 		s.submitted.Add(1)
-		s.completed.Add(1)
+		s.finishJob(job, StatusDone, res, nil)
 		return job, nil
 	}
 
-	select {
-	case s.queue <- job:
-		s.register(job)
-		s.mu.Unlock()
-		s.submitted.Add(1)
-		return job, nil
-	default:
-		s.mu.Unlock()
+	lane := s.lane(priority)
+	// Capacity check instead of a non-blocking send: all sends happen
+	// under s.mu, so len < cap guarantees the send below cannot block,
+	// and the submit record can be journaled before the job becomes
+	// visible to workers (per-job record order).
+	if len(lane) >= cap(lane) {
 		s.rejected.Add(1)
+		job.cancel()
 		return nil, ErrOverloaded
 	}
+	if err := s.quota.admit(tenant); err != nil {
+		s.rejected.Add(1)
+		job.cancel()
+		return nil, err
+	}
+	job.quotaHeld = true
+	s.register(job)
+	s.journal.append(submitRecord(job))
+	s.submitted.Add(1)
+	lane <- job
+	return job, nil
+}
+
+func submitRecord(j *Job) journalRecord {
+	spec := j.Spec
+	return journalRecord{Op: opSubmit, ID: j.ID, Tenant: j.Tenant, Priority: j.Priority, Spec: &spec}
 }
 
 // register records the job for ID lookup and evicts the oldest terminal
@@ -243,7 +530,7 @@ func (s *Service) register(j *Job) {
 	s.order = append(s.order, j.ID)
 	for len(s.jobs) > s.opts.JobRetention && len(s.order) > 0 {
 		oldest, ok := s.jobs[s.order[0]]
-		if ok && oldest.Snapshot().Status != StatusDone && oldest.Snapshot().Status != StatusFailed {
+		if ok && !terminalStatus(oldest.Snapshot().Status) {
 			break // never forget a live job
 		}
 		delete(s.jobs, s.order[0])
@@ -260,19 +547,104 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// Cancel requests cancellation of a job by ID. A queued job goes
+// terminal (cancelled) immediately; a running job stops cooperatively
+// at the engine's next step boundary — bounded by one simulated step —
+// and reports its partial result. Cancelling a terminal job is a no-op.
+// The returned job is the one cancelled; ok is false for unknown IDs.
+func (s *Service) Cancel(id string) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	j.cancel()
+	if queued {
+		// No-op if a worker won the race and is now running it; the
+		// closed context still stops that run at the next step boundary.
+		s.finishJob(j, StatusCancelled, nil, errCancelledQueued)
+	}
+	return j, true
+}
+
 // worker is one scheduler goroutine: it owns at most one leased runner
-// slot at a time and drains the admission queue until Close.
+// slot at a time and drains the admission lanes — high first — until
+// Close.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, ok := s.nextJob()
+		if !ok {
+			return
+		}
 		s.runJob(job)
 	}
 }
 
+// nextJob pops the next admitted job, preferring the high lane, and
+// reports false when both lanes are closed and drained.
+func (s *Service) nextJob() (*Job, bool) {
+	hi, lo := s.queueHi, s.queue
+	for hi != nil || lo != nil {
+		// Drain the high lane first without blocking.
+		if hi != nil {
+			select {
+			case j, ok := <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+				return j, true
+			default:
+			}
+		}
+		if hi == nil { // only the normal lane left
+			j, ok := <-lo
+			if !ok {
+				lo = nil
+				continue
+			}
+			return j, true
+		}
+		select {
+		case j, ok := <-hi:
+			if !ok {
+				hi = nil
+				continue
+			}
+			return j, true
+		case j, ok := <-lo:
+			if !ok {
+				lo = nil
+				continue
+			}
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// statusForCtx maps a job context error to the terminal status it
+// implies.
+func statusForCtx(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StatusTimedOut
+	}
+	return StatusCancelled
+}
+
 func (s *Service) runJob(job *Job) {
-	job.mu.Lock()
-	job.status = StatusRunning
-	job.mu.Unlock()
+	// A cancel or deadline may have beaten the worker to a queued job.
+	if err := job.ctx.Err(); err != nil {
+		s.finishJob(job, statusForCtx(err), nil, fmt.Errorf("service: %v before the job started", err))
+		return
+	}
+	if !job.setRunning() {
+		return // finished while queued (Cancel raced the pop)
+	}
+	s.journal.append(journalRecord{Op: opRunning, ID: job.ID})
 
 	// A same-key job may have completed while this one sat in the queue;
 	// its cached result is the same simulation, so serve it.
@@ -280,43 +652,149 @@ func (s *Service) runJob(job *Job) {
 		job.mu.Lock()
 		job.cacheHit = true
 		job.mu.Unlock()
-		s.completed.Add(1)
-		job.finish(StatusDone, res, nil)
+		s.finishJob(job, StatusDone, res, nil)
 		return
 	}
 
 	prog, err := compile(job.Spec)
 	if err != nil {
-		s.failed.Add(1)
-		job.finish(StatusFailed, nil, err)
+		s.finishJob(job, StatusFailed, nil, err)
 		return
 	}
 
+	res, runErr, panicked := s.runOnSlot(job, prog)
+	if panicked {
+		s.panicked.Add(1)
+		s.finishJob(job, StatusFailed, nil, runErr)
+		return
+	}
+	if runErr != nil {
+		partial := partialResult(res)
+		if ctxErr := job.ctx.Err(); ctxErr != nil && isCancelErr(runErr) {
+			// The engine yielded because the job's context fired: deadline
+			// or DELETE, not a simulation failure.
+			s.finishJob(job, statusForCtx(ctxErr), partial, runErr)
+			return
+		}
+		s.finishJob(job, StatusFailed, partial, runErr)
+		return
+	}
+	s.cache.put(job.Key, &res)
+	s.finishJob(job, StatusDone, &res, nil)
+}
+
+// runOnSlot leases a runner slot, applies chaos injection, and executes
+// the program. A panic anywhere in that scope — policy code, local
+// phases, injected chaos — is converted into an error with the captured
+// stack, and the poisoned slot is quarantined (rebuilt cold on its next
+// lease) instead of being released for reuse. The process never exits.
+func (s *Service) runOnSlot(job *Job, prog program) (res Result, err error, panicked bool) {
 	slot := s.pool.acquire(job.Spec.ShapeKey(), job.Spec.Shape())
+	quarantined := false
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("service: job %s panicked on runner slot %d: %v\n%s", job.ID, slot.id, r, debug.Stack())
+			s.pool.quarantine(slot)
+			quarantined = true
+		}
+		if !quarantined {
+			s.pool.release(slot)
+		}
+	}()
+	s.injectChaos(job)
 	if s.beforeRun != nil {
 		s.beforeRun(job, slot)
 	}
 	s.simulations.Add(1)
-	res, err := prog.run(slot.runner, slot.pool)
+	res, err = prog.run(job.ctx, slot.runner, slot.pool)
 	if s.afterRun != nil {
 		s.afterRun(job, slot)
 	}
-	s.pool.release(slot)
+	return res, err, false
+}
 
-	if err != nil {
-		s.failed.Add(1)
-		job.finish(StatusFailed, nil, err)
+// injectChaos applies the chaos roll for the job: panic, sleep (racing
+// the job's own deadline), or nothing. Runs inside runOnSlot's recover
+// scope, so injected panics exercise the real quarantine path.
+func (s *Service) injectChaos(job *Job) {
+	c := s.opts.Chaos
+	if !c.enabled() {
 		return
 	}
-	s.cache.put(job.Key, &res)
-	s.completed.Add(1)
-	job.finish(StatusDone, &res, nil)
+	panics, slow := c.roll(job.ID)
+	if panics {
+		panic(fmt.Sprintf("chaos: injected panic (job %s)", job.ID))
+	}
+	if slow {
+		select {
+		case <-time.After(c.Slow):
+		case <-job.ctx.Done():
+		}
+	}
+}
+
+// isCancelErr reports whether a run error is the engine's cooperative
+// cancellation surfacing (as opposed to a degraded or invalid run).
+func isCancelErr(err error) bool {
+	return errors.Is(err, engine.ErrCancelled)
+}
+
+// partialResult returns the partial result pointer for an errored run,
+// or nil when the run produced nothing worth reporting.
+func partialResult(res Result) *Result {
+	if res.TotalSteps == 0 && len(res.Phases) == 0 {
+		return nil
+	}
+	return &res
+}
+
+// finishJob is the single terminal choke point: exactly one caller wins
+// the job's finish, and that caller updates the counters, releases the
+// tenant's quota slot, feeds the service-rate estimate, journals the
+// terminal record, and releases the job's context timer.
+func (s *Service) finishJob(j *Job, status string, res *Result, err error) {
+	if !j.finish(status, res, err) {
+		return
+	}
+	switch status {
+	case StatusDone:
+		s.completed.Add(1)
+	case StatusFailed:
+		s.failed.Add(1)
+	case StatusCancelled:
+		s.cancelled.Add(1)
+	case StatusTimedOut:
+		s.timedOut.Add(1)
+	}
+	j.mu.Lock()
+	held := j.quotaHeld
+	j.quotaHeld = false
+	j.mu.Unlock()
+	if held {
+		s.quota.release(j.Tenant)
+	}
+	if d := j.runDuration(); d > 0 {
+		s.rate.observe(d)
+	}
+	rec := journalRecord{Op: status, ID: j.ID, Error: ""}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	j.mu.Lock()
+	rec.CacheHit = j.cacheHit
+	j.mu.Unlock()
+	rec.Result = res
+	s.journal.append(rec)
+	j.cancel()
 }
 
 // Close drains the service: no new jobs are admitted, every already
-// admitted job runs to completion, and the runner slots' engine pools
-// are released. Safe to call once; Submit after Close returns
-// ErrDraining.
+// admitted job runs to completion (cancelled/timed-out jobs yield at
+// their next boundary), and the runner slots' engine pools are
+// released, bounded by Options.DrainTimeout — a slot still busy at the
+// deadline is abandoned, never panicked over. Safe to call more than
+// once; Submit after Close returns ErrDraining.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -326,53 +804,80 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.queueHi)
 	close(s.queue)
 	s.wg.Wait()
-	s.pool.close()
+	s.pool.close(s.opts.DrainTimeout)
+	s.journal.close()
+}
+
+// RetryAfterSeconds is the current honest Retry-After hint: expected
+// seconds until a queue slot opens, from the live queue depth and the
+// recent service rate.
+func (s *Service) RetryAfterSeconds() int {
+	depth := len(s.queue) + len(s.queueHi)
+	return retryAfterSeconds(depth, s.opts.Runners, s.rate.estimate())
 }
 
 // Metrics is the counter snapshot served at GET /metrics.
 type Metrics struct {
 	JobsSubmitted uint64 `json:"jobsSubmitted"`
-	JobsRejected  uint64 `json:"jobsRejected"` // bad specs + overload + draining
+	JobsRejected  uint64 `json:"jobsRejected"` // bad specs + overload + quota + draining
 	JobsCompleted uint64 `json:"jobsCompleted"`
 	JobsFailed    uint64 `json:"jobsFailed"`
-	Simulations   uint64 `json:"simulations"` // actual runs (completed - cache hits)
+	JobsCancelled uint64 `json:"jobsCancelled"`
+	JobsTimedOut  uint64 `json:"jobsTimedOut"`
+	JobsPanicked  uint64 `json:"jobsPanicked"` // subset of failed: recovered worker panics
+	Simulations   uint64 `json:"simulations"`  // actual runs (completed - cache hits)
 
-	QueueDepth int `json:"queueDepth"`
-	QueueCap   int `json:"queueCap"`
+	QueueDepth     int `json:"queueDepth"` // both lanes
+	QueueCap       int `json:"queueCap"`
+	RetryAfterSec  int `json:"retryAfterSec"` // current Retry-After hint
+	QueueHighDepth int `json:"queueHighDepth"`
 
-	Runners     int    `json:"runners"`
-	RunnersBusy int    `json:"runnersBusy"`
-	WarmLeases  uint64 `json:"warmLeases"`
-	ColdBuilds  uint64 `json:"coldBuilds"`
-	Repurposed  uint64 `json:"repurposed"`
+	Runners      int    `json:"runners"`
+	RunnersBusy  int    `json:"runnersBusy"`
+	WarmLeases   uint64 `json:"warmLeases"`
+	ColdBuilds   uint64 `json:"coldBuilds"`
+	Repurposed   uint64 `json:"repurposed"`
+	SlotsRebuilt uint64 `json:"slotsRebuilt"` // quarantined after panics
 
 	CacheSize      int    `json:"cacheSize"`
 	CacheHits      uint64 `json:"cacheHits"`
 	CacheMisses    uint64 `json:"cacheMisses"`
 	CacheEvictions uint64 `json:"cacheEvictions"`
+
+	Journal JournalMetrics           `json:"journal"`
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
 }
 
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() Metrics {
-	slots, busy, warm, cold, rep := s.pool.stats()
+	slots, busy, warm, cold, rep, rebuilt := s.pool.stats()
 	return Metrics{
 		JobsSubmitted:  s.submitted.Load(),
 		JobsRejected:   s.rejected.Load(),
 		JobsCompleted:  s.completed.Load(),
 		JobsFailed:     s.failed.Load(),
+		JobsCancelled:  s.cancelled.Load(),
+		JobsTimedOut:   s.timedOut.Load(),
+		JobsPanicked:   s.panicked.Load(),
 		Simulations:    s.simulations.Load(),
-		QueueDepth:     len(s.queue),
-		QueueCap:       cap(s.queue),
+		QueueDepth:     len(s.queue) + len(s.queueHi),
+		QueueCap:       cap(s.queue) + cap(s.queueHi),
+		RetryAfterSec:  s.RetryAfterSeconds(),
+		QueueHighDepth: len(s.queueHi),
 		Runners:        slots,
 		RunnersBusy:    busy,
 		WarmLeases:     warm,
 		ColdBuilds:     cold,
 		Repurposed:     rep,
+		SlotsRebuilt:   rebuilt,
 		CacheSize:      s.cache.len(),
 		CacheHits:      s.cache.hits.Load(),
 		CacheMisses:    s.cache.misses.Load(),
 		CacheEvictions: s.cache.evictions.Load(),
+		Journal:        s.journal.metrics(),
+		Tenants:        s.quota.snapshot(),
 	}
 }

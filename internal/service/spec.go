@@ -40,12 +40,20 @@ const (
 const IndexingBlockedSnake = "blocked-snake"
 
 // Resource ceilings enforced at canonicalization, so a single request
-// cannot ask the service to build an arbitrarily large network.
+// cannot ask the service to build an arbitrarily large network. The
+// processor ceiling admits a full 64^3 mesh: with per-job deadlines and
+// cancellation (DeadlineMS, DELETE /v1/jobs/{id}) a large job can no
+// longer wedge a runner slot indefinitely, so the admission ceiling is
+// a memory bound, not a runtime bound.
 const (
 	MaxDim        = 6
 	MaxSide       = 64
-	MaxProcessors = 1 << 17
+	MaxProcessors = 1 << 19
 	MaxPackets    = 1 << 20 // k * N
+
+	// MaxDeadlineMS caps requested deadlines at one hour; a deadline is a
+	// client-abandonment bound, not a scheduling reservation.
+	MaxDeadlineMS = 3_600_000
 )
 
 // JobSpec is the canonical description of one simulation job. The zero
@@ -87,6 +95,16 @@ type JobSpec struct {
 	// Patience is the engine's stranding budget; 0 means the engine
 	// default (auto when faults are on), negative disables stranding.
 	Patience int `json:"patience,omitempty"`
+
+	// DeadlineMS bounds the job's wall-clock lifetime in milliseconds,
+	// measured from admission (queue wait included). A job past its
+	// deadline stops cooperatively at the next engine step boundary and
+	// reports status "timed-out" with the partial result accumulated so
+	// far. 0 means no deadline. Deliberately excluded from the cache Key:
+	// a deadline changes when a job is abandoned, never what its
+	// simulation computes, so equal specs with different deadlines share
+	// one cached result.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // Canonicalize validates the spec and returns it with every default
@@ -168,6 +186,9 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		}
 	} else if s.Target != 0 {
 		return s, fmt.Errorf("service: target applies to alg=select only")
+	}
+	if s.DeadlineMS < 0 || s.DeadlineMS > MaxDeadlineMS {
+		return s, fmt.Errorf("service: deadline_ms=%d out of range [0,%d]", s.DeadlineMS, MaxDeadlineMS)
 	}
 	if s.Faults < 0 || s.Faults >= 1 {
 		return s, fmt.Errorf("service: fault rate %g out of range [0,1)", s.Faults)

@@ -1,0 +1,37 @@
+package service
+
+import "testing"
+
+// TestDeadlineCanonicalization: deadline_ms must be in [0, MaxDeadlineMS]
+// and survives canonicalization verbatim.
+func TestDeadlineCanonicalization(t *testing.T) {
+	ok, err := JobSpec{Alg: AlgSimple, D: 2, N: 8, DeadlineMS: 1500}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.DeadlineMS != 1500 {
+		t.Errorf("deadline_ms = %d after canonicalization, want 1500", ok.DeadlineMS)
+	}
+	for _, bad := range []int{-1, MaxDeadlineMS + 1} {
+		if _, err := (JobSpec{Alg: AlgSimple, D: 2, N: 8, DeadlineMS: bad}).Canonicalize(); err == nil {
+			t.Errorf("deadline_ms=%d accepted", bad)
+		}
+	}
+}
+
+// TestDeadlineExcludedFromCacheKey: a deadline changes when a job is
+// abandoned, not what it computes — equal specs with different
+// deadlines share one cached result.
+func TestDeadlineExcludedFromCacheKey(t *testing.T) {
+	a, err := JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 3}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobSpec{Alg: AlgSimple, D: 2, N: 8, Seed: 3, DeadlineMS: 1000}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Error("deadline_ms leaked into the cache key")
+	}
+}
