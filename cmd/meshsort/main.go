@@ -1,5 +1,5 @@
 // Command meshsort runs one of the paper's algorithms on a configurable
-// mesh or torus and prints per-phase statistics.
+// network and prints per-phase statistics.
 //
 // Usage:
 //
@@ -8,6 +8,12 @@
 //	meshsort -alg route -d 3 -n 16 -b 4
 //	meshsort -alg select -d 3 -n 16 -b 4
 //	meshsort -alg greedyroute -d 3 -n 16 -faults 0.01 -fault-seed 7
+//	meshsort -alg cliqueroute -n 128 -k 4
+//
+// -topo selects the network topology: mesh (default), torus (the same
+// as -torus), or clique — the congested clique, where -n is the node
+// count, -d is ignored, and the only algorithm is cliqueroute (greedy
+// direct routing of a random k-relation, delivered in at most k steps).
 //
 // The -faults flag injects a deterministic random fault plan (a
 // fraction of the links permanently failed) and switches routing to the
@@ -18,7 +24,9 @@
 // Algorithms: simple (Thm 3.1), copy (Thm 3.2), torussort (Thm 3.3),
 // full (the 2D baseline), oddeven (transposition-sort baseline), shear
 // (whole-mesh shearsort baseline), route (two-phase permutation
-// routing, Thm 5.1/5.2), greedyroute (baseline), select (Section 4.3).
+// routing, Thm 5.1/5.2), greedyroute (baseline; -policy picks its
+// routing policy), cliqueroute (clique k-relation), select (Section
+// 4.3).
 //
 // -trace emits one JSON line per completed pipeline phase (name, kind,
 // steps, bound, max queue, throughput) to stderr, straight from the
@@ -44,17 +52,20 @@ import (
 	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 	"meshsort/internal/service"
+	"meshsort/internal/topo"
 	"meshsort/internal/xmath"
 )
 
 func main() {
 	var (
-		alg    = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|select")
-		d      = flag.Int("d", 3, "dimension")
-		n      = flag.Int("n", 16, "side length")
+		alg    = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|cliqueroute|select")
+		d      = flag.Int("d", 3, "dimension (ignored on the clique)")
+		n      = flag.Int("n", 16, "side length (clique: node count)")
 		b      = flag.Int("b", 4, "block side length")
-		k      = flag.Int("k", 1, "packets per processor (simple only)")
+		k      = flag.Int("k", 1, "packets per processor (simple and cliqueroute)")
 		torus  = flag.Bool("torus", false, "use a torus instead of a mesh")
+		tpo    = flag.String("topo", "", "topology: mesh|torus|clique (\"\" = mesh, or torus with -torus)")
+		policy = flag.String("policy", "", "greedyroute policy override: greedy|dimorder (\"\" = the topology default)")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		real   = flag.Bool("real", false, "simulate local sorts in-mesh (shearsort) instead of charging the cost model")
 		alt    = flag.Bool("alt", false, "use the bias-corrected destination estimator (ablation E13)")
@@ -84,25 +95,39 @@ func main() {
 	stopProfiles = stop
 	defer stopProfiles()
 
-	var shape grid.Shape
-	if *torus || *alg == "torussort" {
-		shape = grid.NewTorus(*d, *n)
-	} else {
-		shape = grid.New(*d, *n)
+	// Resolve the topology: -topo torus is the same network as -torus,
+	// and the clique (either spelling: -topo clique or -alg cliqueroute)
+	// has no mesh parameters at all.
+	clique := *tpo == "clique" || *alg == "cliqueroute"
+	switch *tpo {
+	case "", "mesh", "torus", "clique":
+	default:
+		fail(fmt.Errorf("unknown topology %q (mesh|torus|clique)", *tpo))
 	}
+	switch {
+	case clique && *alg != "cliqueroute":
+		fail(fmt.Errorf("the clique topology runs -alg cliqueroute only (got %q)", *alg))
+	case clique && (*torus || *tpo == "mesh" || *tpo == "torus"):
+		fail(fmt.Errorf("cliqueroute runs on the clique; drop -torus / -topo %s", *tpo))
+	case *tpo == "torus":
+		*torus = true
+	case *tpo == "mesh" && (*torus || *alg == "torussort"):
+		fail(fmt.Errorf("-topo mesh conflicts with a torus algorithm or -torus"))
+	}
+	if *policy != "" && *alg != "greedyroute" {
+		fail(fmt.Errorf("-policy applies to -alg greedyroute only"))
+	}
+
 	// One persistent worker pool serves every routing phase of the run.
 	pool := engine.NewPool(*work)
 	defer pool.Close()
-	fo := core.FaultOpts{Patience: *patience, Paranoid: *paranoid}
-	if *faults > 0 {
-		fo.Faults = engine.RandomFaultPlan(shape, *faults, *fseed)
-	}
 	var obs pipeline.Observer
 	if *trace {
 		obs = tracePhases
 	}
 	// -json needs the phase stats of the algorithms whose result types
-	// do not carry them (shear, greedyroute); collect via the observer.
+	// do not carry them (shear, greedyroute, cliqueroute); collect via
+	// the observer.
 	var collected []pipeline.PhaseStat
 	if *jsonOut {
 		prev := obs
@@ -112,6 +137,25 @@ func main() {
 				prev(ph)
 			}
 		}
+	}
+
+	if clique {
+		runCliqueRoute(*n, max(1, *k), *seed, *faults, *fseed, *jsonOut, route.BatchOpts{
+			Workers: *work, ShardShift: *sshift, Pool: pool,
+			Patience: *patience, Paranoid: *paranoid, Observer: obs,
+		})
+		return
+	}
+
+	var shape grid.Shape
+	if *torus || *alg == "torussort" {
+		shape = grid.NewTorus(*d, *n)
+	} else {
+		shape = grid.New(*d, *n)
+	}
+	fo := core.FaultOpts{Patience: *patience, Paranoid: *paranoid}
+	if *faults > 0 {
+		fo.Faults = engine.RandomFaultPlan(shape, *faults, *fseed)
 	}
 	cfg := core.Config{Shape: shape, BlockSide: *b, K: *k, Seed: *seed,
 		RealLocalSort: *real, AltEstimator: *alt, Workers: *work, ShardShift: *sshift,
@@ -196,10 +240,21 @@ func main() {
 		case "random":
 			cm = route.ClassRandom
 		}
+		var pol engine.Policy
+		switch *policy {
+		case "":
+			// DefaultPolicy: greedy, or its fault-aware variant.
+		case "greedy":
+			pol = route.NewGreedy(shape)
+		case "dimorder":
+			pol = route.NewDimOrder(topo.FromShape(shape))
+		default:
+			fail(fmt.Errorf("unknown policy %q (greedy|dimorder)", *policy))
+		}
 		res, net, err := route.RunProblem(shape, prob, route.BatchOpts{
 			Mode: cm, BlockSide: *b, Seed: *seed, Workers: *work, ShardShift: *sshift, Pool: pool,
 			Faults: fo.Faults, Patience: fo.Patience, Paranoid: fo.Paranoid,
-			CountLoads: *heat, Observer: obs,
+			CountLoads: *heat, Observer: obs, Policy: pol,
 		})
 		fail(err)
 		if *jsonOut {
@@ -242,6 +297,51 @@ func main() {
 		stopProfiles()
 		os.Exit(2)
 	}
+}
+
+// runCliqueRoute is the -alg cliqueroute path: greedy direct routing
+// of a random k-relation on the congested clique. Every node has a
+// direct link to every other, so the run takes at most k steps (each
+// directed link carries at most k packets, one per step) — the bound
+// the experiment table compares against the mesh theorems' D + o(n).
+func runCliqueRoute(n, k int, seed uint64, faults float64, fseed uint64, jsonOut bool, opts route.BatchOpts) {
+	if n < 2 || n > 32768 {
+		fail(fmt.Errorf("clique size n=%d out of range [2,32768]", n))
+	}
+	c := topo.NewClique(n)
+	if faults > 0 {
+		opts.Faults = engine.RandomFaultPlanTopo(c, faults, fseed)
+	}
+	if !jsonOut {
+		fmt.Printf("%v: N=%d D=%d\n", c, c.N(), c.Diameter())
+		if opts.Faults != nil {
+			fmt.Printf("fault injection: %v\n", opts.Faults)
+		}
+	}
+	// Route on an explicit runner so the -json report can be built by
+	// the same service constructor the HTTP API uses (one encoding, one
+	// parser; see TestCliqueJSONMatchesService).
+	runner := pipeline.New(pipeline.Config{Topo: c, Pool: opts.Pool})
+	opts.Runner = runner
+	prob := perm.RandomRanksK(n, k, xmath.NewRNG(seed))
+	res, net, err := route.RunTopoProblem(c, prob, opts)
+	fail(err)
+	delivered := true
+	net.ForEachHeld(func(rank int, p *engine.Packet) {
+		if p.Dst != rank {
+			delivered = false
+		}
+	})
+	if jsonOut {
+		emitJSON(service.FromCliqueRoute(res, runner.Totals(), c, k, delivered))
+		return
+	}
+	fmt.Printf("clique greedy routing of a %d-relation: %d steps (bound k=%d), delivered=%v, max queue %d",
+		k, res.Steps, k, delivered, res.MaxQueue)
+	if len(res.Stranded) > 0 {
+		fmt.Printf(", stranded %d", len(res.Stranded))
+	}
+	fmt.Println()
 }
 
 // emitJSON writes the -json report: exactly one JSON object on

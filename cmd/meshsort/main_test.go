@@ -8,9 +8,12 @@ import (
 	"meshsort/internal/core"
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
+	"meshsort/internal/perm"
 	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 	"meshsort/internal/service"
+	"meshsort/internal/topo"
+	"meshsort/internal/xmath"
 )
 
 func TestPickPerm(t *testing.T) {
@@ -91,6 +94,62 @@ func TestJSONMatchesService(t *testing.T) {
 	}
 	if fromCLI.KeySum == "" {
 		t.Error("CLI result missing keySum")
+	}
+}
+
+// TestCliqueJSONMatchesService pins the -json contract for the clique
+// workload the same way TestJSONMatchesService does for the sorts: the
+// CLI path (RunTopoProblem on an explicit runner + FromCliqueRoute)
+// must encode to the object the service produces for the equivalent
+// JobSpec.
+func TestCliqueJSONMatchesService(t *testing.T) {
+	c := topo.NewClique(64)
+	runner := pipeline.New(pipeline.Config{Topo: c})
+	prob := perm.RandomRanksK(64, 3, xmath.NewRNG(1))
+	res, net, err := route.RunTopoProblem(c, prob, route.BatchOpts{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := true
+	net.ForEachHeld(func(rank int, p *engine.Packet) {
+		if p.Dst != rank {
+			delivered = false
+		}
+	})
+	cli, err := json.Marshal(service.FromCliqueRoute(res, runner.Totals(), c, 3, delivered))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := service.New(service.Options{Runners: 1, WorkersPerRunner: 1})
+	defer s.Close()
+	job, err := s.Submit(service.JobSpec{Alg: service.AlgCliqueRoute, N: 64, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	st := job.Snapshot()
+	if st.Status != service.StatusDone {
+		t.Fatalf("service job: %s (%s)", st.Status, st.Error)
+	}
+
+	var fromCLI, fromSvc service.Result
+	if err := json.Unmarshal(cli, &fromCLI); err != nil {
+		t.Fatal(err)
+	}
+	svcBytes, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(svcBytes, &fromSvc); err != nil {
+		t.Fatal(err)
+	}
+	fromCLI.Phases, fromSvc.Phases = nil, nil
+	if !reflect.DeepEqual(fromCLI, fromSvc) {
+		t.Errorf("CLI and service clique results diverge:\n  cli: %+v\n  svc: %+v", fromCLI, fromSvc)
+	}
+	if !fromCLI.Delivered || fromCLI.Bound != 3 || fromCLI.TotalSteps > 3 {
+		t.Errorf("implausible clique result: %+v", fromCLI)
 	}
 }
 

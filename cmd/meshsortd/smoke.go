@@ -54,6 +54,11 @@ func runSmoke(base string, out io.Writer) error {
 			second.Result.KeySum, first.Result.KeySum)
 	}
 
+	cliqueSt, err := smokeClique(client, base)
+	if err != nil {
+		return fmt.Errorf("clique job: %w", err)
+	}
+
 	cancelled, err := smokeCancel(client, base)
 	if err != nil {
 		return fmt.Errorf("cancel job: %w", err)
@@ -81,10 +86,41 @@ func runSmoke(base string, out io.Writer) error {
 		return fmt.Errorf("a job was cancelled but jobsCancelled = %d", m.JobsCancelled)
 	}
 
-	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), cache hit confirmed, DELETE exercised (cancelled=%t), %d simulation(s)\n",
+	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), %s on %s in %d steps (bound %d), cache hit confirmed, DELETE exercised (cancelled=%t), %d simulation(s)\n",
 		first.Result.Algorithm, first.Result.Shape,
-		first.Result.TotalSteps, first.Result.Bound, cancelled, m.Simulations)
+		first.Result.TotalSteps, first.Result.Bound,
+		cliqueSt.Result.Algorithm, cliqueSt.Result.Shape,
+		cliqueSt.Result.TotalSteps, cliqueSt.Result.Bound,
+		cancelled, m.Simulations)
 	return nil
+}
+
+// smokeClique submits the non-mesh reference job: a k-relation on the
+// congested clique, which greedy direct routing must deliver within
+// its k-step bound through the same runner pool the mesh jobs lease.
+func smokeClique(client *http.Client, base string) (service.JobStatus, error) {
+	resp, err := client.Post(base+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"alg":"cliqueroute","n":64,"k":3}`))
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return service.JobStatus{}, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, err
+	}
+	if st.Status != service.StatusDone {
+		return st, fmt.Errorf("job %s finished %s: %s", st.ID, st.Status, st.Error)
+	}
+	r := st.Result
+	if r == nil || !r.Delivered || r.TotalSteps < 1 || r.TotalSteps > r.Bound {
+		return st, fmt.Errorf("job %s: not a delivered k-relation: %+v", st.ID, r)
+	}
+	return st, nil
 }
 
 // smokeCancel submits a routing job large enough to still be in flight

@@ -105,6 +105,9 @@ func OddEvenSnakeSort(net *engine.Net, sc *index.Scheme) (OddEvenResult, error) 
 // scheme, as a one-phase pipeline program.
 func RunOddEven(s grid.Shape, keys []int64) (OddEvenResult, error) {
 	var res OddEvenResult
+	if err := s.Validate(); err != nil {
+		return res, fmt.Errorf("baseline: %w", err)
+	}
 	runner := pipeline.New(pipeline.Config{Shape: s})
 	if _, err := runner.InjectKeys(1, keys); err != nil {
 		return res, err

@@ -41,6 +41,9 @@ type ShearSortResult struct {
 // core.Config.RealLocalSort); run standalone it shows why shearing the
 // whole mesh loses to the paper's block-then-route structure.
 func ShearSort(s grid.Shape, keys []int64, opts ShearSortOpts) (ShearSortResult, error) {
+	if err := s.Validate(); err != nil {
+		return ShearSortResult{}, fmt.Errorf("baseline: %w", err)
+	}
 	res := ShearSortResult{Diameter: s.Diameter()}
 	runner := pipeline.New(pipeline.Config{
 		Shape:      s,

@@ -203,3 +203,17 @@ func BenchmarkOddEvenSnakeSort(b *testing.B) {
 		}
 	}
 }
+
+// TestDegenerateShapeErrors pins the validation boundary: a hand-built
+// degenerate shape is rejected with an error, never a silent mis-stride
+// or an engine panic.
+func TestDegenerateShapeErrors(t *testing.T) {
+	for _, s := range []grid.Shape{{Dim: 0, Side: 8}, {Dim: 2, Side: 1}} {
+		if _, err := ShearSort(s, nil, ShearSortOpts{}); err == nil {
+			t.Errorf("ShearSort accepted degenerate shape %+v", s)
+		}
+		if _, err := RunOddEven(s, nil); err == nil {
+			t.Errorf("RunOddEven accepted degenerate shape %+v", s)
+		}
+	}
+}

@@ -192,13 +192,20 @@ func (c Config) k() int {
 	return c.K
 }
 
-// Validate checks the divisibility constraints the algorithms need:
-// the block side must divide the mesh side, the number of blocks B must
-// be even (so the center region is exactly half the network) and must
-// divide the block volume (so the unshuffle step lands exactly; this is
-// the finite-size incarnation of the paper's alpha >= 2/3 choice).
+// Validate checks the shape is well-formed (the sorting algorithms are
+// mesh/torus algorithms: blocked indexing, unshuffles, and center
+// regions have no meaning on other topologies, so Config deliberately
+// takes a grid.Shape and not a topo.Topology) and the divisibility
+// constraints the algorithms need: the block side must divide the mesh
+// side, the number of blocks B must be even (so the center region is
+// exactly half the network) and must divide the block volume (so the
+// unshuffle step lands exactly; this is the finite-size incarnation of
+// the paper's alpha >= 2/3 choice).
 func (c Config) Validate() error {
 	s := c.Shape
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	b := c.BlockSide
 	if b < 1 || s.Side%b != 0 {
 		return fmt.Errorf("core: block side %d must divide mesh side %d", b, s.Side)

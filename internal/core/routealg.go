@@ -116,6 +116,9 @@ func (r *RouteAlgResult) fromTotals(t pipeline.Totals) {
 func TwoPhaseRoute(cfg RouteConfig, prob perm.Problem) (RouteAlgResult, error) {
 	s := cfg.Shape
 	res := RouteAlgResult{Algorithm: "TwoPhaseRoute", Nu: cfg.nu()}
+	if err := s.Validate(); err != nil {
+		return res, fmt.Errorf("core: %w", err)
+	}
 	if cfg.BlockSide < 1 || s.Side%cfg.BlockSide != 0 {
 		return res, fmt.Errorf("core: block side %d must divide mesh side %d", cfg.BlockSide, s.Side)
 	}

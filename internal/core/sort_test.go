@@ -256,6 +256,8 @@ func TestConfigValidate(t *testing.T) {
 		{Shape: grid.New(2, 8), BlockSide: 2},                 // V=4 < B=16
 		{Shape: grid.New(2, 8), BlockSide: 4, K: -1},          // negative k
 		{Shape: grid.New(2, 8), BlockSide: 4, CenterCount: 5}, // > B
+		{Shape: grid.Shape{Dim: 0, Side: 8}, BlockSide: 4},    // degenerate dim
+		{Shape: grid.Shape{Dim: 2, Side: 1}, BlockSide: 1},    // degenerate side
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

@@ -1,7 +1,10 @@
-// Package engine implements the synchronous multi-packet mesh model of
-// the paper: N = n^d processors operating in lock-step, each holding a
-// small number of packets, each able to transmit one packet per directed
-// link per step.
+// Package engine implements the synchronous multi-packet network model
+// of the paper: processors operating in lock-step, each holding a small
+// number of packets, each able to transmit one packet per directed link
+// per step. The network's wiring is a topo.Topology — the paper's
+// N = n^d mesh/torus is the default and the performance target, and the
+// same step loop drives any topology satisfying the link-identity
+// contract (the congested clique ships as the first non-mesh instance).
 //
 // The engine separates what the machine does (move packets along links
 // under a routing policy, one per link per step) from what the algorithms
@@ -10,6 +13,21 @@
 // (block-local sorts, whose o(n) cost the paper treats as a black box)
 // rearrange held packets atomically and advance the clock by a charged
 // cost (see internal/core).
+//
+// # Topologies
+//
+// A Net is built over a topo.Topology (New takes the historical
+// grid.Shape and wraps it; NewNet takes any topology). The step loop
+// needs exactly the interface's link-identity contract: every processor
+// exposes a uniform window of link ids, Neighbor maps a directed link to
+// its receiver and a receiver-side inbox slot unique per directed edge
+// (which is what makes the send phase's plain-store inbox writes safe),
+// and Dist is exact. The mesh keeps its precomputed-stride arithmetic as
+// an inline fast path — the step loop recognizes *topo.Mesh by type and
+// performs no interface calls on the transit path — while other
+// topologies route through the interface; both paths are covered by the
+// zero-allocation guards. CheckTopology enforces the data-plane
+// capacity limits (link ids fit an int16, rank*links fits an int32).
 //
 // # The two-phase barrier model
 //

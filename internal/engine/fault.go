@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"meshsort/internal/grid"
+	"meshsort/internal/topo"
 	"meshsort/internal/xmath"
 )
 
@@ -27,8 +28,8 @@ import (
 // for every worker count. A nil *FaultPlan is valid everywhere a plan is
 // accepted and means "no faults".
 type FaultPlan struct {
-	shape grid.Shape
-	links int // directed links per processor, 2*Dim
+	tp    topo.Topology
+	links int // directed links per processor, Topology.Links()
 
 	perm      []uint64         // bitset over directed links: permanently down
 	transient []uint64         // bitset: link has at least one outage window
@@ -44,12 +45,17 @@ type Outage struct {
 	From, To int
 }
 
-// NewFaultPlan returns an empty plan for the given shape.
+// NewFaultPlan returns an empty plan for the given mesh/torus shape.
 func NewFaultPlan(s grid.Shape) *FaultPlan {
-	links := 2 * s.Dim
-	words := (s.N()*links + 63) / 64
+	return NewFaultPlanTopo(topo.FromShape(s))
+}
+
+// NewFaultPlanTopo returns an empty plan for the given topology.
+func NewFaultPlanTopo(t topo.Topology) *FaultPlan {
+	links := t.Links()
+	words := (t.N()*links + 63) / 64
 	return &FaultPlan{
-		shape:     s,
+		tp:        t,
 		links:     links,
 		perm:      make([]uint64, words),
 		transient: make([]uint64, words),
@@ -60,6 +66,11 @@ func NewFaultPlan(s grid.Shape) *FaultPlan {
 // RandomFaultPlan fails each physical edge of the shape independently
 // with the given probability, deterministically in the seed. A rate of 0
 // returns a valid empty plan.
+//
+// The enumeration order below is part of the deterministic contract
+// (experiment outputs depend on it byte for byte), so it is kept as the
+// historical mesh-specific walk rather than delegating to the generic
+// RandomFaultPlanTopo, whose edge order differs.
 func RandomFaultPlan(s grid.Shape, rate float64, seed uint64) *FaultPlan {
 	f := NewFaultPlan(s)
 	if rate <= 0 {
@@ -83,6 +94,37 @@ func RandomFaultPlan(s grid.Shape, rate float64, seed uint64) *FaultPlan {
 	return f
 }
 
+// RandomFaultPlanTopo fails each physical edge of the topology
+// independently with the given probability, deterministically in the
+// seed. Each edge is enumerated exactly once, from the side whose
+// (rank, link) pair is lexicographically smaller than its Reverse —
+// which also counts both physical edges between a side-2 torus pair.
+// Note the edge order differs from RandomFaultPlan's mesh walk, so the
+// same (shape, rate, seed) yields a different plan through the two
+// constructors.
+func RandomFaultPlanTopo(t topo.Topology, rate float64, seed uint64) *FaultPlan {
+	f := NewFaultPlanTopo(t)
+	if rate <= 0 {
+		return f
+	}
+	rng := xmath.NewRNG(seed).Split(0xfa017)
+	for rank := 0; rank < t.N(); rank++ {
+		for link := 0; link < f.links; link++ {
+			recv, back, ok := t.Reverse(rank, link)
+			if !ok {
+				continue
+			}
+			if recv < rank || (recv == rank && back < link) {
+				continue // the far side already enumerated this edge
+			}
+			if rng.Float64() < rate {
+				f.FailLink(rank, link)
+			}
+		}
+	}
+	return f
+}
+
 func (f *FaultPlan) idx(rank, link int) int { return rank*f.links + link }
 
 func (f *FaultPlan) setPerm(idx int) bool {
@@ -94,24 +136,13 @@ func (f *FaultPlan) setPerm(idx int) bool {
 	return true
 }
 
-// reverse returns the directed link on the far side of (rank, link): the
-// neighbor reached through it and that neighbor's link pointing back.
-// The second return is false if the link leads off a mesh boundary.
-func (f *FaultPlan) reverse(rank, link int) (int, int, bool) {
-	nb, ok := f.shape.Step(rank, LinkDim(link), LinkDir(link))
-	if !ok {
-		return 0, 0, false
-	}
-	return nb, LinkFor(LinkDim(link), -LinkDir(link)), true
-}
-
 // FailLink permanently fails the physical edge behind the directed link
-// (both directions). It panics if the link leads off a mesh boundary —
-// there is no edge there to fail.
+// (both directions). It panics if the link carries no edge (a mesh
+// boundary link) — there is no edge there to fail.
 func (f *FaultPlan) FailLink(rank, link int) {
-	nb, back, ok := f.reverse(rank, link)
+	nb, back, ok := f.tp.Reverse(rank, link)
 	if !ok {
-		panic(fmt.Sprintf("engine: FailLink(%d, %d): no edge off the mesh boundary", rank, link))
+		panic(fmt.Sprintf("engine: FailLink(%d, %d): no edge off the network boundary", rank, link))
 	}
 	fresh := f.setPerm(f.idx(rank, link))
 	f.setPerm(f.idx(nb, back))
@@ -125,11 +156,9 @@ func (f *FaultPlan) FailLink(rank, link int) {
 // it can never be delivered; the patience mechanism strands them (see
 // RouteOpts.Patience).
 func (f *FaultPlan) FailProcessor(rank int) {
-	for dim := 0; dim < f.shape.Dim; dim++ {
-		for _, dir := range [2]int{-1, 1} {
-			if _, ok := f.shape.Step(rank, dim, dir); ok {
-				f.FailLink(rank, LinkFor(dim, dir))
-			}
+	for link := 0; link < f.links; link++ {
+		if _, _, ok := f.tp.Reverse(rank, link); ok {
+			f.FailLink(rank, link)
 		}
 	}
 	f.dead = append(f.dead, rank)
@@ -142,9 +171,9 @@ func (f *FaultPlan) Outage(rank, link, from, to int) {
 	if from >= to {
 		panic(fmt.Sprintf("engine: Outage(%d, %d): empty interval [%d, %d)", rank, link, from, to))
 	}
-	nb, back, ok := f.reverse(rank, link)
+	nb, back, ok := f.tp.Reverse(rank, link)
 	if !ok {
-		panic(fmt.Sprintf("engine: Outage(%d, %d): no edge off the mesh boundary", rank, link))
+		panic(fmt.Sprintf("engine: Outage(%d, %d): no edge off the network boundary", rank, link))
 	}
 	for _, i := range [2]int{f.idx(rank, link), f.idx(nb, back)} {
 		f.transient[i>>6] |= 1 << (uint(i) & 63)
@@ -210,7 +239,7 @@ func (f *FaultPlan) String() string {
 		return "no faults"
 	}
 	return fmt.Sprintf("faults(%v): %d edges down, %d outage windows, %d dead processors",
-		f.shape, f.downEdges, len(f.outages)/2, len(f.dead))
+		f.tp, f.downEdges, len(f.outages)/2, len(f.dead))
 }
 
 // PacketDiag describes one packet that a routing phase could not

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"meshsort/internal/grid"
+	"meshsort/internal/topo"
 )
 
 // Policy decides, for a packet at a given processor, which outgoing link
@@ -151,13 +152,15 @@ type proc struct {
 	out    []int32  // one grant slot per link, len 2d: index into moving, noPacket = empty
 }
 
-// Net is a synchronous mesh or torus network holding packets.
-// Create one with New, place packets with Inject or SetHeld, and run
-// routing phases with Route. Reset reuses a network (including its
-// packet arena and all per-processor queue storage) for a fresh problem,
-// which is how steady-state routing reaches zero heap allocations per
-// step: after a warm-up run every buffer the step loop touches already
-// exists.
+// Net is a synchronous network holding packets, routing on any
+// topo.Topology — the mesh/torus of the source paper as the inline fast
+// path, everything else through the interface. Create one with New (a
+// mesh/torus shape) or NewNet (any topology), place packets with Inject
+// or SetHeld, and run routing phases with Route. Reset/ResetTopo reuses
+// a network (including its packet arena and all per-processor queue
+// storage) for a fresh problem, which is how steady-state routing
+// reaches zero heap allocations per step: after a warm-up run every
+// buffer the step loop touches already exists.
 //
 // Hot packet state (dst, class, togo) rides inside the moving-queue and
 // inbox entries themselves (see pktRef), so the step loop streams
@@ -167,7 +170,21 @@ type proc struct {
 // Packet structs (keys, tags, pair links) stay untouched until an
 // algorithm phase asks for them.
 type Net struct {
+	// Topo is the network's topology. The step loop special-cases
+	// *topo.Mesh with inline stride arithmetic (no interface calls on the
+	// transit path); other topologies route through the interface.
+	Topo topo.Topology
+
+	// Shape is the grid shape behind a mesh/torus topology, kept public
+	// because every mesh-only consumer (the sorting algorithms, indexing
+	// schemes, experiment code) reads coordinate arithmetic off it. It is
+	// the zero Shape when Topo is not a mesh — mesh-only callers never
+	// see that, and topology-generic code must use Topo.
 	Shape grid.Shape
+
+	// links is Topo.Links(): the per-processor out-slot and inbox window
+	// width (2d on meshes).
+	links int
 
 	procs []proc
 	// outs is the backing slab behind every proc's out window
@@ -218,14 +235,19 @@ type Net struct {
 	scratch *stepState // reusable per-phase routing state (lazily built, survives phases and Reset)
 }
 
-// CheckCapacity reports whether a shape fits the engine's int32 arena
-// indexing: processor ranks are stored in int32 packet-state slabs and
-// the out-slot backing slab carves N*2d windows, so both N and N*2d must
-// stay within int32 range. New and Reset enforce this with a panic
+// CheckCapacity reports whether a shape is well-formed (see
+// grid.Shape.Validate — a hand-built degenerate literal would silently
+// mis-stride every coordinate computation) and fits the engine's int32
+// arena indexing: processor ranks are stored in int32 packet-state slabs
+// and the out-slot backing slab carves N*2d windows, so both N and N*2d
+// must stay within int32 range. New and Reset enforce this with a panic
 // (mirroring grid.New's overflow rejection); callers that take shapes
 // from external input — the service layer, command-line tools — should
 // call CheckCapacity first and surface the error.
 func CheckCapacity(s grid.Shape) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
 	n := int64(s.N())
 	slots := n * int64(2*s.Dim)
 	if n > math.MaxInt32 || slots > math.MaxInt32 {
@@ -235,25 +257,60 @@ func CheckCapacity(s grid.Shape) error {
 	return nil
 }
 
-// New returns an empty network of the given shape. It panics if the
-// shape exceeds the engine's int32 arena capacity (see CheckCapacity).
+// CheckTopology is CheckCapacity for arbitrary topologies: N and the
+// N*Links slot slab must fit int32 indexing, and the link-id window must
+// fit the int16 cached-link field of the queue entries (pktRef.link,
+// with -1 and linkUnknown reserved) — a clique is therefore bounded at
+// 32768 nodes.
+func CheckTopology(t topo.Topology) error {
+	n := int64(t.N())
+	links := int64(t.Links())
+	if links < 1 {
+		return fmt.Errorf("engine: topology %v has no links", t)
+	}
+	if links > math.MaxInt16 {
+		return fmt.Errorf("engine: topology %v has %d links per processor, exceeding the int16 link-id space (%d)",
+			t, links, math.MaxInt16)
+	}
+	if n > math.MaxInt32 || n*links > math.MaxInt32 {
+		return fmt.Errorf("engine: topology %v exceeds int32 arena capacity (N=%d, out slots=%d, limit %d)",
+			t, n, n*links, math.MaxInt32)
+	}
+	return nil
+}
+
+// New returns an empty network on the mesh/torus of the given shape. It
+// panics on a degenerate shape or one that exceeds the engine's int32
+// arena capacity (see CheckCapacity).
 func New(s grid.Shape) *Net {
 	if err := CheckCapacity(s); err != nil {
 		panic(err.Error())
 	}
-	n := &Net{Shape: s}
-	n.buildProcs(s)
+	return NewNet(topo.FromShape(s))
+}
+
+// NewNet returns an empty network on the given topology. It panics if
+// the topology exceeds the engine's capacity (see CheckTopology).
+func NewNet(t topo.Topology) *Net {
+	if err := CheckTopology(t); err != nil {
+		panic(err.Error())
+	}
+	n := &Net{Topo: t, links: t.Links()}
+	if s, ok := topo.MeshShape(t); ok {
+		n.Shape = s
+	}
+	n.buildProcs()
 	return n
 }
 
 // buildProcs (re)creates the per-processor queues and the shared
-// out-slot backing array for a shape. The backing array is one slab of
-// N*2d slots carved into per-processor windows, so it is only valid for
-// the exact (N, 2d) it was built for — see Reset.
-func (n *Net) buildProcs(s grid.Shape) {
-	n.procs = make([]proc, s.N())
-	links := 2 * s.Dim
-	backing := make([]int32, s.N()*links)
+// out-slot backing array for the current topology. The backing array is
+// one slab of N*links slots carved into per-processor windows, so it is
+// only valid for the exact (N, links) it was built for — see ResetTopo.
+func (n *Net) buildProcs() {
+	N, links := n.Topo.N(), n.links
+	n.procs = make([]proc, N)
+	backing := make([]int32, N*links)
 	for i := range backing {
 		backing[i] = noPacket
 	}
@@ -261,11 +318,17 @@ func (n *Net) buildProcs(s grid.Shape) {
 	for i := range n.procs {
 		n.procs[i].out = backing[i*links : (i+1)*links : (i+1)*links]
 	}
-	n.inbox = make([]pktRef, s.N()*links)
+	n.inbox = make([]pktRef, N*links)
 	for i := range n.inbox {
 		n.inbox[i].id = noPacket
 	}
 }
+
+// N returns the number of processors.
+func (n *Net) N() int { return len(n.procs) }
+
+// Links returns the per-processor link-id window width (2d on meshes).
+func (n *Net) Links() int { return n.links }
 
 // Reset returns the network to the empty state for a new problem,
 // reusing its storage: the packet arena and its hot-state slabs keep
@@ -284,16 +347,38 @@ func (n *Net) buildProcs(s grid.Shape) {
 // by construction — hot routing state lives in the moving queues (all
 // truncated here) and activation rewrites the accounting records of
 // every id before a phase reads them. Load counting is switched off
-// (re-enable with SetCountLoads). Reset panics if the new shape exceeds
-// the int32 arena capacity (see CheckCapacity).
+// (re-enable with SetCountLoads). Reset panics if the new shape is
+// degenerate or exceeds the int32 arena capacity (see CheckCapacity).
 func (n *Net) Reset(s grid.Shape) {
 	if err := CheckCapacity(s); err != nil {
 		panic(err.Error())
 	}
-	if s.N() != len(n.procs) || s.Dim != n.Shape.Dim {
-		n.buildProcs(s)
+	// Reuse the current topology when the shape is unchanged: warm
+	// same-shape resets are the steady state of the runner pool, and
+	// rebuilding the stride tables would put allocations on that path.
+	if m, ok := n.Topo.(*topo.Mesh); ok && m.Shape() == s {
+		n.ResetTopo(m)
+		return
+	}
+	n.ResetTopo(topo.FromShape(s))
+}
+
+// ResetTopo is Reset for an arbitrary topology. Storage survives exactly
+// when the geometries match (topo.SameGeometry: same layout contract,
+// same stride tables); otherwise the per-processor queues, slot slabs,
+// and step scratch are rebuilt. It panics if the topology exceeds the
+// engine's capacity (see CheckTopology).
+func (n *Net) ResetTopo(t topo.Topology) {
+	if err := CheckTopology(t); err != nil {
+		panic(err.Error())
+	}
+	if !topo.SameGeometry(n.Topo, t) {
+		n.Topo = t
+		n.links = t.Links()
+		n.buildProcs()
 		n.scratch = nil // shard layout and dimension strides are stale
 	} else {
+		n.Topo = t
 		for i := range n.procs {
 			pr := &n.procs[i]
 			pr.moving = pr.moving[:0]
@@ -309,7 +394,11 @@ func (n *Net) Reset(s grid.Shape) {
 			n.inbox[i].id = noPacket
 		}
 	}
-	n.Shape = s
+	if s, ok := topo.MeshShape(t); ok {
+		n.Shape = s
+	} else {
+		n.Shape = grid.Shape{}
+	}
 	n.clock = 0
 	n.nextID = 0
 	n.MaxQueue = 0
@@ -331,7 +420,7 @@ func (n *Net) SetCountLoads(on bool) {
 		return
 	}
 	if n.loads == nil {
-		n.loads = make([]int64, len(n.procs)*2*n.Shape.Dim)
+		n.loads = make([]int64, len(n.procs)*n.links)
 	}
 }
 
@@ -345,11 +434,13 @@ func (n *Net) LinkLoad(rank, link int) int64 {
 	if n.loads == nil {
 		panic("engine: LinkLoad without SetCountLoads(true)")
 	}
-	return n.loads[rank*2*n.Shape.Dim+link]
+	return n.loads[rank*n.links+link]
 }
 
 // LoadProfile summarizes link congestion: total traversals, the maximum
-// over directed links, and per-dimension totals.
+// over directed links, and per-dimension totals. ByDim decomposes by the
+// mesh link encoding and is nil on non-mesh topologies, whose link ids
+// carry no dimension structure.
 type LoadProfile struct {
 	Total int64
 	Max   int64
@@ -362,14 +453,19 @@ func (n *Net) LoadProfile() LoadProfile {
 	if n.loads == nil {
 		panic("engine: LoadProfile without SetCountLoads(true)")
 	}
-	p := LoadProfile{ByDim: make([]int64, n.Shape.Dim)}
-	links := 2 * n.Shape.Dim
+	var p LoadProfile
+	if n.Shape.Dim > 0 {
+		p.ByDim = make([]int64, n.Shape.Dim)
+	}
+	links := n.links
 	for i, v := range n.loads {
 		p.Total += v
 		if v > p.Max {
 			p.Max = v
 		}
-		p.ByDim[(i%links)/2] += v
+		if p.ByDim != nil {
+			p.ByDim[(i%links)/2] += v
+		}
 	}
 	return p
 }
@@ -678,7 +774,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	st.patience = opts.Patience
 	if st.patience == 0 {
 		if opts.Faults != nil {
-			st.patience = 2*n.Shape.Diameter() + 64
+			st.patience = 2*n.Topo.Diameter() + 64
 		} else {
 			st.patience = -1
 		}
@@ -688,7 +784,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	}
 	watchdog := opts.NoProgress
 	if watchdog == 0 {
-		watchdog = 4*n.Shape.Diameter() + 64
+		watchdog = 4*n.Topo.Diameter() + 64
 		if 2*st.patience > watchdog {
 			watchdog = 2 * st.patience
 		}
@@ -723,7 +819,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			}
 			// Build the queue entry from the (algorithm-owned) Packet
 			// record and arm the per-phase accounting state.
-			togo := int32(n.Shape.Dist(r, p.Dst))
+			togo := int32(st.dist(r, p.Dst))
 			ab := int(id) * auxStride
 			arec := n.aux[ab : ab+auxStride]
 			arec[auxBest] = togo
@@ -765,7 +861,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
-		maxSteps = 64*n.Shape.Diameter() + 1024
+		maxSteps = 64*n.Topo.Diameter() + 1024
 	}
 
 	pool := opts.Pool
@@ -964,8 +1060,17 @@ type stepState struct {
 	// all. Sized by attach (the worker count), wiped by begin when dirty.
 	inboxBits [][]uint64
 
+	// mesh marks the inline fast path: the topology is a *topo.Mesh, so
+	// the send/delivery loops use the stride tables below instead of the
+	// Topology interface. Non-mesh topologies leave it false and resolve
+	// neighbors through Topo.Neighbor/SlotSender. The flag survives
+	// same-geometry Resets by construction (topo.SameGeometry never
+	// crosses the mesh/non-mesh boundary).
+	mesh bool
+
 	// divs caches side^(d-1-dim) per dimension: the rank stride of one
 	// hop along dim, precomputed so the hot loops never call Ipow.
+	// Mesh-only (nil otherwise), like divShift/sideMask/pow2 below.
 	divs []int
 	// Power-of-two strength reduction for the coordinate extraction
 	// (rank / div) % side in the shard loops: when side = 2^k it becomes
@@ -1040,23 +1145,35 @@ func newStepState(n *Net) *stepState {
 	}
 	st.sendList = make([]int32, 0, st.numShards)
 	st.deliverList = make([]int32, 0, st.numShards)
-	st.divs = make([]int, n.Shape.Dim)
-	div := 1
-	for dim := n.Shape.Dim - 1; dim >= 0; dim-- {
-		st.divs[dim] = div
-		div *= n.Shape.Side
-	}
-	if side := n.Shape.Side; side&(side-1) == 0 {
-		st.pow2 = true
-		st.sideMask = side - 1
-		logSide := uint(bits.TrailingZeros(uint(side)))
-		st.divShift = make([]uint, n.Shape.Dim)
-		for dim := range st.divShift {
-			st.divShift[dim] = logSide * uint(n.Shape.Dim-1-dim)
+	if _, isMesh := topo.MeshShape(n.Topo); isMesh {
+		st.mesh = true
+		st.divs = make([]int, n.Shape.Dim)
+		div := 1
+		for dim := n.Shape.Dim - 1; dim >= 0; dim-- {
+			st.divs[dim] = div
+			div *= n.Shape.Side
+		}
+		if side := n.Shape.Side; side&(side-1) == 0 {
+			st.pow2 = true
+			st.sideMask = side - 1
+			logSide := uint(bits.TrailingZeros(uint(side)))
+			st.divShift = make([]uint, n.Shape.Dim)
+			for dim := range st.divShift {
+				st.divShift[dim] = logSide * uint(n.Shape.Dim-1-dim)
+			}
 		}
 	}
 	st.workerFn = st.phaseWorker
 	return st
+}
+
+// dist is the step loop's distance query: the mesh's non-virtual
+// Shape.Dist on the fast path, the interface call otherwise.
+func (st *stepState) dist(a, b int) int {
+	if st.mesh {
+		return st.net.Shape.Dist(a, b)
+	}
+	return st.net.Topo.Dist(a, b)
 }
 
 // markDirty requests a full bookkeeping wipe at the next begin (used by
@@ -1362,47 +1479,60 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 	// slots are cleared here — they are contest scratch and never
 	// survive the send phase.
 	side := n.Shape.Side
-	links := 2 * n.Shape.Dim
+	links := n.links
 	for l, qi := range pr.out {
 		if qi == noPacket {
 			continue
 		}
 		pr.out[l] = noPacket
 		e := &pr.moving[qi]
-		dim := LinkDim(l)
-		div := st.divs[dim]
-		var c int
-		if st.pow2 {
-			c = (r >> st.divShift[dim]) & st.sideMask
+		var recv, slot int
+		if st.mesh {
+			// Inline mesh fast path: the receiver is one stride away and
+			// the inbox slot is the sender's own link id. No interface
+			// call on the transit path.
+			dim := LinkDim(l)
+			div := st.divs[dim]
+			var c int
+			if st.pow2 {
+				c = (r >> st.divShift[dim]) & st.sideMask
+			} else {
+				c = (r / div) % side
+			}
+			recv, slot = r, l
+			legal := true
+			switch {
+			case LinkDir(l) > 0:
+				if c < side-1 {
+					recv = r + div
+				} else if n.Shape.Torus {
+					recv = r - (side-1)*div
+				} else {
+					legal = false
+				}
+			default:
+				if c > 0 {
+					recv = r - div
+				} else if n.Shape.Torus {
+					recv = r + (side-1)*div
+				} else {
+					legal = false
+				}
+			}
+			if !legal {
+				// Leave the packet in its queue (unconsumed) and drop the
+				// grant: the error aborts the phase at the step barrier
+				// with the network conserved.
+				st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", e.id, r, l))
+				continue
+			}
 		} else {
-			c = (r / div) % side
-		}
-		recv := r
-		legal := true
-		switch {
-		case LinkDir(l) > 0:
-			if c < side-1 {
-				recv = r + div
-			} else if n.Shape.Torus {
-				recv = r - (side-1)*div
-			} else {
-				legal = false
+			var ok bool
+			recv, slot, ok = n.Topo.Neighbor(r, l)
+			if !ok {
+				st.recordErr(r, fmt.Errorf("engine: policy routed packet %d over the edgeless link %d of rank %d on %v", e.id, l, r, n.Topo))
+				continue
 			}
-		default:
-			if c > 0 {
-				recv = r - div
-			} else if n.Shape.Torus {
-				recv = r + (side-1)*div
-			} else {
-				legal = false
-			}
-		}
-		if !legal {
-			// Leave the packet in its queue (unconsumed) and drop the
-			// grant: the error aborts the phase at the step barrier
-			// with the network conserved.
-			st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", e.id, r, l))
-			continue
 		}
 		// Advance the packet's bookkeeping here, where its queue entry
 		// is already in cache: the delivery phase then needs no
@@ -1414,7 +1544,7 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 		if st.detour {
 			// Detouring policies may move packets away from their
 			// destinations; recompute instead of decrementing.
-			next = int32(n.Shape.Dist(recv, int(e.dst)))
+			next = int32(st.dist(recv, int(e.dst)))
 		} else {
 			next = old - 1
 			if next <= 0 && int(e.dst) != recv {
@@ -1441,7 +1571,7 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 				nl = int16(nl2)
 			}
 		}
-		n.inbox[recv*links+l] = pktRef{id: id, dst: e.dst, class: e.class, togo: next, link: nl}
+		n.inbox[recv*links+slot] = pktRef{id: id, dst: e.dst, class: e.class, togo: next, link: nl}
 		// Mark the entry consumed; the queue rebuild below drops it.
 		e.id = noPacket
 		// Plain OR into this worker's own bitmap — see inboxBits for
@@ -1484,10 +1614,9 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 // at all.
 func (st *stepState) deliverShard(w, sh, lo, hi int) {
 	n := st.net
-	s := n.Shape
-	side := s.Side
+	side := n.Shape.Side
 	aux := n.aux
-	inbox, links := n.inbox, 2*s.Dim
+	inbox, links := n.inbox, n.links
 	clock := int32(n.clock)
 	// The shard-level pending flag got us here; the receivers within the
 	// shard are the set bits of the shard's slice of the pending bitmaps,
@@ -1545,31 +1674,37 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 				if n.loads != nil {
 					// The receiver owns this counter: one slot per
 					// (sender, link) pair, indexed by the sender, is
-					// touched by exactly one receiver per step. The sender
-					// sits one hop against the slot's direction.
-					dim := LinkDim(slot)
-					div := st.divs[dim]
-					var c int
-					if st.pow2 {
-						c = (r >> st.divShift[dim]) & st.sideMask
-					} else {
-						c = (r / div) % side
-					}
-					sender := r
-					if LinkDir(slot) > 0 { // sent on +1: sender one hop below
-						if c > 0 {
-							sender = r - div
+					// touched by exactly one receiver per step.
+					if st.mesh {
+						// The mesh sender sits one hop against the slot's
+						// direction, and the sender's link id is the slot.
+						dim := LinkDim(slot)
+						div := st.divs[dim]
+						var c int
+						if st.pow2 {
+							c = (r >> st.divShift[dim]) & st.sideMask
 						} else {
-							sender = r + (side-1)*div
+							c = (r / div) % side
 						}
-					} else {
-						if c < side-1 {
-							sender = r + div
+						sender := r
+						if LinkDir(slot) > 0 { // sent on +1: sender one hop below
+							if c > 0 {
+								sender = r - div
+							} else {
+								sender = r + (side-1)*div
+							}
 						} else {
-							sender = r - (side-1)*div
+							if c < side-1 {
+								sender = r + div
+							} else {
+								sender = r - (side-1)*div
+							}
 						}
+						n.loads[sender*links+slot]++
+					} else {
+						sender, slink := n.Topo.SlotSender(r, slot)
+						n.loads[sender*links+slink]++
 					}
-					n.loads[sender*links+slot]++
 				}
 				// The sender already advanced the packet's bookkeeping (with
 				// the queue entry warm in its cache), resolved its next link,
@@ -1620,36 +1755,19 @@ func (st *stepState) diagnose(rank int, e pktRef) PacketDiag {
 		ID: n.pkt(e.id).ID, Key: n.pkt(e.id).Key, Rank: rank, Dst: dst,
 		Dist: int(e.togo), Waited: int(n.aux[int(e.id)*auxStride+auxStall]),
 	}
-	s := n.Shape
-	for dim := 0; dim < s.Dim; dim++ {
-		div := st.divs[dim]
-		c := (rank / div) % s.Side
-		t := (dst / div) % s.Side
-		if c == t {
+	// A link is profitable exactly when it strictly reduces the
+	// distance to the destination. Enumerating links in id order
+	// reproduces the historical mesh order (dimensions ascending, and on
+	// a torus tie both directions — each reduces the ring distance).
+	cur := st.dist(rank, dst)
+	for l := 0; l < n.links; l++ {
+		recv, _, ok := n.Topo.Neighbor(rank, l)
+		if !ok || st.dist(recv, dst) >= cur {
 			continue
 		}
-		var links []int
-		if s.Torus {
-			fwd := ((t-c)%s.Side + s.Side) % s.Side // hops in the +1 direction
-			back := s.Side - fwd
-			switch {
-			case fwd < back:
-				links = []int{LinkFor(dim, 1)}
-			case back < fwd:
-				links = []int{LinkFor(dim, -1)}
-			default:
-				links = []int{LinkFor(dim, -1), LinkFor(dim, 1)}
-			}
-		} else if t > c {
-			links = []int{LinkFor(dim, 1)}
-		} else {
-			links = []int{LinkFor(dim, -1)}
-		}
-		for _, l := range links {
-			d.Wants = append(d.Wants, l)
-			if st.faults.LinkDown(rank, l, n.clock) {
-				d.Blocked = append(d.Blocked, l)
-			}
+		d.Wants = append(d.Wants, l)
+		if st.faults.LinkDown(rank, l, n.clock) {
+			d.Blocked = append(d.Blocked, l)
 		}
 	}
 	return d
@@ -1700,7 +1818,7 @@ func (d diagsByRankID) Swap(i, j int) { d[i], d[j] = d[j], d[i] }
 func (st *stepState) checkInvariants(total int) error {
 	n := st.net
 	count := 0
-	links := 2 * n.Shape.Dim
+	links := n.links
 	for r := range n.procs {
 		pr := &n.procs[r]
 		for l, qi := range pr.out {
@@ -1726,7 +1844,7 @@ func (st *stepState) checkInvariants(total int) error {
 			}
 		}
 		for _, e := range pr.moving {
-			if want := n.Shape.Dist(r, int(e.dst)); int(e.togo) != want {
+			if want := st.dist(r, int(e.dst)); int(e.togo) != want {
 				return fmt.Errorf("engine: invariant violated: packet %d at rank %d carries distance budget %d but is %d hops from its destination", e.id, r, e.togo, want)
 			}
 			if l := int(e.link); l != int(linkUnknown) && l >= 0 {

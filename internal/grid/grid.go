@@ -39,15 +39,36 @@ func NewTorus(dim, side int) Shape {
 }
 
 func newShape(dim, side int, torus bool) Shape {
-	if dim < 1 {
-		panic(fmt.Sprintf("grid: dimension %d < 1", dim))
+	s := Shape{Dim: dim, Side: side, Torus: torus}
+	if err := s.Validate(); err != nil {
+		panic(err.Error())
 	}
-	if side < 2 {
-		panic(fmt.Sprintf("grid: side length %d < 2", side))
+	return s
+}
+
+// Validate reports whether the shape is well-formed: dimension >= 1,
+// side >= 2, and a processor count that fits in an int. The constructors
+// New/NewTorus enforce this with a panic, but a Shape is a plain struct
+// literal anyone can build — every coordinate method mis-strides
+// silently on a degenerate shape — so boundary layers (the engine, the
+// service spec, command-line parsing) validate explicitly and surface
+// the error.
+func (s Shape) Validate() error {
+	if s.Dim < 1 {
+		return fmt.Errorf("grid: dimension %d < 1", s.Dim)
 	}
-	// Reject shapes whose processor count overflows int.
-	xmath.Ipow(side, dim)
-	return Shape{Dim: dim, Side: side, Torus: torus}
+	if s.Side < 2 {
+		return fmt.Errorf("grid: side length %d < 2", s.Side)
+	}
+	n := 1
+	for i := 0; i < s.Dim; i++ {
+		next := n * s.Side
+		if next/s.Side != n {
+			return fmt.Errorf("grid: processor count %d^%d overflows int", s.Side, s.Dim)
+		}
+		n = next
+	}
+	return nil
 }
 
 // N returns the number of processors n^d.

@@ -77,7 +77,13 @@ func Transpose(s grid.Shape) Problem {
 
 // Random returns a uniformly random permutation of the processors.
 func Random(s grid.Shape, rng *xmath.RNG) Problem {
-	n := s.N()
+	return RandomRanks(s.N(), rng)
+}
+
+// RandomRanks is Random over a bare processor count, for topologies that
+// are not meshes (problems are rank-to-rank and shape-free; only the
+// historical constructors speak grid.Shape).
+func RandomRanks(n int, rng *xmath.RNG) Problem {
 	src := make([]int, n)
 	for i := range src {
 		src[i] = i
@@ -89,7 +95,11 @@ func Random(s grid.Shape, rng *xmath.RNG) Problem {
 // independent random permutations, so every processor is the source and
 // the destination of exactly k packets.
 func RandomK(s grid.Shape, k int, rng *xmath.RNG) Problem {
-	n := s.N()
+	return RandomRanksK(s.N(), k, rng)
+}
+
+// RandomRanksK is RandomK over a bare processor count.
+func RandomRanksK(n, k int, rng *xmath.RNG) Problem {
 	src := make([]int, 0, k*n)
 	dst := make([]int, 0, k*n)
 	for j := 0; j < k; j++ {

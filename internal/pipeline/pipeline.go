@@ -6,6 +6,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/radix"
+	"meshsort/internal/topo"
 )
 
 // Phase stat kinds. Local phases may use a custom kind (the in-mesh
@@ -120,7 +121,14 @@ type Inspect struct {
 // Config describes the fixed context a Runner gives every phase of a
 // program.
 type Config struct {
-	Shape   grid.Shape
+	// Shape names the mesh/torus to build. Ignored when Topo is set.
+	Shape grid.Shape
+	// Topo, if non-nil, selects an arbitrary network topology instead of
+	// the mesh/torus named by Shape. Mesh-specific phases (every sorting
+	// algorithm, anything using Runner.InjectKeys's shape arithmetic
+	// indirectly) require a mesh topology; generic routing phases run on
+	// any topology.
+	Topo    topo.Topology
 	Workers int // engine shard workers; 0 means GOMAXPROCS
 	// ShardShift overrides the engine's shard sizing (log2 processors per
 	// shard; 0 means automatic). See engine.Net.ShardShift for the
@@ -154,7 +162,12 @@ type Runner struct {
 
 // New builds a quiescent network for the configuration.
 func New(cfg Config) *Runner {
-	net := engine.New(cfg.Shape)
+	var net *engine.Net
+	if cfg.Topo != nil {
+		net = engine.NewNet(cfg.Topo)
+	} else {
+		net = engine.New(cfg.Shape)
+	}
 	net.Workers = cfg.Workers
 	net.Pool = cfg.Pool
 	net.ShardShift = cfg.ShardShift
@@ -191,7 +204,11 @@ func (r *Runner) Sorter() *radix.Sorter { return &r.srt }
 // not be called while a run is in flight on the runner.
 func (r *Runner) Reset(cfg Config) {
 	r.cfg = cfg
-	r.net.Reset(cfg.Shape)
+	if cfg.Topo != nil {
+		r.net.ResetTopo(cfg.Topo)
+	} else {
+		r.net.Reset(cfg.Shape)
+	}
 	r.net.Workers = cfg.Workers
 	r.net.Pool = cfg.Pool
 	r.net.ShardShift = cfg.ShardShift
@@ -222,7 +239,7 @@ func (r *Runner) LastRoute() engine.RouteResult { return r.last }
 // holds packets (a warm runner that was not Reset) are all reported as
 // errors rather than left to index panics downstream.
 func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
-	n := r.net.Shape.N()
+	n := r.net.N()
 	if k < 1 {
 		return nil, fmt.Errorf("pipeline: InjectKeys needs k >= 1 packets per processor, got k=%d", k)
 	}
@@ -236,7 +253,7 @@ func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
 	}
 	if len(keys) != k*n {
 		return nil, fmt.Errorf("pipeline: InjectKeys got %d keys, want k*N = %d (k=%d, N=%d on %v)",
-			len(keys), k*n, k, n, r.net.Shape)
+			len(keys), k*n, k, n, r.net.Topo)
 	}
 	if held := r.net.TotalPackets(); held != 0 {
 		return nil, fmt.Errorf("pipeline: InjectKeys on a network already holding %d packets; Reset the runner between problems", held)

@@ -7,6 +7,7 @@ import (
 	"meshsort/internal/grid"
 	"meshsort/internal/perm"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/topo"
 	"meshsort/internal/xmath"
 )
 
@@ -44,6 +45,20 @@ type BatchOpts struct {
 	CountLoads bool
 	// Observer, if set, receives the phase's PhaseStat when it completes.
 	Observer pipeline.Observer
+
+	// Policy overrides the default policy selection (Greedy/FaultGreedy
+	// on meshes, CliqueDirect on the clique, DimOrder elsewhere — see
+	// DefaultPolicy). The override must satisfy the engine's purity and
+	// monotonicity contract for the topology it routes on.
+	Policy engine.Policy
+	// Runner, if non-nil, is Reset to the problem's configuration and
+	// reused instead of building a fresh runner — the warm-pool entry
+	// point (the service leases same-geometry runners so repeat problems
+	// route allocation-free).
+	Runner *pipeline.Runner
+	// Cancel, if non-nil, aborts the phase cooperatively at a step
+	// boundary (see engine.RouteOpts.Cancel).
+	Cancel <-chan struct{}
 }
 
 // RunProblem injects the routing problem into a fresh network of the
@@ -53,12 +68,21 @@ type BatchOpts struct {
 // callers that want to inspect the outcome). On a degraded abort the
 // returned result carries the partial phase statistics.
 func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteResult, *engine.Net, error) {
-	var pol engine.Policy = NewGreedy(s)
-	if opts.Faults != nil {
-		pol = NewFaultGreedy(s, opts.Faults)
+	return RunTopoProblem(topo.FromShape(s), prob, opts)
+}
+
+// RunTopoProblem is RunProblem over an arbitrary topology: the same
+// one-phase greedy pipeline program, with the policy chosen by
+// DefaultPolicy unless opts.Policy overrides it. Class assignment is a
+// mesh concept (classes rotate the dimension scan), so on non-mesh
+// topologies every packet keeps class 0 and opts.Mode is ignored.
+func RunTopoProblem(t topo.Topology, prob perm.Problem, opts BatchOpts) (engine.RouteResult, *engine.Net, error) {
+	pol := opts.Policy
+	if pol == nil {
+		pol = DefaultPolicy(t, opts.Faults)
 	}
-	runner := pipeline.New(pipeline.Config{
-		Shape:      s,
+	cfg := pipeline.Config{
+		Topo:       t,
 		Workers:    opts.Workers,
 		ShardShift: opts.ShardShift,
 		Pool:       opts.Pool,
@@ -69,9 +93,16 @@ func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteRe
 			Patience:   opts.Patience,
 			NoProgress: opts.NoProgress,
 			Paranoid:   opts.Paranoid,
+			Cancel:     opts.Cancel,
 		},
 		Observer: opts.Observer,
-	})
+	}
+	runner := opts.Runner
+	if runner != nil {
+		runner.Reset(cfg)
+	} else {
+		runner = pipeline.New(cfg)
+	}
 	net := runner.Net()
 	if opts.CountLoads {
 		net.SetCountLoads(true)
@@ -82,7 +113,9 @@ func RunProblem(s grid.Shape, prob perm.Problem, opts BatchOpts) (engine.RouteRe
 		p.Dst = prob.Dst[i]
 		pkts[i] = p
 	}
-	AssignClasses(s, pkts, nil, opts.Mode, opts.BlockSide, opts.Seed)
+	if s, ok := topo.MeshShape(t); ok {
+		AssignClasses(s, pkts, nil, opts.Mode, opts.BlockSide, opts.Seed)
+	}
 	net.Inject(pkts)
 	err := runner.Run(pipeline.Route{Name: "greedy"})
 	return runner.LastRoute(), net, err

@@ -1,0 +1,139 @@
+package route
+
+import (
+	"testing"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+	"meshsort/internal/perm"
+	"meshsort/internal/pipeline"
+	"meshsort/internal/topo"
+	"meshsort/internal/xmath"
+)
+
+// TestDimOrderDeliversEverywhere routes a random permutation with the
+// generic dimension-order policy on every topology kind and checks full
+// delivery — the policy's monotonicity is enforced by the engine, so a
+// nil error already certifies every move reduced distance.
+func TestDimOrderDeliversEverywhere(t *testing.T) {
+	for _, tp := range []topo.Topology{
+		topo.NewMesh(grid.New(2, 8)),
+		topo.NewMesh(grid.NewTorus(3, 4)),
+		topo.NewClique(32),
+	} {
+		prob := perm.RandomRanks(tp.N(), xmath.NewRNG(11))
+		res, net, err := RunTopoProblem(tp, prob, BatchOpts{Policy: NewDimOrder(tp), Paranoid: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tp, err)
+		}
+		moved := 0
+		for i, d := range prob.Dst {
+			if d != i {
+				moved++
+			}
+		}
+		if res.Delivered != moved {
+			t.Errorf("%v: delivered %d of %d moving packets", tp, res.Delivered, moved)
+		}
+		if net.TotalPackets() != tp.N() {
+			t.Errorf("%v: packet conservation violated", tp)
+		}
+	}
+}
+
+// TestDimOrderCorrectsLeastSignificantFirst pins the e-cube order: with
+// several coordinates wrong, the highest dimension (the least
+// significant coordinate of the canonical rank) is corrected first —
+// the mirror image of Greedy's scan.
+func TestDimOrderCorrectsLeastSignificantFirst(t *testing.T) {
+	s := grid.New(2, 4)
+	p := NewDimOrder(topo.NewMesh(s))
+	rank := s.Rank([]int{0, 0})
+	dst := s.Rank([]int{2, 3})
+	if got, want := p.NextLink(rank, dst, 0), engine.LinkFor(1, 1); got != want {
+		t.Errorf("NextLink corrects link %d first, want %d (dim 1, +1)", got, want)
+	}
+	if got, want := NewGreedy(s).NextLink(rank, dst, 0), engine.LinkFor(0, 1); got != want {
+		t.Errorf("Greedy corrects link %d first, want %d (dim 0, +1)", got, want)
+	}
+	if got := p.NextLink(dst, dst, 0); got != -1 {
+		t.Errorf("NextLink at destination = %d, want -1", got)
+	}
+}
+
+// TestDimOrderMatchesGreedyOnRing compares the two policies where their
+// scan orders coincide (one dimension): every (rank, dst) pair of a
+// ring must agree, including the even-side tie broken toward +1.
+func TestDimOrderMatchesGreedyOnRing(t *testing.T) {
+	for _, s := range []grid.Shape{grid.NewTorus(1, 6), grid.New(1, 7)} {
+		dim := NewDimOrder(topo.NewMesh(s))
+		grd := NewGreedy(s)
+		for rank := 0; rank < s.N(); rank++ {
+			for dst := 0; dst < s.N(); dst++ {
+				if g, d := grd.NextLink(rank, dst, 0), dim.NextLink(rank, dst, 0); g != d {
+					t.Fatalf("%v: policies disagree at (%d -> %d): greedy %d, dimorder %d", s, rank, dst, g, d)
+				}
+			}
+		}
+	}
+}
+
+// TestCliqueDirectKRelation runs the congested-clique workload through
+// the default pipeline entry point: a k-relation delivered in at most k
+// steps by direct routing.
+func TestCliqueDirectKRelation(t *testing.T) {
+	c := topo.NewClique(40)
+	const k = 5
+	prob := perm.RandomRanksK(c.N(), k, xmath.NewRNG(77))
+	res, _, err := RunTopoProblem(c, prob, BatchOpts{Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > k {
+		t.Errorf("%d-relation took %d steps, clique bound is %d", k, res.Steps, k)
+	}
+	if res.MaxDist != 1 {
+		t.Errorf("MaxDist = %d on the clique", res.MaxDist)
+	}
+}
+
+// TestRunTopoProblemWarmRunner checks the warm-lease path: a runner
+// reused across problems (and across topologies) produces the same
+// result as a fresh one.
+func TestRunTopoProblemWarmRunner(t *testing.T) {
+	c := topo.NewClique(24)
+	prob := perm.RandomRanksK(c.N(), 3, xmath.NewRNG(5))
+	fresh, _, err := RunTopoProblem(c, prob, BatchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := pipeline.New(pipeline.Config{Topo: c})
+	// Detour through a mesh problem to prove the lease survives a
+	// geometry change.
+	s := grid.New(2, 6)
+	if _, _, err := RunTopoProblem(topo.FromShape(s), perm.Random(s, xmath.NewRNG(6)), BatchOpts{Runner: runner}); err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := RunTopoProblem(c, prob, BatchOpts{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Steps != fresh.Steps || warm.Delivered != fresh.Delivered || warm.Hops != fresh.Hops {
+		t.Errorf("warm run differs: steps %d/%d delivered %d/%d hops %d/%d",
+			warm.Steps, fresh.Steps, warm.Delivered, fresh.Delivered, warm.Hops, fresh.Hops)
+	}
+}
+
+// TestDefaultPolicySelection pins the policy table.
+func TestDefaultPolicySelection(t *testing.T) {
+	s := grid.New(2, 4)
+	if _, ok := DefaultPolicy(topo.FromShape(s), nil).(*Greedy); !ok {
+		t.Error("mesh without faults did not select Greedy")
+	}
+	if _, ok := DefaultPolicy(topo.FromShape(s), engine.NewFaultPlan(s)).(*FaultGreedy); !ok {
+		t.Error("mesh with faults did not select FaultGreedy")
+	}
+	if _, ok := DefaultPolicy(topo.NewClique(8), nil).(CliqueDirect); !ok {
+		t.Error("clique did not select CliqueDirect")
+	}
+}

@@ -301,7 +301,7 @@ func TestCloseUnderLoad(t *testing.T) {
 // that never comes back idle yields an error, not a hang or a panic.
 func TestPoolCloseTimesOutOnStuckSlot(t *testing.T) {
 	p := newRunnerPool(2, 1)
-	stuck := p.acquire("mesh/2/8", JobSpec{Alg: AlgSimple, D: 2, N: 8}.Shape())
+	stuck := p.acquire("mesh/2/8", JobSpec{Alg: AlgSimple, D: 2, N: 8}.Topo())
 	start := time.Now()
 	err := p.close(100 * time.Millisecond)
 	if err == nil {
@@ -317,10 +317,10 @@ func TestPoolCloseTimesOutOnStuckSlot(t *testing.T) {
 // and the next lease builds it cold.
 func TestQuarantineRebuildsSlot(t *testing.T) {
 	p := newRunnerPool(1, 1)
-	shape := JobSpec{Alg: AlgSimple, D: 2, N: 8}.Shape()
-	s1 := p.acquire("mesh/2/8", shape)
+	tp := JobSpec{Alg: AlgSimple, D: 2, N: 8}.Topo()
+	s1 := p.acquire("mesh/2/8", tp)
 	p.quarantine(s1)
-	s2 := p.acquire("mesh/2/8", shape)
+	s2 := p.acquire("mesh/2/8", tp)
 	if s2.runner == nil || s2.pool == nil {
 		t.Fatal("post-quarantine lease returned an unbuilt slot")
 	}

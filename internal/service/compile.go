@@ -8,6 +8,8 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/perm"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/route"
+	"meshsort/internal/topo"
 	"meshsort/internal/xmath"
 )
 
@@ -80,6 +82,32 @@ func compile(spec JobSpec) (program, error) {
 			}
 			res, err := core.TwoPhaseRoute(cfg, prob)
 			return FromRouteAlg(res, shape), err
+		}}, nil
+
+	case AlgCliqueRoute:
+		return program{spec: spec, run: func(ctx context.Context, runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
+			c := topo.NewClique(spec.N)
+			prob := perm.RandomRanksK(spec.N, spec.K, xmath.NewRNG(spec.Seed))
+			opts := route.BatchOpts{
+				Pool: pool, Runner: runner,
+				Patience: spec.Patience,
+				Cancel:   ctx.Done(),
+			}
+			if spec.Faults > 0 {
+				opts.Faults = engine.RandomFaultPlanTopo(c, spec.Faults, spec.FaultSeed)
+			}
+			res, net, err := route.RunTopoProblem(c, prob, opts)
+			// Delivered means every packet rests at its destination; a
+			// stranded packet is held wherever its patience ran out.
+			delivered := err == nil
+			if delivered {
+				net.ForEachHeld(func(rank int, p *engine.Packet) {
+					if p.Dst != rank {
+						delivered = false
+					}
+				})
+			}
+			return FromCliqueRoute(res, runner.Totals(), c, spec.K, delivered), err
 		}}, nil
 	}
 	return program{}, fmt.Errorf("service: unknown alg %q", spec.Alg)

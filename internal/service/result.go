@@ -5,8 +5,10 @@ import (
 	"hash/fnv"
 
 	"meshsort/internal/core"
+	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/topo"
 )
 
 // Result is the JSON encoding of one completed simulation. It is the
@@ -166,6 +168,27 @@ func FromRouteAlg(res core.RouteAlgResult, shape grid.Shape) Result {
 		Nu:          res.Nu,
 		EffectiveNu: res.EffectiveNu,
 		Phases:      tracePhases(res.Phases),
+	}
+}
+
+// FromCliqueRoute encodes a direct greedy k-relation run on the
+// congested clique. Bound is k: every node has a direct link to every
+// other, so greedy direct routing delivers a k-relation in at most k
+// steps (each directed link carries at most k packets, one per step) —
+// the congested-clique analogue of the mesh theorems' D + o(n).
+func FromCliqueRoute(res engine.RouteResult, tot pipeline.Totals, c *topo.Clique, k int, delivered bool) Result {
+	return Result{
+		Algorithm:  "CliqueGreedyRoute",
+		Shape:      c.String(),
+		N:          c.N(),
+		Diameter:   c.Diameter(),
+		Delivered:  delivered,
+		Bound:      k,
+		TotalSteps: tot.TotalSteps,
+		RouteSteps: tot.RouteSteps,
+		MaxQueue:   res.MaxQueue,
+		Stranded:   len(res.Stranded),
+		Phases:     tracePhases(tot.Phases),
 	}
 }
 

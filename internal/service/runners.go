@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"meshsort/internal/engine"
-	"meshsort/internal/grid"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/topo"
 )
 
 // runnerSlot is one warm runner and the persistent engine worker pool
@@ -53,11 +53,11 @@ func newRunnerPool(slots, workersPerSlot int) *runnerPool {
 	return p
 }
 
-// acquire leases a slot for the given shape, blocking while every slot
-// is busy. The returned slot's runner is warm (possibly for a different
-// shape — the algorithm's Reset handles that) and must be returned with
-// release.
-func (p *runnerPool) acquire(shapeKey string, shape grid.Shape) *runnerSlot {
+// acquire leases a slot for the given topology, blocking while every
+// slot is busy. The returned slot's runner is warm (possibly for a
+// different topology — the algorithm's Reset handles that) and must be
+// returned with release.
+func (p *runnerPool) acquire(shapeKey string, tp topo.Topology) *runnerSlot {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -85,7 +85,7 @@ func (p *runnerPool) acquire(shapeKey string, shape grid.Shape) *runnerSlot {
 			unbuilt.jobs++
 			unbuilt.shapeKey = shapeKey
 			unbuilt.pool = engine.NewPool(p.workers)
-			unbuilt.runner = pipeline.New(pipeline.Config{Shape: shape, Pool: unbuilt.pool})
+			unbuilt.runner = pipeline.New(pipeline.Config{Topo: tp, Pool: unbuilt.pool})
 			p.coldBuilds++
 			return unbuilt
 		}

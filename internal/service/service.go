@@ -689,7 +689,7 @@ func (s *Service) runJob(job *Job) {
 // stack, and the poisoned slot is quarantined (rebuilt cold on its next
 // lease) instead of being released for reuse. The process never exits.
 func (s *Service) runOnSlot(job *Job, prog program) (res Result, err error, panicked bool) {
-	slot := s.pool.acquire(job.Spec.ShapeKey(), job.Spec.Shape())
+	slot := s.pool.acquire(job.Spec.ShapeKey(), job.Spec.Topo())
 	quarantined := false
 	defer func() {
 		if r := recover(); r != nil {

@@ -20,24 +20,41 @@ import (
 
 	"meshsort/internal/core"
 	"meshsort/internal/grid"
+	"meshsort/internal/topo"
 )
 
 // Algorithms the service accepts. They are exactly the pipeline-backed
 // entry points of internal/core; baselines that bypass the runner
 // (odd-even transposition, whole-mesh shearsort) stay CLI-only.
 const (
-	AlgSimple    = "simple"    // SimpleSort, Theorem 3.1 (k-k via K)
-	AlgCopy      = "copy"      // CopySort, Theorem 3.2 (mesh only)
-	AlgTorusSort = "torussort" // TorusSort, Theorem 3.3 (torus only)
-	AlgFull      = "full"      // FullSort, the 2D + o(n) previous best
-	AlgRoute     = "route"     // TwoPhaseRoute, Theorems 5.1/5.2
-	AlgSelect    = "select"    // Select, Section 4.3
+	AlgSimple      = "simple"      // SimpleSort, Theorem 3.1 (k-k via K)
+	AlgCopy        = "copy"        // CopySort, Theorem 3.2 (mesh only)
+	AlgTorusSort   = "torussort"   // TorusSort, Theorem 3.3 (torus only)
+	AlgFull        = "full"        // FullSort, the 2D + o(n) previous best
+	AlgRoute       = "route"       // TwoPhaseRoute, Theorems 5.1/5.2
+	AlgSelect      = "select"      // Select, Section 4.3
+	AlgCliqueRoute = "cliqueroute" // direct greedy k-relation on the clique
 )
 
-// IndexingBlockedSnake is the only indexing scheme the algorithms run
-// on (internal/index's blocked snake-like order); the field exists so
-// the canonical spec names its indexing explicitly.
-const IndexingBlockedSnake = "blocked-snake"
+// Topologies the service accepts. Mesh and torus are the paper's
+// networks; the clique is the congested-clique comparison workload
+// (alg=cliqueroute only). An empty Topology canonicalizes to mesh or
+// torus per the Torus flag, so pre-topology specs keep their meaning.
+const (
+	TopologyMesh   = "mesh"
+	TopologyTorus  = "torus"
+	TopologyClique = "clique"
+)
+
+// IndexingBlockedSnake is the only indexing scheme the sorting and
+// two-phase routing algorithms run on (internal/index's blocked
+// snake-like order); the field exists so the canonical spec names its
+// indexing explicitly. The clique has no blocked indexing — clique
+// specs canonicalize to IndexingNone.
+const (
+	IndexingBlockedSnake = "blocked-snake"
+	IndexingNone         = "none"
+)
 
 // Resource ceilings enforced at canonicalization, so a single request
 // cannot ask the service to build an arbitrarily large network. The
@@ -51,6 +68,16 @@ const (
 	MaxProcessors = 1 << 19
 	MaxPackets    = 1 << 20 // k * N
 
+	// MaxCliqueNodes bounds the clique: every node carries n-1 links, so
+	// memory grows quadratically in n (a 512-clique already builds ~262k
+	// directed edges, the same order as the largest admissible mesh's
+	// link count). MaxCliqueK bounds the k-relation multiplicity; greedy
+	// direct routing delivers in <= k steps, so k is also the run's step
+	// budget and must sit well under the engine's MaxSteps default
+	// (64*diameter + 1024 = 1088 on the clique).
+	MaxCliqueNodes = 512
+	MaxCliqueK     = 512
+
 	// MaxDeadlineMS caps requested deadlines at one hour; a deadline is a
 	// client-abandonment bound, not a scheduling reservation.
 	MaxDeadlineMS = 3_600_000
@@ -61,16 +88,21 @@ const (
 // the defaults in, so two specs that request the same simulation
 // canonicalize to identical values and share one cache Key.
 type JobSpec struct {
-	Alg   string `json:"alg"`             // simple|copy|torussort|full|route|select
-	D     int    `json:"d"`               // dimension
-	N     int    `json:"n"`               // side length
-	Torus bool   `json:"torus,omitempty"` // torus instead of mesh (forced by torussort)
+	Alg string `json:"alg"` // simple|copy|torussort|full|route|select|cliqueroute
+	// Topology selects the network: mesh|torus|clique. "" means mesh (or
+	// torus when the Torus flag is set, or the topology the algorithm
+	// forces — torussort implies torus, cliqueroute implies clique). On
+	// the clique, D is forced to 1 and N is the node count.
+	Topology string `json:"topology,omitempty"`
+	D        int    `json:"d"`               // dimension (clique: forced to 1)
+	N        int    `json:"n"`               // side length (clique: node count)
+	Torus    bool   `json:"torus,omitempty"` // torus instead of mesh (forced by torussort)
 
 	// B is the block side length; 0 picks the default: 4 when it divides
 	// n, else n/2.
 	B int `json:"b,omitempty"`
-	// K is the number of packets per processor (k-k sorting, simple
-	// only); 0 means 1.
+	// K is the number of packets per processor (k-k sorting for simple,
+	// the k-relation multiplicity for cliqueroute); 0 means 1.
 	K int `json:"k,omitempty"`
 	// Indexing names the block indexing scheme; "" means (and the only
 	// accepted value is) "blocked-snake".
@@ -112,11 +144,48 @@ type JobSpec struct {
 // and reports back; Canonicalize is idempotent.
 func (s JobSpec) Canonicalize() (JobSpec, error) {
 	switch s.Alg {
-	case AlgSimple, AlgCopy, AlgTorusSort, AlgFull, AlgRoute, AlgSelect:
+	case AlgSimple, AlgCopy, AlgTorusSort, AlgFull, AlgRoute, AlgSelect, AlgCliqueRoute:
 	case "":
 		return s, fmt.Errorf("service: spec is missing alg")
 	default:
 		return s, fmt.Errorf("service: unknown alg %q", s.Alg)
+	}
+	// Resolve the topology. Algorithms that imply one force it
+	// (torussort -> torus, cliqueroute -> clique); the Torus flag is the
+	// pre-topology spelling of topology=torus and must agree when both
+	// are given. After this block the canonical Topology is explicit and
+	// consistent with Torus.
+	switch s.Topology {
+	case "", TopologyMesh, TopologyTorus, TopologyClique:
+	default:
+		return s, fmt.Errorf("service: unknown topology %q", s.Topology)
+	}
+	if s.Alg == AlgCliqueRoute {
+		if s.Topology == TopologyMesh || s.Topology == TopologyTorus {
+			return s, fmt.Errorf("service: cliqueroute runs on the clique, not topology %q", s.Topology)
+		}
+		s.Topology = TopologyClique
+	} else if s.Topology == TopologyClique {
+		return s, fmt.Errorf("service: alg %s runs on meshes and tori; the clique workload is alg=cliqueroute", s.Alg)
+	}
+	if s.Topology == TopologyClique {
+		return s.canonicalizeClique()
+	}
+	if s.Alg == AlgTorusSort {
+		s.Torus = true
+	}
+	switch s.Topology {
+	case TopologyMesh:
+		if s.Torus {
+			return s, fmt.Errorf("service: topology mesh conflicts with torus=true (alg %s)", s.Alg)
+		}
+	case TopologyTorus:
+		s.Torus = true
+	}
+	if s.Torus {
+		s.Topology = TopologyTorus
+	} else {
+		s.Topology = TopologyMesh
 	}
 	if s.D < 1 || s.D > MaxDim {
 		return s, fmt.Errorf("service: dimension d=%d out of range [1,%d]", s.D, MaxDim)
@@ -130,9 +199,6 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		if n > MaxProcessors {
 			return s, fmt.Errorf("service: n^d = %d^%d exceeds the %d-processor ceiling", s.N, s.D, MaxProcessors)
 		}
-	}
-	if s.Alg == AlgTorusSort {
-		s.Torus = true
 	}
 	if s.Alg == AlgCopy && s.Torus {
 		return s, fmt.Errorf("service: copy is the mesh algorithm; use torussort on tori")
@@ -210,7 +276,68 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	return s, nil
 }
 
-// Shape returns the network shape the spec runs on.
+// canonicalizeClique validates a clique spec (alg=cliqueroute; the
+// caller has already resolved Topology to "clique"). The mesh-only
+// fields — Torus, B, a blocked indexing, the mesh destination patterns,
+// a selection target — have no clique meaning and are rejected rather
+// than silently ignored.
+func (s JobSpec) canonicalizeClique() (JobSpec, error) {
+	if s.Torus {
+		return s, fmt.Errorf("service: the clique has no torus variant")
+	}
+	if s.D != 0 && s.D != 1 {
+		return s, fmt.Errorf("service: clique dimension d=%d (the clique is flat; omit d or use 1)", s.D)
+	}
+	s.D = 1
+	if s.N < 2 || s.N > MaxCliqueNodes {
+		return s, fmt.Errorf("service: clique size n=%d out of range [2,%d]", s.N, MaxCliqueNodes)
+	}
+	if s.B != 0 {
+		return s, fmt.Errorf("service: block side applies to mesh/torus algorithms only")
+	}
+	if s.K == 0 {
+		s.K = 1
+	}
+	if s.K < 0 || s.K > MaxCliqueK {
+		return s, fmt.Errorf("service: clique relation k=%d out of range [1,%d]", s.K, MaxCliqueK)
+	}
+	switch s.Indexing {
+	case "":
+		s.Indexing = IndexingNone
+	case IndexingNone:
+	default:
+		return s, fmt.Errorf("service: indexing %q has no meaning on the clique", s.Indexing)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch s.Perm {
+	case "":
+		s.Perm = "random"
+	case "random":
+	default:
+		return s, fmt.Errorf("service: clique perm %q (the destination patterns are mesh notions; the clique workload is a random k-relation)", s.Perm)
+	}
+	if s.Target != 0 {
+		return s, fmt.Errorf("service: target applies to alg=select only")
+	}
+	if s.DeadlineMS < 0 || s.DeadlineMS > MaxDeadlineMS {
+		return s, fmt.Errorf("service: deadline_ms=%d out of range [0,%d]", s.DeadlineMS, MaxDeadlineMS)
+	}
+	if s.Faults < 0 || s.Faults >= 1 {
+		return s, fmt.Errorf("service: fault rate %g out of range [0,1)", s.Faults)
+	}
+	if s.Faults == 0 {
+		s.FaultSeed = 0
+	} else if s.FaultSeed == 0 {
+		s.FaultSeed = 1
+	}
+	return s, nil
+}
+
+// Shape returns the network shape of a mesh or torus spec. It is
+// meaningless for clique specs (the clique is not a grid.Shape);
+// topology-generic callers use Topo instead.
 func (s JobSpec) Shape() grid.Shape {
 	if s.Torus || s.Alg == AlgTorusSort {
 		return grid.NewTorus(s.D, s.N)
@@ -218,12 +345,24 @@ func (s JobSpec) Shape() grid.Shape {
 	return grid.New(s.D, s.N)
 }
 
+// Topo returns the network topology the spec runs on: the runner
+// leasing and the compiled program both build from it.
+func (s JobSpec) Topo() topo.Topology {
+	if s.Topology == TopologyClique || s.Alg == AlgCliqueRoute {
+		return topo.NewClique(s.N)
+	}
+	return topo.FromShape(s.Shape())
+}
+
 // ShapeKey is the runner-leasing key: jobs with equal ShapeKeys can
 // share a warm runner with nothing but a Reset in between.
 func (s JobSpec) ShapeKey() string {
-	kind := "mesh"
+	if s.Topology == TopologyClique || s.Alg == AlgCliqueRoute {
+		return fmt.Sprintf("clique/%d", s.N)
+	}
+	kind := TopologyMesh
 	if s.Torus || s.Alg == AlgTorusSort {
-		kind = "torus"
+		kind = TopologyTorus
 	}
 	return fmt.Sprintf("%s/%d/%d", kind, s.D, s.N)
 }
@@ -233,7 +372,7 @@ func (s JobSpec) ShapeKey() string {
 // hash defaults as distinct from their explicit forms).
 func (s JobSpec) Key() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"alg=%s d=%d n=%d torus=%t b=%d k=%d idx=%s seed=%d perm=%s target=%d faults=%g fseed=%d patience=%d",
-		s.Alg, s.D, s.N, s.Torus, s.B, s.K, s.Indexing, s.Seed, s.Perm, s.Target, s.Faults, s.FaultSeed, s.Patience)))
+		"alg=%s topo=%s d=%d n=%d torus=%t b=%d k=%d idx=%s seed=%d perm=%s target=%d faults=%g fseed=%d patience=%d",
+		s.Alg, s.Topology, s.D, s.N, s.Torus, s.B, s.K, s.Indexing, s.Seed, s.Perm, s.Target, s.Faults, s.FaultSeed, s.Patience)))
 	return hex.EncodeToString(h[:])
 }

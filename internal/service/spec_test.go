@@ -47,6 +47,48 @@ func TestCanonicalizeDefaults(t *testing.T) {
 	}
 }
 
+func TestCanonicalizeTopology(t *testing.T) {
+	// The canonical form always names its topology explicitly, and the
+	// legacy Torus flag stays consistent with it.
+	if c := mustCanon(t, JobSpec{Alg: AlgSimple, D: 3, N: 8}); c.Topology != TopologyMesh {
+		t.Errorf("mesh default topology = %q", c.Topology)
+	}
+	if c := mustCanon(t, JobSpec{Alg: AlgTorusSort, D: 3, N: 8}); c.Topology != TopologyTorus || !c.Torus {
+		t.Errorf("torussort topology = %q torus=%t", c.Topology, c.Torus)
+	}
+	// topology=torus is the same spec as torus=true: one canonical form,
+	// one cache key.
+	byFlag := mustCanon(t, JobSpec{Alg: AlgSimple, D: 2, N: 8, Torus: true})
+	byTopo := mustCanon(t, JobSpec{Alg: AlgSimple, D: 2, N: 8, Topology: TopologyTorus})
+	if byFlag != byTopo || byFlag.Key() != byTopo.Key() {
+		t.Errorf("torus spellings canonicalize differently: %+v vs %+v", byFlag, byTopo)
+	}
+
+	c := mustCanon(t, JobSpec{Alg: AlgCliqueRoute, N: 64, K: 3})
+	if c.Topology != TopologyClique || c.D != 1 || c.K != 3 || c.Seed != 1 ||
+		c.Indexing != IndexingNone || c.Perm != "random" || c.B != 0 {
+		t.Errorf("clique canonical form: %+v", c)
+	}
+	if c2 := mustCanon(t, c); c2 != c {
+		t.Errorf("clique Canonicalize not idempotent: %+v != %+v", c2, c)
+	}
+	if c.ShapeKey() != "clique/64" {
+		t.Errorf("clique shape key = %q", c.ShapeKey())
+	}
+	if c.Topo().N() != 64 || c.Topo().Diameter() != 1 {
+		t.Errorf("clique Topo: %v", c.Topo())
+	}
+	// topology=clique on the spec is redundant but accepted.
+	if c2 := mustCanon(t, JobSpec{Alg: AlgCliqueRoute, Topology: TopologyClique, N: 64, K: 3}); c2 != c {
+		t.Errorf("explicit clique topology canonicalizes differently: %+v", c2)
+	}
+	// Clique keys are distinct across n and k.
+	other := mustCanon(t, JobSpec{Alg: AlgCliqueRoute, N: 64, K: 4})
+	if c.Key() == other.Key() {
+		t.Error("clique specs with different k share a cache key")
+	}
+}
+
 func TestCanonicalizeRejects(t *testing.T) {
 	bad := []struct {
 		name string
@@ -68,6 +110,19 @@ func TestCanonicalizeRejects(t *testing.T) {
 		{"target range", JobSpec{Alg: AlgSelect, D: 2, N: 8, Target: 64}, "out of range"},
 		{"fault rate", JobSpec{Alg: AlgSimple, D: 2, N: 8, Faults: 1.5}, "out of range"},
 		{"odd blocks", JobSpec{Alg: AlgSimple, D: 2, N: 9, B: 3}, "even"},
+		{"unknown topology", JobSpec{Alg: AlgSimple, D: 2, N: 8, Topology: "hypercube"}, "unknown topology"},
+		{"mesh topology with torus flag", JobSpec{Alg: AlgSimple, D: 2, N: 8, Topology: TopologyMesh, Torus: true}, "conflicts"},
+		{"sort on clique", JobSpec{Alg: AlgSimple, D: 2, N: 8, Topology: TopologyClique}, "alg=cliqueroute"},
+		{"cliqueroute on mesh", JobSpec{Alg: AlgCliqueRoute, N: 64, Topology: TopologyMesh}, "runs on the clique"},
+		{"clique torus", JobSpec{Alg: AlgCliqueRoute, N: 64, Torus: true}, "no torus variant"},
+		{"clique dim", JobSpec{Alg: AlgCliqueRoute, D: 2, N: 64}, "flat"},
+		{"clique too big", JobSpec{Alg: AlgCliqueRoute, N: MaxCliqueNodes + 1}, "out of range"},
+		{"clique too small", JobSpec{Alg: AlgCliqueRoute, N: 1}, "out of range"},
+		{"clique k", JobSpec{Alg: AlgCliqueRoute, N: 64, K: MaxCliqueK + 1}, "out of range"},
+		{"clique block side", JobSpec{Alg: AlgCliqueRoute, N: 64, B: 4}, "mesh/torus algorithms only"},
+		{"clique indexing", JobSpec{Alg: AlgCliqueRoute, N: 64, Indexing: IndexingBlockedSnake}, "no meaning on the clique"},
+		{"clique perm", JobSpec{Alg: AlgCliqueRoute, N: 64, Perm: "reversal"}, "mesh notions"},
+		{"clique target", JobSpec{Alg: AlgCliqueRoute, N: 64, Target: 3}, "alg=select only"},
 	}
 	for _, tc := range bad {
 		if _, err := tc.spec.Canonicalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
