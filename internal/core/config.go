@@ -169,12 +169,19 @@ type Config struct {
 // runner it is Reset in place, so a same-shaped run reuses all of its
 // learned storage.
 func (c Config) runner() *pipeline.Runner {
+	return c.runnerWith(c.Policy(c.Shape))
+}
+
+// runnerWith is runner with a caller-supplied policy, so warm-run caches
+// (centerStash) can reuse a previously built greedy policy instead of
+// allocating one per run.
+func (c Config) runnerWith(policy engine.Policy) *pipeline.Runner {
 	pcfg := pipeline.Config{
 		Shape:      c.Shape,
 		Workers:    c.Workers,
 		ShardShift: c.ShardShift,
 		Pool:       c.Pool,
-		Policy:     c.Policy(c.Shape),
+		Policy:     policy,
 		Route:      c.RouteOpts(),
 		Observer:   c.Observer,
 	}
@@ -264,6 +271,12 @@ type Result struct {
 
 	// Final holds the keys in sort-index order after the run (k per
 	// index), for inspection and cross-checking against reference sorts.
+	//
+	// Steady-state aliasing: when the run executed on a caller-supplied
+	// warm runner (Config.Runner), Final and Phases are backed by
+	// runner-owned reusable storage and stay valid only until the next
+	// run on that runner — copy them to retain across runs. Runs without
+	// Config.Runner own their slices outright.
 	Final []int64
 }
 

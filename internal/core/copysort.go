@@ -103,7 +103,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	dropped := make([]bool, 2*N) // packet id -> lost the pair resolution
 	prog := []pipeline.Phase{
 		// Step (1): local sort inside every block.
-		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner.Sorter(), &sorted),
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner, &sorted),
 
 		// Step (2): distribute originals evenly over the region; send
 		// one copy of each packet to the opposite processor. Both
@@ -135,7 +135,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (3): local sort inside every region block.
-		localSortPhase("local-sort-region", blocked, regionBlocks, cfg, runner.Sorter(), &regionSorted),
+		localSortPhase("local-sort-region", blocked, regionBlocks, cfg, runner, &regionSorted),
 
 		// Pair resolution (zero-cost check; DESIGN.md substitution 3):
 		// the original's region position determines the pair's estimated
@@ -215,7 +215,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (5): odd-even block merges until sorted.
-		mergeCleanupPhase(blocked, 1, cfg.Cost, runner.Sorter(), 0, &res.MergeRounds, &res.Sorted),
+		mergeCleanupPhase(blocked, 1, cfg.Cost, runner, 0, &res.MergeRounds, &res.Sorted),
 	}
 	err = runner.Run(prog...)
 	res.fromTotals(runner.Totals())
@@ -224,7 +224,7 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	}
 	net := runner.Net()
 	if !res.Sorted {
-		res.Sorted = isSorted(net, runner.Sorter(), blocked, 1)
+		res.Sorted = isSorted(runner, blocked, 1)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)
@@ -232,6 +232,6 @@ func pairedSort(cfg Config, keys []int64, name string) (Result, error) {
 	if got := net.TotalPackets(); got != N {
 		return res, fmt.Errorf("core: %s packet conservation violated: %d != %d", name, got, N)
 	}
-	res.Final = finalKeys(net, runner.Sorter(), blocked, 1)
+	res.Final = finalKeys(runner, blocked, 1, nil)
 	return res, nil
 }

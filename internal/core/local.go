@@ -13,13 +13,23 @@ import (
 // This file implements the oracle local phases: block-local sorts and the
 // final odd-even block merge cleanup, as pipeline phase builders. All
 // blocks operate in parallel in the real machine, so one sweep over all
-// blocks charges a single per-block cost to the clock.
+// blocks charges a single per-block cost to the clock — and since the
+// blocks are disjoint processor sets, the simulator sweeps them in
+// parallel too: every builder fans its per-block work across the
+// runner's worker pool with Runner.RunBlocks.
 //
 // Local phases work on arena indices (the engine's held-queue currency)
-// and sort them with the runner's radix sorter: the sort key is the
-// packet's (Key, ID) pair — keys ascending, ties broken by packet id,
-// which makes ranks unique even with duplicate keys — and the sorter's
-// scratch slabs are shared across every sort of a run.
+// and sort them with the per-worker-slot radix sorters: the sort key is
+// the packet's (Key, ID) pair — keys ascending, ties broken by packet
+// id, which makes ranks unique even with duplicate keys — and each
+// slot's scratch slabs are shared across every sort that slot runs.
+//
+// Determinism: a block (or merge pair, or sortedness chunk) writes only
+// to its own processors, its own packets, and its own result row, and
+// every write is a pure function of the gathered packet set — never of
+// the worker slot or visit order. Runs are therefore byte-identical at
+// every worker count; TestLocalPhasesDeterministicAcrossWorkers pins
+// this down.
 
 // keyLess is that total order on resolved packets, used where single
 // comparisons are clearer than a full sort (sortedness scans).
@@ -74,40 +84,70 @@ func scatterBlock(net *engine.Net, b *index.Blocked, blockID int, ids []int32) {
 	}
 }
 
+// ensureRows returns *rows resized to n entries, growing the header
+// slice while preserving every existing row — each row's []int32
+// capacity is the reusable gather buffer of one block, so a warm re-run
+// gathers into the same backing arrays and allocates nothing.
+func ensureRows(rows *[][]int32, n int) [][]int32 {
+	rs := *rows
+	if cap(rs) < n {
+		ns := make([][]int32, n)
+		copy(ns, rs[:cap(rs)])
+		rs = ns
+	}
+	rs = rs[:n]
+	*rows = rs
+	return rs
+}
+
 // localSortPhase builds the phase that sorts the contents of each listed
 // block in place, storing the sorted id slices (per block position in
 // the input list) into *out for the subsequent routing phase's rank
-// computations. By default the rearrangement is an oracle phase charged
-// one local-sort cost; with cfg.RealLocalSort it runs the in-mesh
-// shearsort of internal/baseline and the measured parallel step count is
-// what the runner records.
-func localSortPhase(name string, b *index.Blocked, blocks []int, cfg Config, srt *radix.Sorter, out *[][]int32) pipeline.Phase {
+// computations; rows already in *out are reused as gather buffers. By
+// default the rearrangement is an oracle phase charged one local-sort
+// cost; with cfg.RealLocalSort it runs the in-mesh shearsort of
+// internal/baseline and the measured parallel step count is what the
+// runner records. Either way the per-block work (gather, radix sort,
+// scatter — or just the post-shearsort gather) fans across the runner's
+// pool, one worker-slot sorter per concurrent block.
+func localSortPhase(name string, b *index.Blocked, blocks []int, cfg Config, r *pipeline.Runner, out *[][]int32) pipeline.Phase {
+	// Per-run state the compile-once block closure reads: the closure
+	// itself is built here, at phase-build time, so a warm re-run passes
+	// the same func value to RunBlocks instead of allocating a fresh
+	// closure per phase execution (phase programs are cached across runs;
+	// per-run closures are the allocations the 0 allocs/op steady-state
+	// contract forbids).
+	var (
+		sNet  *engine.Net
+		sRows [][]int32
+	)
 	if cfg.RealLocalSort {
+		V := b.BlockVolume()
+		gather := func(w, i int) {
+			ids := sRows[i][:0]
+			for l := 0; l < V; l++ {
+				ids = append(ids, sNet.Held(b.ProcAtLocal(blocks[i], l))...)
+			}
+			sRows[i] = ids
+		}
 		return pipeline.Local{Name: name, Kind: "shear", Apply: func(net *engine.Net) (int, error) {
 			if _, err := baseline.ShearSortBlocks(net, b, blocks); err != nil {
 				return 0, fmt.Errorf("real local sort: %w", err)
 			}
-			res := make([][]int32, len(blocks))
-			for i, blockID := range blocks {
-				var ids []int32
-				for l := 0; l < b.BlockVolume(); l++ {
-					ids = append(ids, net.Held(b.ProcAtLocal(blockID, l))...)
-				}
-				res[i] = ids
-			}
-			*out = res
+			sNet, sRows = net, ensureRows(out, len(blocks))
+			r.RunBlocks(len(blocks), gather)
 			return 0, nil
 		}}
 	}
+	sort := func(w, i int) {
+		ids := gatherBlock(sNet, b, blocks[i], sRows[i][:0])
+		sortHeld(sNet, r.WorkerSorter(w), ids)
+		scatterBlock(sNet, b, blocks[i], ids)
+		sRows[i] = ids
+	}
 	return pipeline.Local{Name: name, Apply: func(net *engine.Net) (int, error) {
-		res := make([][]int32, len(blocks))
-		for i, blockID := range blocks {
-			ids := gatherBlock(net, b, blockID, nil)
-			sortHeld(net, srt, ids)
-			scatterBlock(net, b, blockID, ids)
-			res[i] = ids
-		}
-		*out = res
+		sNet, sRows = net, ensureRows(out, len(blocks))
+		r.RunBlocks(len(blocks), sort)
 		return cfg.Cost.localSortCost(b.Shape().Dim, b.Spec.Side), nil
 	}}
 }
@@ -121,40 +161,152 @@ func allBlocks(b *index.Blocked) []int {
 	return out
 }
 
+// sortSpan summarizes one contiguous run of sort indices for the
+// parallel sortedness scan: internal order plus the boundary packets,
+// so spans stitch with one comparison per seam.
+type sortSpan struct {
+	ok          bool
+	first, last *engine.Packet
+}
+
+// maxSortSpans bounds the chunk fan-out of isSorted and finalKeys so
+// the span summaries live on the caller's stack.
+const maxSortSpans = 64
+
+// sortSpans picks the chunk count for a parallel scan over n sort
+// indices. The chunk boundaries influence nothing observable (the
+// stitched verdict and the written keys are boundary-independent), so
+// the count may track the worker pool freely.
+func sortSpans(r *pipeline.Runner, n int) int {
+	nc := r.BlockWorkers() * 4
+	if nc > maxSortSpans {
+		nc = maxSortSpans
+	}
+	if nc > n {
+		nc = n
+	}
+	return nc
+}
+
+// sortScan is the reusable parallel scanner behind isSorted and
+// finalKeys: the span summaries and both RunBlocks closures are built
+// once (per phase program or per cold call) and re-read the per-call
+// fields, so a warm runner's cleanup loop — which checks sortedness
+// every merge round — allocates nothing per round. The free functions
+// below build a transient scanner for one-shot callers.
+type sortScan struct {
+	r *pipeline.Runner
+	b *index.Blocked
+	k int
+
+	net   *engine.Net // per-call state read by the closures
+	nc    int
+	out   []int64
+	spans [maxSortSpans]sortSpan
+
+	scanFn func(w, c int)
+	keysFn func(w, c int)
+}
+
+func newSortScan(r *pipeline.Runner, b *index.Blocked, k int) *sortScan {
+	ss := &sortScan{r: r, b: b, k: k}
+	N := b.N()
+	ss.scanFn = func(w, c int) {
+		net, k, nc := ss.net, ss.k, ss.nc
+		lo, hi := c*N/nc, (c+1)*N/nc
+		sp := sortSpan{ok: true}
+		srt := ss.r.WorkerSorter(w)
+		var prev *engine.Packet
+	scan:
+		for idx := lo; idx < hi; idx++ {
+			rank := ss.b.RankAt(idx)
+			held := net.Held(rank)
+			if len(held) != k {
+				sp.ok = false
+				break
+			}
+			if k > 1 {
+				sortHeld(net, srt, held)
+			}
+			for _, id := range held {
+				p := net.Packet(id)
+				if prev != nil && keyLess(p, prev) {
+					sp.ok = false
+					break scan
+				}
+				if sp.first == nil {
+					sp.first = p
+				}
+				prev = p
+			}
+		}
+		sp.last = prev
+		ss.spans[c] = sp
+	}
+	ss.keysFn = func(w, c int) {
+		net, k, nc, out := ss.net, ss.k, ss.nc, ss.out
+		srt := ss.r.WorkerSorter(w)
+		for idx := c * N / nc; idx < (c+1)*N/nc; idx++ {
+			held := net.Held(ss.b.RankAt(idx))
+			if k > 1 {
+				sortHeld(net, srt, held)
+			}
+			for j, id := range held {
+				out[idx*k+j] = net.Packet(id).Key
+			}
+		}
+	}
+	return ss
+}
+
 // isSorted reports whether the network is in the sorted k-k state with
 // respect to the blocked scheme: every processor holds exactly k packets
-// and the (key, id) order agrees with the index order.
-func isSorted(net *engine.Net, srt *radix.Sorter, b *index.Blocked, k int) bool {
-	var prev *engine.Packet
-	for idx := 0; idx < b.N(); idx++ {
-		rank := b.RankAt(idx)
-		held := net.Held(rank)
-		if len(held) != k {
+// and the (key, id) order agrees with the index order. The index space
+// is scanned in parallel chunks; for k = 1 a processor's queue is
+// trivially ordered and the scan skips the per-rank sort entirely —
+// the cleanup loop calls this every round, so the fast path is what
+// keeps merge rounds cheap on large meshes.
+func (ss *sortScan) isSorted() bool {
+	ss.net = ss.r.Net()
+	ss.nc = sortSpans(ss.r, ss.b.N())
+	ss.r.RunBlocks(ss.nc, ss.scanFn)
+	for c := 0; c < ss.nc; c++ {
+		if !ss.spans[c].ok {
 			return false
 		}
-		sortHeld(net, srt, held)
-		for _, id := range held {
-			p := net.Packet(id)
-			if prev != nil && keyLess(p, prev) {
-				return false
-			}
-			prev = p
+		if c > 0 && keyLess(ss.spans[c].first, ss.spans[c-1].last) {
+			return false
 		}
 	}
 	return true
 }
 
-// finalKeys extracts the keys in sort-index order (k per index).
-func finalKeys(net *engine.Net, srt *radix.Sorter, b *index.Blocked, k int) []int64 {
-	out := make([]int64, 0, k*b.N())
-	for idx := 0; idx < b.N(); idx++ {
-		held := net.Held(b.RankAt(idx))
-		sortHeld(net, srt, held)
-		for _, id := range held {
-			out = append(out, net.Packet(id).Key)
-		}
+// finalKeys extracts the keys in sort-index order (k per index) into
+// out, which is grown as needed and returned (pass a retained slab for
+// an allocation-free warm run). It requires the sorted k-k state —
+// exactly k packets per processor — which every caller has certified
+// via isSorted by the time extraction runs; the parallel chunks rely on
+// it to write at fixed idx*k offsets.
+func (ss *sortScan) finalKeys(out []int64) []int64 {
+	kN := ss.k * ss.b.N()
+	if cap(out) < kN {
+		out = make([]int64, kN)
 	}
-	return out
+	ss.net = ss.r.Net()
+	ss.nc = sortSpans(ss.r, ss.b.N())
+	ss.out = out[:kN]
+	ss.r.RunBlocks(ss.nc, ss.keysFn)
+	return ss.out
+}
+
+// isSorted and finalKeys as one-shot calls, for callers without a
+// compiled phase program to own the scanner (cold paths, tests).
+func isSorted(r *pipeline.Runner, b *index.Blocked, k int) bool {
+	return newSortScan(r, b, k).isSorted()
+}
+
+func finalKeys(r *pipeline.Runner, b *index.Blocked, k int, out []int64) []int64 {
+	return newSortScan(r, b, k).finalKeys(out)
 }
 
 // mergeCleanupPhase builds the cleanup loop: odd-even rounds of block
@@ -163,7 +315,10 @@ func finalKeys(net *engine.Net, srt *radix.Sorter, b *index.Blocked, k int) []in
 // (0,1),(2,3),... and then the odd pairs (1,2),(3,4),...; both halves of
 // a round are charged together because adjacent pairs operate on
 // disjoint blocks in parallel, and the two half-rounds are pipelined in
-// the real machine.
+// the real machine. The simulator exploits the same disjointness: each
+// half-round's pairs fan across the runner's pool with a per-worker-slot
+// merge buffer, and the barrier between the halves is the real
+// dependency (an odd pair reads blocks the even half wrote).
 //
 // Step (5) of the paper's algorithms performs exactly two such
 // transposition steps; the loop iterates until sorted and counts rounds
@@ -172,18 +327,20 @@ func finalKeys(net *engine.Net, srt *radix.Sorter, b *index.Blocked, k int) []in
 // sorted state is observed; when the loop exhausts maxRounds the caller
 // re-checks. maxRounds 0 means the number of blocks plus two (the worst
 // case of odd-even transposition sort).
-func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, srt *radix.Sorter, maxRounds int, rounds *int, sorted *bool) pipeline.Phase {
+func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, r *pipeline.Runner, maxRounds int, rounds *int, sorted *bool) pipeline.Phase {
 	B := b.BlockCount()
 	if maxRounds == 0 {
 		maxRounds = B + 2
 	}
-	var buf []int32 // merge scratch, reused across pairs and rounds
-	mergePair := func(net *engine.Net, orderLo int) {
+	var bufs [][]int32 // per-worker-slot merge scratch, reused across pairs and rounds
+	var mNet *engine.Net
+	mergePair := func(w, orderLo int) {
+		net := mNet
 		lo := b.BlockAtOrder(orderLo)
 		hi := b.BlockAtOrder(orderLo + 1)
-		buf = gatherBlock(net, b, lo, buf[:0])
+		buf := gatherBlock(net, b, lo, bufs[w][:0])
 		buf = gatherBlock(net, b, hi, buf)
-		sortHeld(net, srt, buf)
+		sortHeld(net, r.WorkerSorter(w), buf)
 		// The lower block takes exactly its capacity kV (or everything,
 		// if the pair holds less); the upper block takes the rest. In
 		// the exact case of 2kV packets this is the even split; with
@@ -196,18 +353,24 @@ func mergeCleanupPhase(b *index.Blocked, k int, cost CostModel, srt *radix.Sorte
 		}
 		scatterBlock(net, b, lo, buf[:mid])
 		scatterBlock(net, b, hi, buf[mid:])
+		bufs[w] = buf
 	}
+	evenHalf := func(w, i int) { mergePair(w, 2*i) }
+	oddHalf := func(w, i int) { mergePair(w, 2*i+1) }
+	scan := newSortScan(r, b, k)
 	return pipeline.Loop{Name: "merge-round", Max: maxRounds, Round: func(net *engine.Net, round int) (int, bool, error) {
-		if isSorted(net, srt, b, k) {
+		if scan.isSorted() {
 			*sorted = true
 			return 0, true, nil
 		}
-		for o := 0; o+1 < B; o += 2 {
-			mergePair(net, o)
+		if w := r.BlockWorkers(); len(bufs) < w {
+			nb := make([][]int32, w)
+			copy(nb, bufs)
+			bufs = nb
 		}
-		for o := 1; o+1 < B; o += 2 {
-			mergePair(net, o)
-		}
+		mNet = net
+		r.RunBlocks(B/2, evenHalf)
+		r.RunBlocks((B-1)/2, oddHalf)
 		*rounds++
 		return cost.mergeCost(b.Shape().Dim, b.Spec.Side), false, nil
 	}}

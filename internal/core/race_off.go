@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count guards skip under -race: the detector's shadow
+// bookkeeping allocates on its own and would fail them spuriously.
+const raceEnabled = false

@@ -83,7 +83,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 		// Step (3): local sort inside every center block. Block loads
 		// are only approximately kN/R, so the estimate uses the actual
 		// load.
-		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner.Sorter(), &centerSorted),
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner, &centerSorted),
 
 		// Step (4): rank estimate from the block's sampled order: local
 		// rank i among M packets pins the global rank near i*kN/M.
@@ -107,7 +107,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 		}},
 
 		// Step (5): merge cleanup.
-		mergeCleanupPhase(blocked, k, cfg.Cost, runner.Sorter(), 0, &res.MergeRounds, &res.Sorted),
+		mergeCleanupPhase(blocked, k, cfg.Cost, runner, 0, &res.MergeRounds, &res.Sorted),
 	}
 	err := runner.Run(prog...)
 	res.fromTotals(runner.Totals())
@@ -116,7 +116,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	}
 	net := runner.Net()
 	if !res.Sorted {
-		res.Sorted = isSorted(net, runner.Sorter(), blocked, k)
+		res.Sorted = isSorted(runner, blocked, k)
 	}
 	if !res.Sorted {
 		return res, fmt.Errorf("core: RandSimpleSort failed to sort within %d merge rounds", res.MergeRounds)
@@ -124,7 +124,7 @@ func RandSimpleSort(cfg Config, keys []int64) (Result, error) {
 	if got := net.TotalPackets(); got != kN {
 		return res, fmt.Errorf("core: RandSimpleSort packet conservation violated: %d != %d", got, kN)
 	}
-	res.Final = finalKeys(net, runner.Sorter(), blocked, k)
+	res.Final = finalKeys(runner, blocked, k, nil)
 	return res, nil
 }
 

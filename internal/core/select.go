@@ -81,7 +81,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 	var targetPkt *engine.Packet
 	err := runner.Run(
 		// Phases (1)-(3) of SimpleSort: concentrate into C, sort locally.
-		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner.Sorter(), &sorted),
+		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner, &sorted),
 		pipeline.Route{Name: "unshuffle-to-center", Bound: 3 * D / 4, Prepare: func(net *engine.Net) error {
 			for j := 0; j < B; j++ {
 				for i, id := range sorted[j] {
@@ -94,7 +94,7 @@ func Select(cfg Config, keys []int64, targetRank int) (SelectResult, error) {
 			}
 			return nil
 		}},
-		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner.Sorter(), &centerSorted),
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner, &centerSorted),
 
 		// Identify the target packet (zero-cost check; DESIGN.md
 		// substitution 3). The estimate window: local rank i in region

@@ -39,46 +39,77 @@ func SimpleSort(cfg Config, keys []int64) (Result, error) {
 // centerSort is the shared implementation of SimpleSort and its
 // small-center variant (Corollary 3.1.2): the center region size comes
 // from the configuration. The five steps of Theorem 3.1 are expressed as
-// a declarative phase program executed by the pipeline runner.
+// a declarative phase program executed by the pipeline runner; the
+// program and all of its scratch are cached in the runner's stash
+// (centerStash), so a warm re-run of an equal-keyed configuration
+// compiles nothing and allocates nothing.
 func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 	res := Result{Algorithm: name, Config: cfg}
 	if err := cfg.Validate(); err != nil {
 		return res, err
 	}
-	s := cfg.Shape
 	k := cfg.k()
-	d := s.Dim
-	blocked := cfg.scheme()
-	bs := blocked.Spec
-	B := blocked.BlockCount()
-	V := blocked.BlockVolume()
-	kN := k * s.N()
+	kN := k * cfg.Shape.N()
 
-	count := cfg.CenterCount
-	if count == 0 {
-		count = B / 2
-	}
-	region := grid.CenterBlocks(bs, count)
-	R := region.Size()
-
-	runner := cfg.runner()
+	st, runner := centerState(cfg)
 	if _, err := runner.InjectKeys(k, keys); err != nil {
 		return res, err
 	}
+	if st.prog == nil {
+		st.compile(cfg, runner)
+	}
+	st.mergeRounds, st.sortedFlag = 0, false
+	err := runner.Run(st.prog...)
+	res.MergeRounds, res.Sorted = st.mergeRounds, st.sortedFlag
+	res.fromTotals(runner.Totals())
+	if err != nil {
+		return res, fmt.Errorf("core: %s: %w", name, err)
+	}
+	net := runner.Net()
+	if !res.Sorted {
+		res.Sorted = st.scan.isSorted()
+	}
+	if !res.Sorted {
+		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)
+	}
+	if got := net.TotalPackets(); got != kN {
+		return res, fmt.Errorf("core: %s packet conservation violated: %d != %d", name, got, kN)
+	}
+	st.final = st.scan.finalKeys(st.final)
+	res.Final = st.final
+	return res, nil
+}
+
+// compile builds the five-phase program of Theorem 3.1 against one
+// runner. Every configuration value the closures capture is part of the
+// stash key, so a key-matched warm run replays the program verbatim;
+// per-run state (id rows, merge counters) lives in the stash and is
+// reset by centerSort before each run.
+func (st *centerStash) compile(cfg Config, runner *pipeline.Runner) {
+	s := cfg.Shape
+	k := cfg.k()
+	d := s.Dim
+	blocked := st.blocked
+	region := st.region
+	B := blocked.BlockCount()
+	V := blocked.BlockVolume()
+	R := region.Size()
+	kN := k * s.N()
 
 	// Both routing phases of the center scheme move packets at most
 	// ~3D/4 (Theorem 3.1's per-phase bound, up to the o(n) block terms).
 	routeBound := 3 * s.Diameter() / 4
 
-	var sorted, centerSorted [][]int32
-	prog := []pipeline.Phase{
+	st.scan = newSortScan(runner, blocked, k)
+
+	st.prog = []pipeline.Phase{
 		// Step (1): local sort inside every block.
-		localSortPhase("local-sort-1", blocked, allBlocks(blocked), cfg, runner.Sorter(), &sorted),
+		localSortPhase("local-sort-1", blocked, st.blocks, cfg, runner, &st.rows1),
 
 		// Step (2): distribute every block's packets evenly over C.
 		pipeline.Route{Name: "unshuffle-to-center", Bound: routeBound, Prepare: func(net *engine.Net) error {
 			for j := 0; j < B; j++ {
-				ps := sorted[j] // allBlocks lists blocks in outer order, so index j is outer position j
+				ps := st.rows1[j] // allBlocks lists blocks in outer order, so index j is outer position j
 				for i, id := range ps {
 					p := net.Packet(id)
 					c := i % R
@@ -92,7 +123,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (3): local sort inside every center block.
-		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner.Sorter(), &centerSorted),
+		localSortPhase("local-sort-center", blocked, region.Blocks, cfg, runner, &st.rowsC),
 
 		// Step (4): send every packet to its estimated destination.
 		// Center block j' holds (about) kN/R packets forming an even
@@ -102,7 +133,7 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 		// Q = 2kV/B). With AltEstimator the bias-corrected variant is
 		// used instead (see Config.AltEstimator).
 		pipeline.Route{Name: "route-to-destination", Bound: routeBound, Prepare: func(net *engine.Net) error {
-			for jp, ps := range centerSorted {
+			for jp, ps := range st.rowsC {
 				for i, id := range ps {
 					p := net.Packet(id)
 					var est int
@@ -122,25 +153,8 @@ func centerSort(cfg Config, keys []int64, name string) (Result, error) {
 		}},
 
 		// Step (5): odd-even block merges until sorted.
-		mergeCleanupPhase(blocked, k, cfg.Cost, runner.Sorter(), 0, &res.MergeRounds, &res.Sorted),
+		mergeCleanupPhase(blocked, k, cfg.Cost, runner, 0, &st.mergeRounds, &st.sortedFlag),
 	}
-	err := runner.Run(prog...)
-	res.fromTotals(runner.Totals())
-	if err != nil {
-		return res, fmt.Errorf("core: %s: %w", name, err)
-	}
-	net := runner.Net()
-	if !res.Sorted {
-		res.Sorted = isSorted(net, runner.Sorter(), blocked, k)
-	}
-	if !res.Sorted {
-		return res, fmt.Errorf("core: %s failed to sort within %d merge rounds", name, res.MergeRounds)
-	}
-	if got := net.TotalPackets(); got != kN {
-		return res, fmt.Errorf("core: %s packet conservation violated: %d != %d", name, got, kN)
-	}
-	res.Final = finalKeys(net, runner.Sorter(), blocked, k)
-	return res, nil
 }
 
 // RandomKeys returns k*N pseudo-random keys for a shape, suitable as

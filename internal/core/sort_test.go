@@ -7,7 +7,7 @@ import (
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
-	"meshsort/internal/radix"
+	"meshsort/internal/pipeline"
 )
 
 // sortConfigs are small instances with the paper's alpha >= 2/3 shape
@@ -369,7 +369,8 @@ func TestIsSortedDetectsDisorder(t *testing.T) {
 	s := grid.New(2, 8)
 	cfg := Config{Shape: s, BlockSide: 4}
 	blocked := cfg.scheme()
-	net := engine.New(s)
+	runner := pipeline.New(pipeline.Config{Shape: s})
+	net := runner.Net()
 	// Place keys equal to the sort index: sorted.
 	for idx := 0; idx < s.N(); idx++ {
 		p := net.NewPacket(int64(idx), 0)
@@ -377,15 +378,14 @@ func TestIsSortedDetectsDisorder(t *testing.T) {
 		p.Dst = rank
 		net.SetHeld(rank, []int32{int32(p.ID)})
 	}
-	var srt radix.Sorter
-	if !isSorted(net, &srt, blocked, 1) {
+	if !isSorted(runner, blocked, 1) {
 		t.Fatal("sorted state not recognized")
 	}
 	// Swap two keys.
 	a, b := blocked.RankAt(3), blocked.RankAt(40)
 	pa, pb := net.Packet(net.Held(a)[0]), net.Packet(net.Held(b)[0])
 	pa.Key, pb.Key = pb.Key, pa.Key
-	if isSorted(net, &srt, blocked, 1) {
+	if isSorted(runner, blocked, 1) {
 		t.Fatal("disorder not detected")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"meshsort/internal/grid"
 	"meshsort/internal/topo"
@@ -51,6 +52,21 @@ type Policy interface {
 type DetourPolicy interface {
 	Policy
 	Detours() bool
+}
+
+// MeshGreedy is implemented by policies certifying that their NextLink
+// is exactly the dimension-order greedy scheme on the returned mesh
+// shape: scan dimensions class, class+1, ..., class-1 (mod d), and on
+// the first mismatched coordinate move toward the destination (shorter
+// way around each torus ring, ties toward +1). When the shape matches
+// the network's, the step loop computes next links inline from its own
+// cached stride tables instead of paying an interface call per hop —
+// on the n=32 sorting rung the virtual NextLink was ~8% of wall time.
+// The paranoid checker still cross-checks cached links against the
+// policy's own NextLink, so a certification that does not match the
+// policy's behavior is caught, not silently trusted.
+type MeshGreedy interface {
+	GreedyShape() (grid.Shape, bool)
 }
 
 // LinkFor encodes a (dimension, direction) pair as a link id.
@@ -149,8 +165,38 @@ const (
 type proc struct {
 	moving []pktRef // packets in transit through this processor, hot fields inline
 	held   []int32  // arena indices of packets at rest here
-	out    []int32  // one grant slot per link, len 2d: index into moving, noPacket = empty
+
+	// fresh is the fused-path eligibility watermark: when its high half
+	// equals the current clock, the queue suffix moving[fresh&0xffffffff:]
+	// arrived during the current step and must not move again until the
+	// next one. A stale stamp means the whole queue is eligible, so the
+	// watermark never needs an end-of-step reset — phase activation
+	// zeroes it only because the clock restarts between problems. It
+	// sits between the queue headers so the fused path's receiver access
+	// touches a single cache line. See stepState.fusedStep.
+	fresh uint64
+
+	// The struct is padded to exactly one cache line: the step loops
+	// touch one random proc per hop (the receiver), and a 64-byte stride
+	// keeps that touch to a single line. The out-slot contest scratch
+	// deliberately lives outside the struct (Net.outs, windowed by rank)
+	// — only the two-phase send path uses it, and carrying its slice
+	// header here would push the struct over the line.
+	_ [64 - 2*unsafe.Sizeof([]int{}) - 8]byte
 }
+
+// Initial per-processor queue capacities carved from the rank-ordered
+// slabs of buildProcs, and the network size cap above which the carve is
+// skipped (at 1M processors the slabs reach ~144 bytes per rank, ~150 MB
+// — past that, sparse workloads would pay more in footprint than dense
+// ones gain in locality). The moving window holds the typical congestion
+// of a sorting run's routing phases; the held window covers packets at
+// rest up to k = 4 without spilling.
+const (
+	movSlabCap        = 8
+	heldSlabCap       = 4
+	queueSlabMaxProcs = 1 << 20
+)
 
 // Net is a synchronous network holding packets, routing on any
 // topo.Topology — the mesh/torus of the source paper as the inline fast
@@ -310,14 +356,30 @@ func NewNet(t topo.Topology) *Net {
 func (n *Net) buildProcs() {
 	N, links := n.Topo.N(), n.links
 	n.procs = make([]proc, N)
+	if N <= queueSlabMaxProcs {
+		// Carve every processor's initial moving-queue and held-list
+		// capacity out of two rank-ordered contiguous slabs. The step
+		// loop's receiver accesses walk ranks at fixed strides (r ± div on
+		// a mesh), so rank-ordered queue storage turns the append target
+		// into a hardware-prefetchable stream — individually heap-allocated
+		// backing arrays land wherever the allocator put them and defeat
+		// it. Queues that outgrow their slab window fall back to the heap
+		// via ordinary append growth, and only those lose the locality.
+		// Very large networks skip the carve: sparse workloads there touch
+		// few processors, and an 80-byte-per-rank upfront slab would
+		// dominate their footprint.
+		movSlab := make([]pktRef, N*movSlabCap)
+		heldSlab := make([]int32, N*heldSlabCap)
+		for i := range n.procs {
+			n.procs[i].moving = movSlab[i*movSlabCap : i*movSlabCap : (i+1)*movSlabCap]
+			n.procs[i].held = heldSlab[i*heldSlabCap : i*heldSlabCap : (i+1)*heldSlabCap]
+		}
+	}
 	backing := make([]int32, N*links)
 	for i := range backing {
 		backing[i] = noPacket
 	}
 	n.outs = backing
-	for i := range n.procs {
-		n.procs[i].out = backing[i*links : (i+1)*links : (i+1)*links]
-	}
 	n.inbox = make([]pktRef, N*links)
 	for i := range n.inbox {
 		n.inbox[i].id = noPacket
@@ -383,9 +445,9 @@ func (n *Net) ResetTopo(t topo.Topology) {
 			pr := &n.procs[i]
 			pr.moving = pr.moving[:0]
 			pr.held = pr.held[:0]
-			for l := range pr.out {
-				pr.out[l] = noPacket
-			}
+		}
+		for i := range n.outs {
+			n.outs[i] = noPacket
 		}
 		// The inbox can hold entries only if the previous phase died to a
 		// policy panic mid-step; clear it so the poisoned state cannot
@@ -796,6 +858,10 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	totalTogo := int64(0) // remaining distance over all active packets
 	for r := range n.procs {
 		pr := &n.procs[r]
+		// The fused path's eligibility stamps compare against the clock,
+		// which restarts between problems — wipe them so a stale stamp
+		// cannot alias a future step of a fresh clock.
+		pr.fresh = 0
 		// Entries that survived a degraded abort (or a cancel) keep routing
 		// this phase, but their cached links were resolved by the previous
 		// phase's policy — invalidate them, and count them as active so the
@@ -875,6 +941,13 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	}
 	st.attach(pool)
 	res.Workers = pool.Workers()
+	// With a single worker the two-phase send/deliver split buys nothing
+	// (there is nobody to overlap with) and costs an inbox round-trip per
+	// hop; route the plain mesh case through the fused step path instead.
+	// Exotic modes (stranding, faults, detours, load counting) and
+	// sub-word shards keep the two-phase path, whose code handles them.
+	st.fused = st.workers == 1 && st.patience == 0 && st.faults == nil &&
+		!st.detour && st.mesh && st.movingBits != nil && n.loads == nil
 
 	bestTotal := totalTogo
 	lastImprove := 0
@@ -1039,6 +1112,15 @@ type stepState struct {
 	// default; nil otherwise, falling back to the linear test).
 	movingBits []uint64
 
+	// freshBits parks the fused path's same-step activations: when a
+	// forward lands on a processor with an empty queue, its movingBits
+	// bit is deferred here and merged in at the end of the step. Setting
+	// it in movingBits directly would make the pass visit the processor
+	// later in the same step only to find every entry fresh — one wasted
+	// random proc-header touch per activation. Always all-zero outside a
+	// fused step; nil exactly when movingBits is.
+	freshBits []uint64
+
 	// pending flags, per shard, that some processor in the shard has an
 	// incoming packet parked in its inbox strip. Senders in other shards
 	// set flags concurrently during the send phase (atomically); the
@@ -1067,6 +1149,17 @@ type stepState struct {
 	// same-geometry Resets by construction (topo.SameGeometry never
 	// crosses the mesh/non-mesh boundary).
 	mesh bool
+
+	// greedy marks that the phase's policy certified itself (via
+	// MeshGreedy) as the dimension-order greedy scheme on this very mesh,
+	// so link resolution goes through the inline greedyNext instead of
+	// the Policy interface. Re-derived by begin for every phase.
+	greedy bool
+
+	// fused marks that the phase runs the single-worker fused step path
+	// (see fusedStep) instead of the two-phase send/deliver split.
+	// Derived by Route per phase, after the pool is attached.
+	fused bool
 
 	// divs caches side^(d-1-dim) per dimension: the rank stride of one
 	// hop along dim, precomputed so the hot loops never call Ipow.
@@ -1142,6 +1235,7 @@ func newStepState(n *Net) *stepState {
 	st.pending = make([]int32, st.numShards)
 	if st.shardSize >= 64 {
 		st.movingBits = make([]uint64, (len(n.procs)+63)/64)
+		st.freshBits = make([]uint64, (len(n.procs)+63)/64)
 	}
 	st.sendList = make([]int32, 0, st.numShards)
 	st.deliverList = make([]int32, 0, st.numShards)
@@ -1190,6 +1284,15 @@ func (st *stepState) begin(policy Policy) {
 	if dp, ok := policy.(DetourPolicy); ok && dp.Detours() {
 		st.detour = true
 	}
+	st.greedy = false
+	if st.mesh {
+		if gp, ok := policy.(MeshGreedy); ok {
+			if s, certified := gp.GreedyShape(); certified && s == st.net.Shape {
+				st.greedy = true
+			}
+		}
+	}
+	st.fused = false
 	st.err = nil
 	st.errRank = 0
 	for i := range st.movingProcs {
@@ -1208,6 +1311,9 @@ func (st *stepState) begin(policy Policy) {
 	}
 	for i := range st.movingBits {
 		st.movingBits[i] = 0
+	}
+	for i := range st.freshBits {
+		st.freshBits[i] = 0
 	}
 }
 
@@ -1270,6 +1376,13 @@ func (st *stepState) runStep() (err error) {
 		st.hops[w] = 0
 		st.togoDrop[w] = 0
 		st.strand[w] = st.strand[w][:0]
+	}
+	if st.fused {
+		st.fusedStep()
+		if st.err != nil {
+			st.dirty = true
+		}
+		return st.err
 	}
 	st.sendList = st.sendList[:0]
 	for sh, c := range st.movingProcs {
@@ -1409,11 +1522,12 @@ func (st *stepState) sendShard(w, sh, lo, hi int) {
 // bookkeeping at both shard and bit resolution).
 func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, patience int32) bool {
 	n := st.net
-	// Grant each link to the best requester; out slots hold the
-	// winner's index into the moving queue. The slots are already
-	// empty: they are this processor's contest scratch, and the
-	// validation pass below clears every slot it reads, so slots
-	// never survive a send phase.
+	// Grant each link to the best requester; the out slots (this
+	// processor's window of the shared slab) hold the winner's index
+	// into the moving queue. The slots are already empty: they are this
+	// processor's contest scratch, and the validation pass below clears
+	// every slot it reads, so slots never survive a send phase.
+	out := n.outs[r*n.links : (r+1)*n.links]
 	granted := 0
 	expired := false
 	for qi := range pr.moving {
@@ -1444,8 +1558,8 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 		// contests out slots, nothing else.
 		l := int(e.link)
 		if l == int(linkUnknown) {
-			l = st.policy.NextLink(r, int(e.dst), int(e.class))
-			if l >= len(pr.out) {
+			l = st.nextLink(r, int(e.dst), int(e.class))
+			if l >= len(out) {
 				st.recordErr(r, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", l, e.id, r))
 				e.link = -1
 				continue
@@ -1461,12 +1575,12 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 		if st.faults != nil && st.faults.LinkDown(r, l, n.clock) {
 			continue
 		}
-		cur := pr.out[l]
+		cur := out[l]
 		if cur == noPacket {
 			granted++
-			pr.out[l] = int32(qi)
+			out[l] = int32(qi)
 		} else if ce := &pr.moving[cur]; e.togo > ce.togo || (e.togo == ce.togo && e.id < ce.id) {
-			pr.out[l] = int32(qi)
+			out[l] = int32(qi)
 		}
 	}
 	if granted == 0 && !expired {
@@ -1480,11 +1594,11 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 	// survive the send phase.
 	side := n.Shape.Side
 	links := n.links
-	for l, qi := range pr.out {
+	for l, qi := range out {
 		if qi == noPacket {
 			continue
 		}
-		pr.out[l] = noPacket
+		out[l] = noPacket
 		e := &pr.moving[qi]
 		var recv, slot int
 		if st.mesh {
@@ -1562,7 +1676,7 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 			// receiver's request loop then just reads it. Same call
 			// count as resolving on request (one per hop), but off the
 			// hot loop — and stalled packets never re-resolve at all.
-			nl2 := st.policy.NextLink(recv, int(e.dst), int(e.class))
+			nl2 := st.nextLink(recv, int(e.dst), int(e.class))
 			if nl2 >= links {
 				st.recordErr(recv, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", nl2, e.id, recv))
 				nl2 = -1
@@ -1602,6 +1716,391 @@ func (st *stepState) sendProc(w, r int, pr *proc, bm []uint64, aux []int32, pati
 	}
 	pr.moving = kept
 	return len(kept) == 0
+}
+
+// nextLink resolves a packet's next link: inline dimension-order greedy
+// when the phase's policy certified itself (see MeshGreedy), the
+// interface call otherwise.
+func (st *stepState) nextLink(rank, dst, class int) int {
+	if st.greedy {
+		return st.greedyNext(rank, dst, class)
+	}
+	return st.policy.NextLink(rank, dst, class)
+}
+
+// greedyNext is the engine-resident copy of the dimension-order greedy
+// scheme (route.Greedy.NextLink), computed from the step state's own
+// stride tables. It must stay behaviorally identical to the policy it
+// replaces — the certification contract of MeshGreedy — and the
+// paranoid checker enforces exactly that by re-asking the policy.
+func (st *stepState) greedyNext(rank, dst, class int) int {
+	d := len(st.divs)
+	side := st.net.Shape.Side
+	dim := class
+	for i := 0; i < d; i++ {
+		var c, t int
+		if st.pow2 {
+			sh := st.divShift[dim]
+			c = (rank >> sh) & st.sideMask
+			t = (dst >> sh) & st.sideMask
+		} else {
+			div := st.divs[dim]
+			c = (rank / div) % side
+			t = (dst / div) % side
+		}
+		if c != t {
+			dir := 1
+			if st.net.Shape.Torus {
+				fwd := t - c
+				if fwd < 0 {
+					fwd += side
+				}
+				if fwd > side-fwd {
+					dir = -1
+				}
+			} else if t < c {
+				dir = -1
+			}
+			return LinkFor(dim, dir)
+		}
+		dim++
+		if dim == d {
+			dim = 0
+		}
+	}
+	return -1
+}
+
+// fusedStep is the single-worker step path: with no second worker to
+// overlap with, the two-phase send/deliver split is pure overhead —
+// every forwarded entry is written into the inbox transfer slab only to
+// be read back and appended to the receiver's queue moments later, two
+// extra scattered cache misses per hop that exist solely to keep
+// concurrent senders from touching the receivers' queues. The fused
+// path grants links exactly like sendProc and then pushes the winning
+// entries straight onto the receivers' queues.
+//
+// Synchronous-step semantics are preserved by the per-processor
+// eligibility watermark proc.fresh: entries pushed during the current
+// step sit above it and are excluded from the link contest, so the
+// contest sees exactly the queue a two-phase send phase would have
+// seen, and no packet moves twice in one step. Every step outcome is
+// order-independent — the contest is decided by the strict (togo, id)
+// order and grants are forwarded in link-id order — so queues and held
+// sets evolve as identical multisets on both paths and the phase
+// statistics (steps, hops, delivered, overshoot, MaxQueue) are
+// bit-identical to the two-phase path at any worker count; the
+// cross-worker determinism tests pin this equivalence.
+//
+// Gated (see Route) on: one worker, mesh topology, stranding disabled,
+// no fault plan, no detouring policy, no load counting, and shards of
+// at least a bitmap word (movingBits present).
+func (st *stepState) fusedStep() {
+	t0 := time.Now()
+	n := st.net
+	mb := st.movingBits
+	nb := st.freshBits
+	rb := st.inboxBits[0]
+	clk := uint64(n.clock)
+	clk32 := int32(n.clock)
+	procs := n.procs
+	nprocs := len(procs)
+	aux := n.aux
+	links := n.links
+	movingProcs := st.movingProcs
+	shardShift := st.shardShift
+	// Loop invariants of the neighbor/link arithmetic, hoisted: the body
+	// below runs once per hop, and st field loads the compiler cannot
+	// cache across the recordErr call sites are measurable there.
+	divs, shifts := st.divs, st.divShift
+	mask, pw2 := st.sideMask, st.pow2
+	side := n.Shape.Side
+	torus := n.Shape.Torus
+	greedy := st.greedy
+	// Transit-path counters live in locals for the duration of the step
+	// (one flush at the end): at one increment per hop, the per-slot
+	// bounds-checked slice accesses of the two-phase bookkeeping are
+	// measurable here.
+	hops, togoDrop, maxQ := 0, 0, st.maxQueue[0]
+	delivered, sumOver, maxOver := 0, 0, st.maxOver[0]
+	// Stack-resident link contest table. The fused path never touches the
+	// per-proc out slots: grantMask gates which entries of outQ are live,
+	// so the table needs no clearing between processors (links = 2d <= 62
+	// on any mesh within int32 arena capacity).
+	var outQ [64]int32
+	for sh := 0; sh < st.numShards; sh++ {
+		if movingProcs[sh] == 0 {
+			continue
+		}
+		lo := sh << shardShift
+		hi := lo + st.shardSize
+		if hi > nprocs {
+			hi = nprocs
+		}
+		emptied := int32(0)
+		for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+			// Snapshot the word: emptied senders clear their bits in
+			// mb[wi] as the pass strips bits off this working copy.
+			// (Same-step activations never touch mb — they park in
+			// freshBits and merge after the pass.)
+			word := mb[wi]
+			if word == 0 {
+				continue
+			}
+			wbase := wi << 6
+			for ; word != 0; word &= word - 1 {
+				r := wbase + bits.TrailingZeros64(word)
+				pr := &procs[r]
+				eligible := len(pr.moving)
+				if pr.fresh>>32 == clk {
+					eligible = int(pr.fresh & 0xffffffff)
+				}
+				if eligible == 0 {
+					// Unreachable while activations defer through freshBits
+					// (a set movingBits bit implies step-start entries);
+					// kept as a costless guard on that invariant.
+					continue
+				}
+				// The link-request contest of sendProc, over the eligible
+				// prefix (a solo entry simply wins its link unopposed). The
+				// prefix reslice is safe — the watermark boundary never
+				// exceeds the queue length — and lets the loop and the
+				// grant-table lookups below run without bounds checks. It
+				// stays valid through the forward loop: forwards touch
+				// other processors' queues, never this one's.
+				mv := pr.moving[:eligible]
+				var grantMask uint64
+				for qi := range mv {
+					e := &mv[qi]
+					l := int(e.link)
+					if l == int(linkUnknown) {
+						l = st.nextLink(r, int(e.dst), int(e.class))
+						if l >= links {
+							st.recordErr(r, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", l, e.id, r))
+							e.link = -1
+							continue
+						}
+						if l < 0 {
+							l = -1
+						}
+						e.link = int16(l)
+					}
+					if l < 0 {
+						continue
+					}
+					if grantMask>>uint(l)&1 == 0 {
+						outQ[l] = int32(qi)
+						grantMask |= 1 << uint(l)
+					} else if ce := &mv[outQ[l]]; e.togo > ce.togo || (e.togo == ce.togo && e.id < ce.id) {
+						outQ[l] = int32(qi)
+					}
+				}
+				if grantMask == 0 {
+					continue
+				}
+				// Forward every granted entry straight onto its receiver, in
+				// link-id order: the fused counterpart of the inbox handoff
+				// in sendProc plus the drain in deliverShard, inlined so the
+				// hoisted invariants above stay in registers across hops.
+				consumed := 0
+				for m := grantMask; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					e := &mv[outQ[l]]
+					dim := LinkDim(l)
+					div := divs[dim]
+					var c int
+					if pw2 {
+						c = (r >> shifts[dim]) & mask
+					} else {
+						c = (r / div) % side
+					}
+					recv := r
+					legal := true
+					if LinkDir(l) > 0 {
+						if c < side-1 {
+							recv = r + div
+						} else if torus {
+							recv = r - (side-1)*div
+						} else {
+							legal = false
+						}
+					} else {
+						if c > 0 {
+							recv = r - div
+						} else if torus {
+							recv = r + (side-1)*div
+						} else {
+							legal = false
+						}
+					}
+					if !legal {
+						// Leaves the packet in place, exactly like the
+						// two-phase path.
+						st.recordErr(r, fmt.Errorf("engine: policy routed packet %d off the mesh boundary at rank %d link %d", e.id, r, l))
+						continue
+					}
+					next := e.togo - 1
+					if next <= 0 && int(e.dst) != recv {
+						st.recordErr(r, fmt.Errorf("engine: non-monotone policy: packet %d exhausted its distance budget away from its destination", e.id))
+					}
+					p2 := &procs[recv]
+					if next == 0 && int(e.dst) == recv {
+						p2.held = append(p2.held, e.id)
+						delivered++
+						ab := int(e.id) * auxStride
+						over := int((clk32 - aux[ab+auxBorn]) - aux[ab+auxBornD])
+						sumOver += over
+						if over > maxOver {
+							maxOver = over
+						}
+					} else {
+						nl := int16(-1)
+						var nl2 int
+						if greedy {
+							// Same-dimension shortcut: a greedy packet keeps
+							// correcting the dimension it is moving along until
+							// the coordinate matches, and the direction never
+							// flips mid-course (the shorter-way choice and its
+							// +1 tie-break are stable under the moves they
+							// pick). Dimensions before dim in the packet's
+							// class order are already corrected, so while dim
+							// still mismatches it remains the first mismatch
+							// and the next link is the link just taken.
+							var rc, tc int
+							if pw2 {
+								sh := shifts[dim]
+								rc = (recv >> sh) & mask
+								tc = (int(e.dst) >> sh) & mask
+							} else {
+								rc = (recv / div) % side
+								tc = (int(e.dst) / div) % side
+							}
+							if rc != tc {
+								nl2 = l
+							} else {
+								nl2 = st.greedyNext(recv, int(e.dst), int(e.class))
+							}
+						} else {
+							nl2 = st.policy.NextLink(recv, int(e.dst), int(e.class))
+							if nl2 >= links {
+								st.recordErr(recv, fmt.Errorf("engine: policy returned invalid link %d for packet %d at rank %d", nl2, e.id, recv))
+								nl2 = -1
+							}
+						}
+						if nl2 >= 0 {
+							nl = int16(nl2)
+						}
+						if len(p2.moving) == 0 {
+							// Empty -> non-empty: the same moving-processor
+							// activation the two-phase delivery phase performs.
+							// The bitmap bit is parked in freshBits and merged
+							// after the pass — set directly in movingBits, a
+							// receiver above the sender would be visited later
+							// this very step only to skip its all-fresh queue.
+							movingProcs[recv>>shardShift]++
+							nb[recv>>6] |= 1 << (uint(recv) & 63)
+						}
+						if p2.fresh>>32 != clk {
+							p2.fresh = clk<<32 | uint64(len(p2.moving))
+						}
+						p2.moving = append(p2.moving, pktRef{id: e.id, dst: e.dst, class: e.class, togo: next, link: nl})
+					}
+					// Occupancy high-water mark. The two-phase path samples
+					// each receiver's queue after the send phase removed
+					// departures; here the pass visits processors in
+					// ascending rank, so a receiver below the sender has
+					// already sent (its queue only grows from here on) and
+					// can be sampled directly, while one above may still
+					// hold entries that depart later this step — mark it in
+					// the receiver bitmap (idle on the fused path) and let
+					// the end-of-step sweep sample it, when the state is
+					// final either way.
+					if recv > r {
+						rb[recv>>6] |= 1 << (uint(recv) & 63)
+					} else if q := len(p2.moving) + len(p2.held); q > maxQ {
+						maxQ = q
+					}
+					hops++
+					togoDrop += int(e.togo) - int(next)
+					e.id = noPacket
+					consumed++
+				}
+				if consumed == 0 {
+					continue
+				}
+				if consumed == eligible && eligible == len(pr.moving) {
+					// Everything moved (the solo-entry common case): truncate
+					// instead of rebuilding. The watermark is necessarily
+					// stale here — a push this step would have stamped it and
+					// appended, making len exceed the eligible prefix.
+					pr.moving = pr.moving[:0]
+					mb[wi] &^= 1 << uint(r-wbase)
+					emptied++
+					continue
+				}
+				// Rebuild: drop consumed winners from the eligible prefix,
+				// keep the fresh suffix, and re-anchor the watermark to the
+				// compacted prefix length so later pushes keep appending
+				// above it.
+				kept := pr.moving[:0]
+				for qi := 0; qi < eligible; qi++ {
+					if pr.moving[qi].id != noPacket {
+						kept = append(kept, pr.moving[qi])
+					}
+				}
+				keptOld := len(kept)
+				for qi := eligible; qi < len(pr.moving); qi++ {
+					kept = append(kept, pr.moving[qi])
+				}
+				pr.moving = kept
+				if pr.fresh>>32 == clk {
+					pr.fresh = clk<<32 | uint64(keptOld)
+				}
+				if len(pr.moving) == 0 {
+					mb[wi] &^= 1 << uint(r-wbase)
+					emptied++
+				}
+			}
+		}
+		if emptied > 0 {
+			movingProcs[sh] -= emptied
+		}
+	}
+	// Merge the deferred activations: freshBits must read all-zero again
+	// before the next step (and before the paranoid checker runs).
+	for wi, word := range nb {
+		if word != 0 {
+			mb[wi] |= word
+			nb[wi] = 0
+		}
+	}
+	// End-of-step sweep over the receivers whose occupancy could not be
+	// sampled in place: their state is final now. Worker 0's inbox bitmap
+	// doubles as the marker set — the fused path parks nothing in the
+	// inbox, so the bitmap is otherwise idle — and is left all-clear for
+	// the next step, exactly what the paranoid checker expects between
+	// steps.
+	for wi, word := range rb {
+		if word == 0 {
+			continue
+		}
+		rb[wi] = 0
+		wbase := wi << 6
+		for ; word != 0; word &= word - 1 {
+			r := wbase + bits.TrailingZeros64(word)
+			pr := &procs[r]
+			if q := len(pr.moving) + len(pr.held); q > maxQ {
+				maxQ = q
+			}
+		}
+	}
+	st.hops[0] += hops
+	st.togoDrop[0] += togoDrop
+	st.maxQueue[0] = maxQ
+	st.delivered[0] += delivered
+	st.sumOver[0] += sumOver
+	st.maxOver[0] = maxOver
+	st.busy[0] += time.Since(t0).Nanoseconds()
 }
 
 // deliverShard implements the delivery phase for processors [lo, hi):
@@ -1821,7 +2320,7 @@ func (st *stepState) checkInvariants(total int) error {
 	links := n.links
 	for r := range n.procs {
 		pr := &n.procs[r]
-		for l, qi := range pr.out {
+		for l, qi := range n.outs[r*links : (r+1)*links] {
 			if qi != noPacket {
 				return fmt.Errorf("engine: invariant violated: grant %d left on link %d of rank %d across a step barrier", qi, l, r)
 			}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
@@ -157,7 +158,26 @@ type Runner struct {
 	net  *engine.Net
 	tot  Totals
 	last engine.RouteResult
-	srt  radix.Sorter
+	srts []*radix.Sorter       // per-worker-slot sorters, grown on demand
+	pkts []*engine.Packet      // InjectKeys handle slab, reused across runs
+
+	// RunBlocks parallel-dispatch state, hoisted here so a warm phase's
+	// fan-out allocates nothing: the stealing closure is built once and
+	// reads these fields, and the cursor lives in the runner instead of
+	// escaping per call.
+	rbFn     func(w, i int)
+	rbN      int
+	rbChunk  int
+	rbCursor atomic.Int64
+	rbSteal  func(w int)
+
+	// Stash is a cache slot for algorithm packages to keep warm
+	// shape-derived state across runs on the same runner (compiled phase
+	// programs, indexing schemes, block scratch slabs). Reset preserves
+	// it; the owner must key whatever it stores by everything the cached
+	// state depends on and rebuild on mismatch. The runner itself never
+	// reads it.
+	Stash any
 }
 
 // New builds a quiescent network for the configuration.
@@ -178,13 +198,96 @@ func New(cfg Config) *Runner {
 // inspection between (or within) phases.
 func (r *Runner) Net() *engine.Net { return r.net }
 
-// Sorter exposes the runner's radix sorter. Local phases thread it
-// through their block sorts so every sort in a run shares one pair of
-// scratch slabs; the slabs grow to the largest block and are then reused,
-// making warm-runner sorts allocation-free. The sorter is single-owner
-// scratch: phases run sequentially on the caller's goroutine, so no
-// locking is needed, but a sort must finish before the next Prepare.
-func (r *Runner) Sorter() *radix.Sorter { return &r.srt }
+// Sorter returns the worker-0 radix sorter: WorkerSorter(0). It is the
+// right sorter for serial code running on the caller's goroutine between
+// phases (final-key extraction, sortedness scans). Code executing inside
+// RunBlocks must use WorkerSorter with its own slot instead — two slots
+// never run concurrently, but slot 0 may, and a sorter is single-owner
+// scratch: a sort must finish before the same sorter's next Prepare.
+func (r *Runner) Sorter() *radix.Sorter { return r.WorkerSorter(0) }
+
+// BlockWorkers returns the number of worker slots RunBlocks fans block
+// work across: the pool's worker count, or 1 when the runner has no
+// persistent pool (transient per-phase pools exist only inside the
+// engine's step loop, so local phases run serially without one).
+func (r *Runner) BlockWorkers() int {
+	if r.cfg.Pool != nil {
+		return r.cfg.Pool.Workers()
+	}
+	return 1
+}
+
+// WorkerSorter returns the radix sorter of one RunBlocks worker slot.
+// Each slot's sorter is touched by at most one goroutine at a time (slot
+// w belongs to pool worker w for the duration of a RunBlocks call), so
+// per-block sorts inside RunBlocks need no locking and every sort in a
+// run reuses the same per-slot scratch slabs — warm-runner local phases
+// allocate nothing. Sorters survive Reset, including a Reset to a pool
+// of a different size.
+func (r *Runner) WorkerSorter(w int) *radix.Sorter {
+	for len(r.srts) <= w {
+		r.srts = append(r.srts, new(radix.Sorter))
+	}
+	return r.srts[w]
+}
+
+// runBlocksChunks is the work-stealing granularity multiplier: the index
+// space is claimed in chunks of roughly n/(workers*runBlocksChunks), so
+// uneven per-item costs (blocks of different occupancy, merge pairs of
+// different sizes) rebalance across workers without a per-item atomic.
+const runBlocksChunks = 4
+
+// RunBlocks executes fn(w, i) exactly once for every index i in [0, n),
+// fanned across the runner's persistent pool with dynamic chunked
+// work-stealing; it returns when all n calls have completed. w is the
+// worker slot in [0, BlockWorkers()) the call runs on — pass it to
+// WorkerSorter (or index other per-slot scratch) for lock-free reuse.
+// With no pool, a 1-worker pool, or a single index, fn runs serially on
+// the caller's goroutine as slot 0.
+//
+// Determinism contract: which slot processes which index varies from run
+// to run, so fn must write only to state determined by i (disjoint
+// blocks, per-index result rows) or scratch owned by slot w. Phases
+// built this way produce byte-identical results at every worker count —
+// the property TestLocalPhasesDeterministicAcrossWorkers pins down.
+func (r *Runner) RunBlocks(n int, fn func(w, i int)) {
+	pool := r.cfg.Pool
+	if pool == nil || pool.Workers() == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Materialize every slot's sorter up front: WorkerSorter grows the
+	// slot slice, and inside pool.Run it is called concurrently.
+	r.WorkerSorter(pool.Workers() - 1)
+	chunk := n / (pool.Workers() * runBlocksChunks)
+	if chunk < 1 {
+		chunk = 1
+	}
+	r.rbFn, r.rbN, r.rbChunk = fn, n, chunk
+	r.rbCursor.Store(0)
+	if r.rbSteal == nil {
+		r.rbSteal = func(w int) {
+			fn, n, chunk := r.rbFn, r.rbN, int64(r.rbChunk)
+			for {
+				hi := int(r.rbCursor.Add(chunk))
+				lo := hi - int(chunk)
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(w, i)
+				}
+			}
+		}
+	}
+	pool.Run(r.rbSteal)
+	r.rbFn = nil // drop the reference; the next call re-arms it
+}
 
 // Reset re-arms the runner (and its network) for a fresh problem under a
 // new configuration, reusing all learned storage: the packet arena, the
@@ -212,7 +315,12 @@ func (r *Runner) Reset(cfg Config) {
 	r.net.Workers = cfg.Workers
 	r.net.Pool = cfg.Pool
 	r.net.ShardShift = cfg.ShardShift
-	r.tot = Totals{}
+	// Keep the phase-stat slab: the stats of a warm re-run overwrite the
+	// previous run's entries in place, so Totals().Phases (and any result
+	// that aliases it) is valid only until the next run on this runner —
+	// callers that outlive that must copy. The service layer's encoders
+	// do; so does anything comparing two runs.
+	r.tot = Totals{Phases: r.tot.Phases[:0]}
 	r.last = engine.RouteResult{}
 }
 
@@ -238,6 +346,11 @@ func (r *Runner) LastRoute() engine.RouteResult { return r.last }
 // A mismatched key count, a non-positive k, and a network that already
 // holds packets (a warm runner that was not Reset) are all reported as
 // errors rather than left to index panics downstream.
+//
+// The returned handle slice is backed by runner-owned storage reused by
+// the next InjectKeys call (on a warm runner an injection allocates
+// nothing: the arena chunks, the held queues, and this slab all
+// survive Reset); copy it to retain handles across runs.
 func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
 	n := r.net.N()
 	if k < 1 {
@@ -258,7 +371,10 @@ func (r *Runner) InjectKeys(k int, keys []int64) ([]*engine.Packet, error) {
 	if held := r.net.TotalPackets(); held != 0 {
 		return nil, fmt.Errorf("pipeline: InjectKeys on a network already holding %d packets; Reset the runner between problems", held)
 	}
-	pkts := make([]*engine.Packet, len(keys))
+	if cap(r.pkts) < len(keys) {
+		r.pkts = make([]*engine.Packet, len(keys))
+	}
+	pkts := r.pkts[:len(keys)]
 	for rank := 0; rank < n; rank++ {
 		for t := 0; t < k; t++ {
 			pkts[rank*k+t] = r.net.NewPacket(keys[rank*k+t], rank)

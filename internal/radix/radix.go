@@ -1,15 +1,16 @@
-// Package radix provides the allocation-free LSD radix sort used by the
+// Package radix provides the allocation-free MSD radix sort used by the
 // oracle local-sort phases. The unit of sorting is a Ref — an
 // order-preserving uint64 transform of a packet's key plus the packet's
 // int32 arena index — so a sort never touches the packets themselves and
 // never calls a comparison closure: the hot loops are pure counting and
 // scattering over a flat slice.
 //
-// A Sorter owns the two scratch slabs the sort ping-pongs between. The
+// A Sorter owns the two scratch slabs the sort scatters between. The
 // slabs grow to the largest input ever sorted and are reused afterwards,
 // so in steady state (a warm pipeline Runner re-sorting same-sized
 // blocks) a sort performs zero heap allocations. Sorters are not safe
-// for concurrent use; the pipeline Runner owns one per run.
+// for concurrent use; the pipeline Runner owns one per parallel worker
+// slot (Runner.WorkerSorter), so concurrent block sorts never share one.
 package radix
 
 // Ref is one sortable element: Key orders first (ascending), ID breaks
@@ -62,10 +63,17 @@ func grow(n int) int {
 }
 
 // Sort orders refs by (Key, ID), both ascending, in place. It is a
-// 12-pass byte-wise LSD radix sort (4 ID bytes, then 8 key bytes, least
-// significant first); passes whose byte is constant across the input are
-// skipped, so near-uniform inputs (small key ranges, dense ids) pay only
-// for the bytes that actually vary. Small inputs use insertion sort.
+// byte-wise MSD radix sort over the composite 12-byte sort value (8 key
+// bytes, then 4 ID bytes): one counting-scatter pass on the leading
+// byte splits the input into up to 256 buckets, each finished by
+// insertion sort when small or by descending to the next byte when not.
+// On the block-local sorts this package exists for (a few hundred to a
+// few thousand refs with well-spread keys) the leading pass alone
+// shatters the input into insertion-sized buckets, so a sort costs about
+// one scatter plus one insertion sweep — where the LSD formulation pays
+// a full counting pass for every varying byte. Constant bytes are
+// skipped, so narrow key ranges descend to the bytes that actually
+// discriminate. Small inputs use insertion sort directly.
 func (s *Sorter) Sort(refs []Ref) {
 	n := len(refs)
 	if n < 2 {
@@ -78,41 +86,64 @@ func (s *Sorter) Sort(refs []Ref) {
 	if cap(s.tmp) < n {
 		s.tmp = make([]Ref, grow(n))
 	}
-	a, b := refs, s.tmp[:n]
-	swapped := false
+	s.msd(refs, 11)
+}
+
+// msd sorts refs by composite bytes pass..0 (11 = the key's most
+// significant byte, 0 = the ID's least significant; see digit). The
+// caller guarantees len(refs) >= 2 and the tmp slab is large enough.
+// Recursion depth is bounded by the 12 composite bytes; the shared tmp
+// slab is safe to reuse across levels because each level is done with it
+// before descending.
+func (s *Sorter) msd(refs []Ref, pass uint) {
+	n := len(refs)
 	var count [256]int
-	for pass := uint(0); pass < 12; pass++ {
-		for i := range count {
-			count[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			count[digit(&a[i], pass)]++
-		}
-		if count[digit(&a[0], pass)] == n {
-			continue // constant byte: the pass is the identity
-		}
-		sum := 0
-		for i := range count {
-			c := count[i]
-			count[i] = sum
-			sum += c
-		}
-		for i := 0; i < n; i++ {
-			d := digit(&a[i], pass)
-			b[count[d]] = a[i]
-			count[d]++
-		}
-		a, b = b, a
-		swapped = !swapped
+	for i := range refs {
+		count[digit(&refs[i], pass)]++
 	}
-	if swapped {
-		copy(refs, a)
+	if count[digit(&refs[0], pass)] != n {
+		// Scatter into bucket order; starts keeps each bucket's first
+		// index for the finishing sweep below.
+		var starts, pos [256]int
+		sum := 0
+		for d := 0; d < 256; d++ {
+			starts[d] = sum
+			pos[d] = sum
+			sum += count[d]
+		}
+		tmp := s.tmp[:n]
+		for i := range refs {
+			d := digit(&refs[i], pass)
+			tmp[pos[d]] = refs[i]
+			pos[d]++
+		}
+		copy(refs, tmp)
+		if pass == 0 {
+			return
+		}
+		for d := 0; d < 256; d++ {
+			c := count[d]
+			if c < 2 {
+				continue
+			}
+			sub := refs[starts[d] : starts[d]+c]
+			if c < insertionCutoff {
+				insertion(sub)
+			} else {
+				s.msd(sub, pass-1)
+			}
+		}
+		return
+	}
+	// Constant byte: descend without moving anything.
+	if pass > 0 {
+		s.msd(refs, pass-1)
 	}
 }
 
 // digit extracts the pass-th byte of the composite 12-byte
-// little-endian sort value (ID bytes 0-3, key bytes 4-11). Stable LSD
-// over it yields exactly the (Key, ID) order.
+// little-endian sort value (ID bytes 0-3, key bytes 4-11). MSD descent
+// from byte 11 down to byte 0 yields exactly the (Key, ID) order.
 func digit(r *Ref, pass uint) uint8 {
 	if pass < 4 {
 		return uint8(uint32(r.ID) >> (8 * pass))

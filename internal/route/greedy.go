@@ -56,6 +56,12 @@ func NewGreedy(s grid.Shape) *Greedy {
 	return g
 }
 
+// GreedyShape implements engine.MeshGreedy: NextLink is exactly the
+// dimension-order greedy scheme on g's shape, so the engine may resolve
+// links inline from its own stride tables. FaultGreedy does not (and
+// must not) certify this — its detours depend on the fault plan.
+func (g *Greedy) GreedyShape() (grid.Shape, bool) { return g.shape, true }
+
 // NextLink implements engine.Policy.
 func (g *Greedy) NextLink(rank, dst, class int) int {
 	d := g.shape.Dim
