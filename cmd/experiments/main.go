@@ -50,8 +50,10 @@ func main() {
 		"E19": func() []*stats.Table { return []*stats.Table{exp.E19FaultTolerance(o)} },
 		"E20": func() []*stats.Table { return []*stats.Table{exp.E20PhaseTrace(o)} },
 		"E21": func() []*stats.Table { return []*stats.Table{exp.E21CliqueRoute(o)} },
+		"E22": func() []*stats.Table { return []*stats.Table{exp.E22KKSortBound(o)} },
+		"E23": func() []*stats.Table { return []*stats.Table{exp.E23SojournVsRate(o)} },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -9,6 +9,7 @@
 //	meshsort -alg select -d 3 -n 16 -b 4
 //	meshsort -alg greedyroute -d 3 -n 16 -faults 0.01 -fault-seed 7
 //	meshsort -alg cliqueroute -n 128 -k 4
+//	meshsort -alg traffic -d 3 -n 16 -load "lk:l=2,k=4" -inject window:128
 //
 // -topo selects the network topology: mesh (default), torus (the same
 // as -torus), or clique — the congested clique, where -n is the node
@@ -25,8 +26,10 @@
 // full (the 2D baseline), oddeven (transposition-sort baseline), shear
 // (whole-mesh shearsort baseline), route (two-phase permutation
 // routing, Thm 5.1/5.2), greedyroute (baseline; -policy picks its
-// routing policy), cliqueroute (clique k-relation), select (Section
-// 4.3).
+// routing policy), cliqueroute (clique k-relation), traffic (timed
+// many-to-many injection — -load picks the demand model, -inject the
+// arrival schedule, and the report carries per-packet sojourn
+// percentiles), select (Section 4.3).
 //
 // -trace emits one JSON line per completed pipeline phase (name, kind,
 // steps, bound, max queue, throughput) to stderr, straight from the
@@ -52,13 +55,15 @@ import (
 	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 	"meshsort/internal/service"
+	"meshsort/internal/stats"
 	"meshsort/internal/topo"
+	"meshsort/internal/traffic"
 	"meshsort/internal/xmath"
 )
 
 func main() {
 	var (
-		alg    = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|cliqueroute|select")
+		alg    = flag.String("alg", "simple", "algorithm: simple|copy|torussort|full|oddeven|shear|route|greedyroute|cliqueroute|traffic|select")
 		d      = flag.Int("d", 3, "dimension (ignored on the clique)")
 		n      = flag.Int("n", 16, "side length (clique: node count)")
 		b      = flag.Int("b", 4, "block side length")
@@ -72,6 +77,8 @@ func main() {
 		work   = flag.Int("workers", 0, "engine shard workers (0 = GOMAXPROCS)")
 		sshift = flag.Int("shard-shift", 0, "log2 processors per engine shard (0 = auto; clamped to [4,16])")
 		pperm  = flag.String("perm", "random", "permutation for routing algorithms: random|reversal|transpose|hotspot")
+		load   = flag.String("load", "", "traffic demand for -alg traffic: perm|k:<k>|lk:l=<l>,k=<k>|hotspot:frac=<f>,targets=<t>|partial:frac=<f> (\"\" = perm)")
+		inject = flag.String("inject", "", "arrival schedule for -alg traffic: batch|window:<span>|trickle:<rate> (\"\" = batch)")
 		heat   = flag.Bool("heat", false, "print an ASCII congestion heatmap after greedyroute (2-d meshes only)")
 		mode   = flag.String("classes", "local", "greedyroute class assignment: zero|random|local (zero = plain greedy)")
 
@@ -116,6 +123,9 @@ func main() {
 	}
 	if *policy != "" && *alg != "greedyroute" {
 		fail(fmt.Errorf("-policy applies to -alg greedyroute only"))
+	}
+	if (*load != "" || *inject != "") && *alg != "traffic" {
+		fail(fmt.Errorf("-load and -inject apply to -alg traffic only"))
 	}
 
 	// One persistent worker pool serves every routing phase of the run.
@@ -280,6 +290,41 @@ func main() {
 		if *heat {
 			printHeatmap(net)
 		}
+	case "traffic":
+		ld, err := traffic.ParseLoad(*load)
+		fail(err)
+		sc, err := traffic.ParseSchedule(*inject)
+		fail(err)
+		// Distinct seeded streams: changing the schedule never reshuffles
+		// the demand (matches the service's alg=traffic compilation).
+		ld.Seed = *seed
+		sc.Seed = *seed + 1
+		runner := pipeline.New(pipeline.Config{Shape: shape, Pool: pool})
+		res, net, err := route.RunTimedLoad(topo.FromShape(shape), ld, sc, route.BatchOpts{
+			Workers: *work, ShardShift: *sshift, Pool: pool,
+			Faults: fo.Faults, Patience: fo.Patience, Paranoid: fo.Paranoid,
+			Observer: obs, Runner: runner,
+		})
+		fail(err)
+		delivered := true
+		net.ForEachHeld(func(rank int, p *engine.Packet) {
+			if p.Dst != rank {
+				delivered = false
+			}
+		})
+		if *jsonOut {
+			emitJSON(service.FromTraffic(res, runner.Totals(), shape, delivered))
+			break
+		}
+		soj := res.Sojourn
+		fmt.Printf("timed traffic %s under %s: %d packets in %d steps, delivered=%v, max queue %d",
+			ld, sc, soj.Count, res.Steps, delivered, res.MaxQueue)
+		if len(res.Stranded) > 0 {
+			fmt.Printf(", stranded %d", len(res.Stranded))
+		}
+		fmt.Println()
+		fmt.Printf("  sojourn (injection to delivery): p50=%d p95=%d p99=%d max=%d steps\n",
+			soj.P50, soj.P95, soj.P99, soj.Max)
 	case "select":
 		res, err := core.Select(cfg, keys, shape.N()/2)
 		fail(err)
@@ -385,23 +430,30 @@ func printSort(res core.Result) {
 // pipeline phase, written to stderr so it composes with the normal
 // stdout report.
 func tracePhases(ph pipeline.PhaseStat) {
+	var soj *stats.LatencySummary
+	if ph.Sojourn.Count > 0 {
+		s := ph.Sojourn
+		soj = &s
+	}
 	line, err := json.Marshal(struct {
-		Name           string  `json:"name"`
-		Kind           string  `json:"kind"`
-		Steps          int     `json:"steps"`
-		Bound          int     `json:"bound,omitempty"`
-		MaxDist        int     `json:"maxDist,omitempty"`
-		MaxQueue       int     `json:"maxQueue,omitempty"`
-		Stranded       int     `json:"stranded,omitempty"`
-		StepsPerSec    float64 `json:"stepsPerSec,omitempty"`
-		PacketsPerStep float64 `json:"packetsPerStep,omitempty"`
-		WorkerUtil     float64 `json:"workerUtil,omitempty"`
+		Name           string                `json:"name"`
+		Kind           string                `json:"kind"`
+		Steps          int                   `json:"steps"`
+		Bound          int                   `json:"bound,omitempty"`
+		MaxDist        int                   `json:"maxDist,omitempty"`
+		MaxQueue       int                   `json:"maxQueue,omitempty"`
+		Stranded       int                   `json:"stranded,omitempty"`
+		StepsPerSec    float64               `json:"stepsPerSec,omitempty"`
+		PacketsPerStep float64               `json:"packetsPerStep,omitempty"`
+		WorkerUtil     float64               `json:"workerUtil,omitempty"`
+		Sojourn        *stats.LatencySummary `json:"sojourn,omitempty"`
 	}{
 		Name: ph.Name, Kind: ph.Kind, Steps: ph.Steps, Bound: ph.Bound,
 		MaxDist: ph.MaxDist, MaxQueue: ph.MaxQueue, Stranded: ph.Stranded,
 		StepsPerSec:    ph.StepsPerSec,
 		PacketsPerStep: ph.PacketsPerStep,
 		WorkerUtil:     ph.WorkerUtil,
+		Sojourn:        soj,
 	})
 	if err != nil {
 		return

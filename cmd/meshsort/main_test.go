@@ -13,6 +13,7 @@ import (
 	"meshsort/internal/route"
 	"meshsort/internal/service"
 	"meshsort/internal/topo"
+	"meshsort/internal/traffic"
 	"meshsort/internal/xmath"
 )
 
@@ -158,5 +159,70 @@ func TestPhaseTraces(t *testing.T) {
 	out := phaseTraces(in)
 	if len(out) != 1 || out[0].Name != "a" || out[0].Bound != 5 {
 		t.Errorf("phaseTraces: %+v", out)
+	}
+}
+
+// TestTrafficJSONMatchesService pins the -json contract for timed
+// traffic: the CLI path (RunTimedLoad on an explicit runner +
+// FromTraffic) must encode to the object the service produces for the
+// equivalent JobSpec — sojourn percentiles included.
+func TestTrafficJSONMatchesService(t *testing.T) {
+	shape := grid.New(2, 8)
+	// Match the service's seeding: the demand draws from Seed, the
+	// schedule from Seed+1 (spec.Seed canonicalizes 0 to 1).
+	ld, err := traffic.ParseLoad("lk:l=2,k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := traffic.ParseSchedule("window:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.Seed, sc.Seed = 1, 2
+	runner := pipeline.New(pipeline.Config{Shape: shape})
+	res, net, err := route.RunTimedLoad(topo.FromShape(shape), ld, sc, route.BatchOpts{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := true
+	net.ForEachHeld(func(rank int, p *engine.Packet) {
+		if p.Dst != rank {
+			delivered = false
+		}
+	})
+	cli, err := json.Marshal(service.FromTraffic(res, runner.Totals(), shape, delivered))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := service.New(service.Options{Runners: 1, WorkersPerRunner: 1})
+	defer s.Close()
+	job, err := s.Submit(service.JobSpec{Alg: service.AlgTraffic, D: 2, N: 8, Load: "lk:l=2,k=3", Inject: "window:32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	st := job.Snapshot()
+	if st.Status != service.StatusDone {
+		t.Fatalf("service job: %s (%s)", st.Status, st.Error)
+	}
+
+	var fromCLI, fromSvc service.Result
+	if err := json.Unmarshal(cli, &fromCLI); err != nil {
+		t.Fatal(err)
+	}
+	svcBytes, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(svcBytes, &fromSvc); err != nil {
+		t.Fatal(err)
+	}
+	fromCLI.Phases, fromSvc.Phases = nil, nil
+	if !reflect.DeepEqual(fromCLI, fromSvc) {
+		t.Errorf("CLI and service traffic results diverge:\n  cli: %+v\n  svc: %+v", fromCLI, fromSvc)
+	}
+	if !fromCLI.Delivered || fromCLI.Sojourn == nil || fromCLI.Sojourn.Count == 0 {
+		t.Errorf("implausible traffic result: %+v", fromCLI)
 	}
 }

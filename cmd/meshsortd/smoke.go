@@ -59,6 +59,11 @@ func runSmoke(base string, out io.Writer) error {
 		return fmt.Errorf("clique job: %w", err)
 	}
 
+	trafficSt, err := smokeTraffic(client, base)
+	if err != nil {
+		return fmt.Errorf("traffic job: %w", err)
+	}
+
 	cancelled, err := smokeCancel(client, base)
 	if err != nil {
 		return fmt.Errorf("cancel job: %w", err)
@@ -86,13 +91,47 @@ func runSmoke(base string, out io.Writer) error {
 		return fmt.Errorf("a job was cancelled but jobsCancelled = %d", m.JobsCancelled)
 	}
 
-	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), %s on %s in %d steps (bound %d), cache hit confirmed, DELETE exercised (cancelled=%t), %d simulation(s)\n",
+	fmt.Fprintf(out, "smoke ok: %s on %s delivered in %d steps (bound %d), %s on %s in %d steps (bound %d), %s on %s sojourn p99=%d max=%d, cache hit confirmed, DELETE exercised (cancelled=%t), %d simulation(s)\n",
 		first.Result.Algorithm, first.Result.Shape,
 		first.Result.TotalSteps, first.Result.Bound,
 		cliqueSt.Result.Algorithm, cliqueSt.Result.Shape,
 		cliqueSt.Result.TotalSteps, cliqueSt.Result.Bound,
+		trafficSt.Result.Algorithm, trafficSt.Result.Shape,
+		trafficSt.Result.Sojourn.P99, trafficSt.Result.Sojourn.Max,
 		cancelled, m.Simulations)
 	return nil
+}
+
+// smokeTraffic submits the timed-injection reference job: an (ℓ,k)
+// load arriving over a window, which must come back delivered and
+// carrying its per-packet sojourn percentiles — the round-trip check
+// for the traffic engine's service surface.
+func smokeTraffic(client *http.Client, base string) (service.JobStatus, error) {
+	resp, err := client.Post(base+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"alg":"traffic","d":3,"n":8,"load":"lk:l=2,k=3","inject":"window:64"}`))
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return service.JobStatus{}, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, err
+	}
+	if st.Status != service.StatusDone {
+		return st, fmt.Errorf("job %s finished %s: %s", st.ID, st.Status, st.Error)
+	}
+	r := st.Result
+	if r == nil || !r.Delivered || r.Sojourn == nil || r.Sojourn.Count == 0 {
+		return st, fmt.Errorf("job %s: no sojourn distribution in the traffic result: %+v", st.ID, r)
+	}
+	if r.Sojourn.P50 > r.Sojourn.P95 || r.Sojourn.P95 > r.Sojourn.P99 || r.Sojourn.P99 > r.Sojourn.Max {
+		return st, fmt.Errorf("job %s: sojourn percentiles not monotone: %+v", st.ID, r.Sojourn)
+	}
+	return st, nil
 }
 
 // smokeClique submits the non-mesh reference job: a k-relation on the

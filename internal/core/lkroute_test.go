@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"meshsort/internal/grid"
+	"meshsort/internal/traffic"
+)
+
+func TestLKRouteDelivers(t *testing.T) {
+	cfg := RouteConfig{Shape: grid.New(3, 8), BlockSide: 4, Seed: 3}
+	load := traffic.Load{Demand: traffic.LKRelation, L: 2, K: 3, Seed: 21}
+	res, err := LKRoute(cfg, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatal("(ℓ,k) load not delivered")
+	}
+	if res.Algorithm != "LKRoute" {
+		t.Fatalf("algorithm %q", res.Algorithm)
+	}
+	// Two-phase bound plus the endpoint serialization terms (ℓ-1)+(k-1).
+	base := cfg.Shape.Diameter() + 2*res.EffectiveNu
+	if want := base + 1 + 2; res.Bound != want {
+		t.Fatalf("bound %d, want %d", res.Bound, want)
+	}
+	if res.RouteSteps > res.Bound {
+		t.Fatalf("route took %d steps, bound %d", res.RouteSteps, res.Bound)
+	}
+}
+
+func TestLKRouteKRelation(t *testing.T) {
+	cfg := RouteConfig{Shape: grid.New(2, 8), BlockSide: 4, Seed: 7}
+	load := traffic.Load{Demand: traffic.KRelation, K: 2, Seed: 5}
+	res, err := LKRoute(cfg, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatal("k-relation load not delivered")
+	}
+	if want := cfg.Shape.Diameter() + 2*res.EffectiveNu + 2; res.Bound != want {
+		t.Fatalf("bound %d, want %d", res.Bound, want)
+	}
+}
+
+func TestLKRouteRejectsWrongDemand(t *testing.T) {
+	cfg := RouteConfig{Shape: grid.New(2, 8), BlockSide: 4}
+	if _, err := LKRoute(cfg, traffic.Load{Demand: traffic.Permutation}); err == nil {
+		t.Fatal("permutation load accepted")
+	}
+	if _, err := LKRoute(cfg, traffic.Load{Demand: traffic.LKRelation, L: 0, K: 2}); err == nil {
+		t.Fatal("ℓ=0 accepted")
+	}
+}

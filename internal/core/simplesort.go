@@ -98,7 +98,14 @@ func (st *centerStash) compile(cfg Config, runner *pipeline.Runner) {
 
 	// Both routing phases of the center scheme move packets at most
 	// ~3D/4 (Theorem 3.1's per-phase bound, up to the o(n) block terms).
+	// With k > 1 packets per processor (Corollary 3.1.1, k <= d/4) the
+	// distance bound is unchanged but the o(n) block terms scale with k:
+	// charge one block diameter per extra packet layer. k = 1 keeps the
+	// exact Theorem 3.1 value, so 1-1 runs are bit-compatible.
 	routeBound := 3 * s.Diameter() / 4
+	if k > 1 {
+		routeBound += k * cfg.BlockSide * d / 2
+	}
 
 	st.scan = newSortScan(runner, blocked, k)
 

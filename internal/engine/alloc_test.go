@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"meshsort/internal/grid"
+	"meshsort/internal/stats"
 	"meshsort/internal/xmath"
 )
 
@@ -85,6 +86,58 @@ func TestWarmRouteDoesNotAllocateLargeRung(t *testing.T) {
 	run()
 	if avg := testing.AllocsPerRun(2, run); avg != 0 {
 		t.Fatalf("warm ladder-rung route allocated %.1f times per run, want 0", avg)
+	}
+}
+
+// TestWarmTimedRouteDoesNotAllocate extends the zero-allocation guard to
+// the traffic-driven configuration: a timed arrival plan (packets born
+// mid-run) with sojourn latency accounting enabled. The plan, the
+// histogram accumulator, and the per-worker histograms are all reused
+// across runs, so a warm timed phase must allocate exactly as much as a
+// warm batch phase: nothing.
+func TestWarmTimedRouteDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	s := grid.New(3, 8)
+	net := New(s)
+	pool := NewPool(2)
+	defer pool.Close()
+	net.Pool = pool
+
+	rng := xmath.NewRNG(23)
+	srcs := make([]int, s.N())
+	dsts := make([]int, s.N())
+	clocks := make([]int32, s.N())
+	clock := int32(0)
+	for i := range srcs {
+		srcs[i] = rng.Intn(s.N())
+		dsts[i] = rng.Intn(s.N())
+		clock += int32(rng.Intn(3))
+		clocks[i] = clock
+	}
+	arr := &Arrivals{Clocks: make([]int32, 0, s.N()), IDs: make([]int32, 0, s.N())}
+	var hist stats.Hist
+	var pol Policy = greedyTestPolicy{s}
+	run := func() {
+		net.Reset(s)
+		arr.Clocks = arr.Clocks[:0]
+		arr.IDs = arr.IDs[:0]
+		for i := range srcs {
+			p := net.NewPacket(int64(i), srcs[i])
+			p.Dst = dsts[i]
+			p.Class = i % s.Dim
+			arr.Add(clocks[i], p)
+		}
+		arr.Rewind()
+		hist.Reset()
+		if _, err := net.Route(pol, RouteOpts{Arrivals: arr, Sojourn: &hist}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up: grows the arena, the queues, the step scratch, and the histograms
+	if avg := testing.AllocsPerRun(10, run); avg != 0 {
+		t.Fatalf("warm timed route allocated %.1f times per run, want 0", avg)
 	}
 }
 

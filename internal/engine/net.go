@@ -12,6 +12,7 @@ import (
 	"unsafe"
 
 	"meshsort/internal/grid"
+	"meshsort/internal/stats"
 	"meshsort/internal/topo"
 )
 
@@ -647,6 +648,61 @@ func (n *Net) ForEachHeld(fn func(rank int, p *Packet)) {
 	}
 }
 
+// Arrivals is a timed-injection plan for a routing phase: packets that
+// are born mid-run instead of at phase start. The packets are
+// pre-created with NewPacket but NOT Injected — the phase's activation
+// scan must not see them — and each becomes active when the simulated
+// clock reaches its stamp, so its first possible move is the following
+// step and its sojourn time is measured from the stamp. Stamps are
+// absolute network clocks (Net.Clock), must be nondecreasing, and a
+// stamp already in the past when Route starts activates immediately.
+//
+// Activation runs on the coordinator between steps, so a plan adds no
+// synchronization to the step loop and preserves the bit-identical
+// cross-worker determinism guarantee: the activated queue state entering
+// every step is independent of the worker count. Route consumes the plan
+// through an internal cursor; Rewind re-arms a fully- or
+// partially-consumed plan for reuse.
+type Arrivals struct {
+	// Clocks holds the activation clock of each arrival. Nondecreasing;
+	// Route rejects an out-of-order plan with an error.
+	Clocks []int32
+	// IDs holds the arena packet ids (Packet.ID), parallel to Clocks.
+	IDs []int32
+
+	cursor int
+}
+
+// Add appends one arrival to the plan.
+func (a *Arrivals) Add(clock int32, p *Packet) {
+	a.Clocks = append(a.Clocks, clock)
+	a.IDs = append(a.IDs, int32(p.ID))
+}
+
+// Len returns the total number of arrivals in the plan.
+func (a *Arrivals) Len() int { return len(a.Clocks) }
+
+// Pending returns the number of arrivals not yet activated.
+func (a *Arrivals) Pending() int { return len(a.Clocks) - a.cursor }
+
+// Rewind resets the consumption cursor so the plan can drive another
+// phase. The packet ids must still be valid in the network's arena
+// (Reset discards the arena; rebuild the plan after one).
+func (a *Arrivals) Rewind() { a.cursor = 0 }
+
+// validate checks the plan's structural invariants from the cursor on.
+func (a *Arrivals) validate() error {
+	if len(a.Clocks) != len(a.IDs) {
+		return fmt.Errorf("engine: arrivals plan has %d clocks but %d ids", len(a.Clocks), len(a.IDs))
+	}
+	for i := a.cursor + 1; i < len(a.Clocks); i++ {
+		if a.Clocks[i] < a.Clocks[i-1] {
+			return fmt.Errorf("engine: arrivals plan clocks not nondecreasing at index %d (%d after %d)", i, a.Clocks[i], a.Clocks[i-1])
+		}
+	}
+	return nil
+}
+
 // RouteOpts configures a routing phase.
 type RouteOpts struct {
 	// MaxSteps aborts the phase with an error if exceeded; 0 means
@@ -699,6 +755,23 @@ type RouteOpts struct {
 	// error. Costs a full network scan per step; off by default.
 	Paranoid bool
 
+	// Arrivals, if non-nil, schedules packets to be born mid-phase: each
+	// activates when the simulated clock reaches its stamp (see Arrivals).
+	// The step loop keeps running while arrivals are pending even when no
+	// packet is currently moving, fast-forwarding the clock over idle gaps
+	// (the skipped steps still count toward RouteResult.Steps — simulated
+	// time passed). The default MaxSteps budget is extended past the last
+	// stamp. Route consumes the plan; use Arrivals.Rewind to reuse it.
+	Arrivals *Arrivals
+
+	// Sojourn, if non-nil, accumulates each delivered packet's sojourn
+	// time — delivery clock minus activation clock — into the
+	// caller-owned histogram, and stamps its percentile summary on
+	// RouteResult.Sojourn. The engine merges per-worker histograms
+	// deterministically and never resets the accumulator, so a caller can
+	// aggregate latency across phases by passing the same Hist.
+	Sojourn *stats.Hist
+
 	// Cancel, if non-nil, is the cooperative cancellation hook: the step
 	// loop polls it (non-blocking) at every step boundary and, once the
 	// channel is closed, stops with a partial RouteResult and a
@@ -736,6 +809,13 @@ type RouteResult struct {
 	// guarantee.
 	Stranded []PacketDiag
 	Stuck    []PacketDiag
+
+	// Sojourn summarizes per-packet sojourn times (delivery clock minus
+	// activation clock) when RouteOpts.Sojourn requested latency
+	// accounting; the zero summary otherwise. It reflects the caller's
+	// accumulator as of the end of this phase, so a Hist shared across
+	// phases yields cumulative percentiles.
+	Sojourn stats.LatencySummary
 
 	// Engine throughput counters (wall-clock, not simulated time; they
 	// vary run to run and are excluded from determinism guarantees).
@@ -852,6 +932,16 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 		}
 	}
 
+	arr := opts.Arrivals
+	if arr != nil {
+		if err := arr.validate(); err != nil {
+			return res, err
+		}
+		if arr.cursor >= len(arr.Clocks) {
+			arr = nil
+		}
+	}
+
 	active := 0
 	actQueue := 0
 	totalPackets := 0     // for the paranoid conservation check
@@ -920,7 +1010,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			actQueue = q
 		}
 	}
-	if active == 0 {
+	if active == 0 && arr == nil {
 		return res, nil
 	}
 	res.MaxQueue = actQueue
@@ -928,6 +1018,13 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 64*n.Topo.Diameter() + 1024
+		if arr != nil {
+			// A timed plan legitimately spends simulated steps waiting for
+			// its arrivals; budget the span to the last stamp on top.
+			if last := int(arr.Clocks[len(arr.Clocks)-1]); last > n.clock {
+				maxSteps += last - n.clock
+			}
+		}
 	}
 
 	pool := opts.Pool
@@ -949,10 +1046,91 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	st.fused = st.workers == 1 && st.patience == 0 && st.faults == nil &&
 		!st.detour && st.mesh && st.movingBits != nil && n.loads == nil
 
-	bestTotal := totalTogo
+	// Latency accounting: per-worker histograms, lazily sized to the pool
+	// and reused across phases, merged into the caller's accumulator on
+	// every return path (finishSojourn).
+	st.soj = opts.Sojourn != nil
+	if st.soj && len(st.sojourn) != st.workers {
+		st.sojourn = make([]stats.Hist, st.workers)
+	}
+
+	var bestTotal int64
 	lastImprove := 0
+	// activate moves every arrival due at the current clock into the
+	// network. Runs on the coordinator only — before the first step and
+	// between steps — so its writes to the queues and activity bitmaps
+	// need no synchronization, exactly like the phase-start scan above.
+	activate := func() {
+		due := 0
+		for arr.cursor < len(arr.Clocks) && int(arr.Clocks[arr.cursor]) <= n.clock {
+			id := arr.IDs[arr.cursor]
+			arr.cursor++
+			p := n.pkt(id)
+			r := p.Src
+			pr := &n.procs[r]
+			totalPackets++
+			if p.Dst == r {
+				// Born at its destination: filed at rest immediately, like
+				// the phase-start scan keeps dst==src packets held.
+				pr.held = append(pr.held, id)
+				if q := len(pr.moving) + len(pr.held); q > res.MaxQueue {
+					res.MaxQueue = q
+				}
+				continue
+			}
+			togo := int32(st.dist(r, p.Dst))
+			ab := int(id) * auxStride
+			arec := n.aux[ab : ab+auxStride]
+			arec[auxBest] = togo
+			arec[auxStall] = 0
+			arec[auxBorn] = int32(n.clock)
+			arec[auxBornD] = togo
+			p.stranded = false
+			totalTogo += int64(togo)
+			if int(togo) > res.MaxDist {
+				res.MaxDist = int(togo)
+			}
+			if len(pr.moving) == 0 {
+				st.movingProcs[r>>st.shardShift]++
+				if st.movingBits != nil {
+					st.movingBits[r>>6] |= 1 << (uint(r) & 63)
+				}
+			}
+			pr.moving = append(pr.moving, pktRef{
+				id: id, dst: int32(p.Dst), class: int16(p.Class), togo: togo,
+				link: linkUnknown,
+			})
+			active++
+			due++
+			if q := len(pr.moving) + len(pr.held); q > res.MaxQueue {
+				res.MaxQueue = q
+			}
+		}
+		if arr.cursor >= len(arr.Clocks) {
+			arr = nil
+		}
+		if due > 0 {
+			// Activation raises the remaining-distance total, which the
+			// livelock watchdog would read as sustained non-progress;
+			// re-arm it on the new baseline.
+			bestTotal = totalTogo
+			lastImprove = res.Steps
+		}
+	}
+	if arr != nil {
+		// Arrivals already due (stamp at or before the current clock)
+		// behave exactly like batch injection.
+		activate()
+	}
+	if active == 0 && arr == nil {
+		// Every scheduled packet was born at its destination.
+		st.finishSojourn(opts.Sojourn, &res)
+		return res, nil
+	}
+
+	bestTotal = totalTogo
 	start := time.Now()
-	for active > 0 {
+	for active > 0 || arr != nil {
 		if opts.Cancel != nil {
 			select {
 			case <-opts.Cancel:
@@ -963,25 +1141,56 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 				res.Elapsed = time.Since(start)
 				res.WorkerBusy = st.busyTotal()
 				st.dirty = true
-				return res, &CancelledError{Steps: res.Steps, Undelivered: active}
+				st.finishSojourn(opts.Sojourn, &res)
+				und := active
+				if arr != nil {
+					und += arr.Pending()
+				}
+				return res, &CancelledError{Steps: res.Steps, Undelivered: und}
 			default:
 			}
 		}
 		if res.Steps >= maxSteps {
-			return st.abort(res, start, active, fmt.Sprintf("exceeded %d steps", maxSteps))
+			st.finishSojourn(opts.Sojourn, &res)
+			und := active
+			if arr != nil {
+				und += arr.Pending()
+			}
+			return st.abort(res, start, und, fmt.Sprintf("exceeded %d steps", maxSteps))
 		}
 		if n.clock >= math.MaxInt32 {
 			// The activation records store int32 born stamps; a clock past
 			// that range would alias stamps from 2^31 steps ago.
 			// Unreachable for any real phase (MaxSteps caps far lower), but
 			// a custom MaxSteps must not turn wraparound into silent loss.
-			return st.abort(res, start, active, "simulated clock exceeded int32 range")
+			st.finishSojourn(opts.Sojourn, &res)
+			und := active
+			if arr != nil {
+				und += arr.Pending()
+			}
+			return st.abort(res, start, und, "simulated clock exceeded int32 range")
+		}
+		if arr != nil {
+			if active == 0 {
+				// Nothing can move until the next arrival: fast-forward the
+				// idle gap. The skipped steps still count — simulated time
+				// passed waiting, and latency figures must reflect it.
+				if next := int(arr.Clocks[arr.cursor]); next > n.clock {
+					res.Steps += next - n.clock
+					n.clock = next
+				}
+			}
+			activate()
+			if active == 0 {
+				continue
+			}
 		}
 		n.clock++
 		res.Steps++
 		if err := st.runStep(); err != nil {
 			res.Elapsed = time.Since(start)
 			res.WorkerBusy = st.busyTotal()
+			st.finishSojourn(opts.Sojourn, &res)
 			return res, err
 		}
 		for w := 0; w < st.workers; w++ {
@@ -1020,12 +1229,18 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 			bestTotal = totalTogo
 			lastImprove = res.Steps
 		} else if watchdog > 0 && res.Steps-lastImprove >= watchdog {
-			return st.abort(res, start, active, fmt.Sprintf("made no progress for %d steps", watchdog))
+			st.finishSojourn(opts.Sojourn, &res)
+			und := active
+			if arr != nil {
+				und += arr.Pending()
+			}
+			return st.abort(res, start, und, fmt.Sprintf("made no progress for %d steps", watchdog))
 		}
 		if opts.Paranoid {
 			if err := st.checkInvariants(totalPackets); err != nil {
 				res.Elapsed = time.Since(start)
 				res.WorkerBusy = st.busyTotal()
+				st.finishSojourn(opts.Sojourn, &res)
 				return res, err
 			}
 		}
@@ -1035,6 +1250,7 @@ func (n *Net) Route(policy Policy, opts RouteOpts) (RouteResult, error) {
 	}
 	res.Elapsed = time.Since(start)
 	res.WorkerBusy = st.busyTotal()
+	st.finishSojourn(opts.Sojourn, &res)
 	if res.MaxQueue > n.MaxQueue {
 		n.MaxQueue = res.MaxQueue
 	}
@@ -1196,6 +1412,32 @@ type stepState struct {
 	strand    [][]PacketDiag // packets stranded this step, per worker
 	strandAll []PacketDiag   // scratch: merged strand list of the current step
 	busy      []int64        // nanoseconds of shard work, per worker
+
+	// Sojourn accounting (RouteOpts.Sojourn): per-worker histograms of
+	// delivery clock minus activation clock, merged into the caller's
+	// accumulator at phase end. Lazily sized to the worker count on the
+	// first latency-tracking phase and reused afterwards, so the warm
+	// path stays allocation-free. soj gates the delivery-site observes.
+	soj     bool
+	sojourn []stats.Hist
+}
+
+// finishSojourn folds the per-worker sojourn histograms into the
+// caller-owned accumulator, clears them for the next phase, and stamps
+// the phase's latency summary. Hist merging is commutative, so the
+// in-order fold is deterministic regardless of which worker delivered
+// which packet. Called on every return path of Route; a no-op unless the
+// phase enabled latency accounting.
+func (st *stepState) finishSojourn(h *stats.Hist, res *RouteResult) {
+	if !st.soj {
+		return
+	}
+	st.soj = false
+	for i := range st.sojourn {
+		h.Merge(&st.sojourn[i])
+		st.sojourn[i].Reset()
+	}
+	res.Sojourn = h.Summary()
 }
 
 func newStepState(n *Net) *stepState {
@@ -1823,6 +2065,10 @@ func (st *stepState) fusedStep() {
 	// measurable here.
 	hops, togoDrop, maxQ := 0, 0, st.maxQueue[0]
 	delivered, sumOver, maxOver := 0, 0, st.maxOver[0]
+	var sojH *stats.Hist
+	if st.soj {
+		sojH = &st.sojourn[0]
+	}
 	// Stack-resident link contest table. The fused path never touches the
 	// per-proc out slots: grantMask gates which entries of outQ are live,
 	// so the table needs no clearing between processors (links = 2d <= 62
@@ -1952,6 +2198,9 @@ func (st *stepState) fusedStep() {
 						sumOver += over
 						if over > maxOver {
 							maxOver = over
+						}
+						if sojH != nil {
+							sojH.Observe(int64(clk32 - aux[ab+auxBorn]))
 						}
 					} else {
 						nl := int16(-1)
@@ -2220,6 +2469,9 @@ func (st *stepState) deliverShard(w, sh, lo, hi int) {
 					st.sumOver[w] += over
 					if over > st.maxOver[w] {
 						st.maxOver[w] = over
+					}
+					if st.soj {
+						st.sojourn[w].Observe(int64(clock - aux[ab+auxBorn]))
 					}
 				} else {
 					pr.moving = append(pr.moving, e)

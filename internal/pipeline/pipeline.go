@@ -7,6 +7,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/radix"
+	"meshsort/internal/stats"
 	"meshsort/internal/topo"
 )
 
@@ -33,6 +34,11 @@ type PhaseStat struct {
 	MaxQueue     int   // peak per-processor occupancy
 	Hops         int64 // total link traversals; int64 — a k-k phase at N≈2M wraps 32 bits
 	Stranded     int   // packets parked by the patience budget this phase
+
+	// Sojourn summarizes per-packet latency when the run enabled it via
+	// Config.Route.Sojourn (the zero summary otherwise). Cumulative over
+	// the caller's histogram, like engine.RouteResult.Sojourn.
+	Sojourn stats.LatencySummary
 
 	// Engine throughput for the phase (wall-clock; varies run to run).
 	engine.Throughput
@@ -158,8 +164,8 @@ type Runner struct {
 	net  *engine.Net
 	tot  Totals
 	last engine.RouteResult
-	srts []*radix.Sorter       // per-worker-slot sorters, grown on demand
-	pkts []*engine.Packet      // InjectKeys handle slab, reused across runs
+	srts []*radix.Sorter  // per-worker-slot sorters, grown on demand
+	pkts []*engine.Packet // InjectKeys handle slab, reused across runs
 
 	// RunBlocks parallel-dispatch state, hoisted here so a warm phase's
 	// fan-out allocates nothing: the stealing closure is built once and
@@ -435,6 +441,7 @@ func (p Route) run(r *Runner) error {
 		MaxDist: rr.MaxDist, MaxOvershoot: rr.MaxOvershoot,
 		MaxQueue: rr.MaxQueue, Hops: rr.Hops,
 		Stranded:   len(rr.Stranded),
+		Sojourn:    rr.Sojourn,
 		Throughput: rr.Throughput(),
 	})
 	return nil

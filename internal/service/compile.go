@@ -10,6 +10,7 @@ import (
 	"meshsort/internal/pipeline"
 	"meshsort/internal/route"
 	"meshsort/internal/topo"
+	"meshsort/internal/traffic"
 	"meshsort/internal/xmath"
 )
 
@@ -82,6 +83,40 @@ func compile(spec JobSpec) (program, error) {
 			}
 			res, err := core.TwoPhaseRoute(cfg, prob)
 			return FromRouteAlg(res, shape), err
+		}}, nil
+
+	case AlgTraffic:
+		return program{spec: spec, run: func(ctx context.Context, runner *pipeline.Runner, pool *engine.Pool) (Result, error) {
+			ld, err := traffic.ParseLoad(spec.Load)
+			if err != nil {
+				return Result{}, err
+			}
+			sc, err := traffic.ParseSchedule(spec.Inject)
+			if err != nil {
+				return Result{}, err
+			}
+			// The demand and the arrival process draw from distinct seeded
+			// streams, so changing the schedule never reshuffles the load.
+			ld.Seed = spec.Seed
+			sc.Seed = spec.Seed + 1
+			opts := route.BatchOpts{
+				Pool: pool, Runner: runner,
+				Patience: spec.Patience,
+				Cancel:   ctx.Done(),
+			}
+			if spec.Faults > 0 {
+				opts.Faults = engine.RandomFaultPlan(shape, spec.Faults, spec.FaultSeed)
+			}
+			res, net, err := route.RunTimedLoad(topo.FromShape(shape), ld, sc, opts)
+			delivered := err == nil
+			if delivered {
+				net.ForEachHeld(func(rank int, p *engine.Packet) {
+					if p.Dst != rank {
+						delivered = false
+					}
+				})
+			}
+			return FromTraffic(res, runner.Totals(), shape, delivered), err
 		}}, nil
 
 	case AlgCliqueRoute:

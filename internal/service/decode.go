@@ -1,0 +1,66 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+)
+
+// DecodeSpec decodes a JobSpec strictly. Unknown fields are rejected
+// with an error naming the offending field and listing every valid one
+// — a typo'd field ("sede" for "seed") must fail loudly at submission,
+// not silently run the default simulation — and trailing data after the
+// spec object is rejected as a malformed request. The HTTP handler and
+// the CLI client both decode through here, so the two surfaces agree on
+// what a well-formed spec is.
+func DecodeSpec(r io.Reader) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		if name, ok := unknownFieldName(err); ok {
+			return spec, fmt.Errorf("service: bad job spec: unknown field %q (valid fields: %s)",
+				name, strings.Join(specFieldNames(), ", "))
+		}
+		return spec, fmt.Errorf("service: bad job spec: %w", err)
+	}
+	if dec.More() {
+		return spec, fmt.Errorf("service: bad job spec: trailing data after the spec object")
+	}
+	return spec, nil
+}
+
+// unknownFieldName extracts the field name from the stdlib decoder's
+// unknown-field error. The stdlib exports no typed error for this case,
+// so the message is matched textually; a format change simply falls
+// back to the wrapped original.
+func unknownFieldName(err error) (string, bool) {
+	msg := err.Error()
+	const marker = `unknown field "`
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(marker):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// specFieldNames lists JobSpec's JSON field names from its struct tags,
+// so the error message stays correct as the spec grows fields.
+func specFieldNames() []string {
+	t := reflect.TypeOf(JobSpec{})
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if name != "" && name != "-" {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -49,11 +49,9 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+	spec, err := DecodeSpec(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 

@@ -8,6 +8,7 @@ import (
 	"meshsort/internal/engine"
 	"meshsort/internal/grid"
 	"meshsort/internal/pipeline"
+	"meshsort/internal/stats"
 	"meshsort/internal/topo"
 )
 
@@ -50,6 +51,11 @@ type Result struct {
 	Value      int64 `json:"value,omitempty"`
 	Candidates int   `json:"candidates,omitempty"`
 
+	// Sojourn is the per-packet latency distribution (injection to
+	// delivery, in steps) of a timed traffic run (alg=traffic): count and
+	// p50/p95/p99/max percentiles. Omitted when the run observed none.
+	Sojourn *stats.LatencySummary `json:"sojourn,omitempty"`
+
 	// KeySum is an FNV-1a digest of the final key sequence in sort-index
 	// order (sorting algorithms only): a compact witness that the run
 	// produced exactly the expected output, used by the aliasing tests.
@@ -73,11 +79,14 @@ type PhaseTrace struct {
 	StepsPerSec    float64 `json:"stepsPerSec,omitempty"`
 	PacketsPerStep float64 `json:"packetsPerStep,omitempty"`
 	WorkerUtil     float64 `json:"workerUtil,omitempty"`
+	// Sojourn carries the phase's per-packet latency percentiles when the
+	// phase routed with sojourn accounting (timed traffic phases).
+	Sojourn *stats.LatencySummary `json:"sojourn,omitempty"`
 }
 
 // TracePhase encodes one phase stat.
 func TracePhase(ph pipeline.PhaseStat) PhaseTrace {
-	return PhaseTrace{
+	t := PhaseTrace{
 		Name: ph.Name, Kind: ph.Kind, Steps: ph.Steps, Bound: ph.Bound,
 		MaxDist: ph.MaxDist, MaxOvershoot: ph.MaxOvershoot,
 		MaxQueue: ph.MaxQueue, Hops: ph.Hops, Stranded: ph.Stranded,
@@ -85,6 +94,11 @@ func TracePhase(ph pipeline.PhaseStat) PhaseTrace {
 		PacketsPerStep: ph.PacketsPerStep,
 		WorkerUtil:     ph.WorkerUtil,
 	}
+	if ph.Sojourn.Count > 0 {
+		soj := ph.Sojourn
+		t.Sojourn = &soj
+	}
+	return t
 }
 
 func tracePhases(phases []pipeline.PhaseStat) []PhaseTrace {
@@ -190,6 +204,30 @@ func FromCliqueRoute(res engine.RouteResult, tot pipeline.Totals, c *topo.Clique
 		Stranded:   len(res.Stranded),
 		Phases:     tracePhases(tot.Phases),
 	}
+}
+
+// FromTraffic encodes a timed traffic run (alg=traffic): direct greedy
+// routing of a scheduled demand, measured by its sojourn distribution.
+// There is no theorem bound to record — the latency percentiles are the
+// result — so Bound stays 0.
+func FromTraffic(res engine.RouteResult, tot pipeline.Totals, shape grid.Shape, delivered bool) Result {
+	r := Result{
+		Algorithm:  "TrafficRoute",
+		Shape:      shape.String(),
+		N:          shape.N(),
+		Diameter:   shape.Diameter(),
+		Delivered:  delivered,
+		TotalSteps: tot.TotalSteps,
+		RouteSteps: tot.RouteSteps,
+		MaxQueue:   res.MaxQueue,
+		Stranded:   len(res.Stranded),
+		Phases:     tracePhases(tot.Phases),
+	}
+	if res.Sojourn.Count > 0 {
+		soj := res.Sojourn
+		r.Sojourn = &soj
+	}
+	return r
 }
 
 // FromSelect encodes a selection run.

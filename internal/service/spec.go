@@ -21,6 +21,7 @@ import (
 	"meshsort/internal/core"
 	"meshsort/internal/grid"
 	"meshsort/internal/topo"
+	"meshsort/internal/traffic"
 )
 
 // Algorithms the service accepts. They are exactly the pipeline-backed
@@ -34,6 +35,7 @@ const (
 	AlgRoute       = "route"       // TwoPhaseRoute, Theorems 5.1/5.2
 	AlgSelect      = "select"      // Select, Section 4.3
 	AlgCliqueRoute = "cliqueroute" // direct greedy k-relation on the clique
+	AlgTraffic     = "traffic"     // timed (ℓ,k) traffic with sojourn percentiles
 )
 
 // Topologies the service accepts. Mesh and torus are the paper's
@@ -81,6 +83,12 @@ const (
 	// MaxDeadlineMS caps requested deadlines at one hour; a deadline is a
 	// client-abandonment bound, not a scheduling reservation.
 	MaxDeadlineMS = 3_600_000
+
+	// MaxInjectHorizon caps the last scheduled arrival clock of a timed
+	// traffic job (alg=traffic): the engine extends its step budget past
+	// the final arrival, so an unbounded window or a near-zero trickle
+	// rate would turn one request into an arbitrarily long simulation.
+	MaxInjectHorizon = 1 << 20
 )
 
 // JobSpec is the canonical description of one simulation job. The zero
@@ -115,6 +123,15 @@ type JobSpec struct {
 	// random|reversal|transpose|hotspot; "" means random. Must be empty
 	// for the other algorithms.
 	Perm string `json:"perm,omitempty"`
+	// Load is the demand model for alg=traffic, in the workload DSL of
+	// internal/traffic: perm, k:<k>, lk:l=<ℓ>,k=<k>,
+	// hotspot:frac=<f>,targets=<t>, partial:frac=<f>. "" means perm.
+	// Must be empty for the other algorithms.
+	Load string `json:"load,omitempty"`
+	// Inject is the arrival schedule for alg=traffic: batch,
+	// window:<span>, trickle:<rate>. "" means batch. Must be empty for
+	// the other algorithms.
+	Inject string `json:"inject,omitempty"`
 	// Target is the rank to select for alg=select; 0 means N/2 (the
 	// median). Must be 0 for the other algorithms.
 	Target int `json:"target,omitempty"`
@@ -144,7 +161,7 @@ type JobSpec struct {
 // and reports back; Canonicalize is idempotent.
 func (s JobSpec) Canonicalize() (JobSpec, error) {
 	switch s.Alg {
-	case AlgSimple, AlgCopy, AlgTorusSort, AlgFull, AlgRoute, AlgSelect, AlgCliqueRoute:
+	case AlgSimple, AlgCopy, AlgTorusSort, AlgFull, AlgRoute, AlgSelect, AlgCliqueRoute, AlgTraffic:
 	case "":
 		return s, fmt.Errorf("service: spec is missing alg")
 	default:
@@ -203,15 +220,23 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	if s.Alg == AlgCopy && s.Torus {
 		return s, fmt.Errorf("service: copy is the mesh algorithm; use torussort on tori")
 	}
-	if s.B == 0 {
-		if s.N%4 == 0 {
-			s.B = 4
-		} else {
-			s.B = s.N / 2
+	if s.Alg == AlgTraffic {
+		// Timed traffic routes greedily without block machinery; a block
+		// side would be dead weight in the cache key.
+		if s.B != 0 {
+			return s, fmt.Errorf("service: block side applies to the sorting and two-phase routing algorithms, not alg=traffic")
 		}
-	}
-	if s.B < 1 || s.N%s.B != 0 {
-		return s, fmt.Errorf("service: block side b=%d must divide n=%d", s.B, s.N)
+	} else {
+		if s.B == 0 {
+			if s.N%4 == 0 {
+				s.B = 4
+			} else {
+				s.B = s.N / 2
+			}
+		}
+		if s.B < 1 || s.N%s.B != 0 {
+			return s, fmt.Errorf("service: block side b=%d must divide n=%d", s.B, s.N)
+		}
 	}
 	if s.K == 0 {
 		s.K = 1
@@ -220,14 +245,26 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		return s, fmt.Errorf("service: k=%d out of range (k*N must be in [1,%d])", s.K, MaxPackets)
 	}
 	if s.K > 1 && s.Alg != AlgSimple {
+		if s.Alg == AlgTraffic {
+			return s, fmt.Errorf("service: alg traffic takes its multiplicity from the load DSL (e.g. load=%q), not k=%d", fmt.Sprintf("k:%d", s.K), s.K)
+		}
 		return s, fmt.Errorf("service: alg %s supports only k=1 (got k=%d); use simple for k-k", s.Alg, s.K)
 	}
-	switch s.Indexing {
-	case "":
-		s.Indexing = IndexingBlockedSnake
-	case IndexingBlockedSnake:
-	default:
-		return s, fmt.Errorf("service: unknown indexing %q (the algorithms run on %q)", s.Indexing, IndexingBlockedSnake)
+	if s.Alg == AlgTraffic {
+		switch s.Indexing {
+		case "", IndexingNone:
+			s.Indexing = IndexingNone
+		default:
+			return s, fmt.Errorf("service: indexing %q has no meaning for alg=traffic (greedy routing uses no blocked order)", s.Indexing)
+		}
+	} else {
+		switch s.Indexing {
+		case "":
+			s.Indexing = IndexingBlockedSnake
+		case IndexingBlockedSnake:
+		default:
+			return s, fmt.Errorf("service: unknown indexing %q (the algorithms run on %q)", s.Indexing, IndexingBlockedSnake)
+		}
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -242,6 +279,45 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		}
 	} else if s.Perm != "" {
 		return s, fmt.Errorf("service: perm applies to alg=route only")
+	}
+	if s.Alg == AlgTraffic {
+		ld, err := traffic.ParseLoad(s.Load)
+		if err != nil {
+			return s, fmt.Errorf("service: %w", err)
+		}
+		// Admission ceiling: a node sends at most one packet per demand
+		// slot, so total packets are bounded by n times the per-node send
+		// multiplicity (1 for the 1-1 family, k resp. ℓ otherwise).
+		per := 1
+		switch ld.Demand {
+		case traffic.KRelation:
+			per = ld.K
+		case traffic.LKRelation:
+			per = ld.L
+		}
+		if per*n > MaxPackets {
+			return s, fmt.Errorf("service: load %q injects up to %d packets, over the %d ceiling", s.Load, per*n, MaxPackets)
+		}
+		sc, err := traffic.ParseSchedule(s.Inject)
+		if err != nil {
+			return s, fmt.Errorf("service: %w", err)
+		}
+		horizon := int64(0)
+		switch sc.Arrival {
+		case traffic.Window:
+			horizon = int64(sc.Span)
+		case traffic.Trickle:
+			horizon = int64(float64(per*n-1) / sc.Rate)
+		}
+		if horizon > MaxInjectHorizon {
+			return s, fmt.Errorf("service: inject %q schedules arrivals out to step %d, over the %d-step horizon", s.Inject, horizon, MaxInjectHorizon)
+		}
+		// Canonical DSL forms, so equivalent spellings ("k:4" vs "k:k=4")
+		// share one cache key.
+		s.Load = ld.String()
+		s.Inject = sc.String()
+	} else if s.Load != "" || s.Inject != "" {
+		return s, fmt.Errorf("service: load and inject apply to alg=traffic only")
 	}
 	if s.Alg == AlgSelect {
 		if s.Target == 0 {
@@ -267,7 +343,7 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	// The sorting algorithms have divisibility constraints beyond the
 	// ones above (even block count, block volume divisible by block
 	// count); surface them at admission time instead of as a failed job.
-	if s.Alg != AlgRoute {
+	if s.Alg != AlgRoute && s.Alg != AlgTraffic {
 		cfg := core.Config{Shape: s.Shape(), BlockSide: s.B, K: s.K}
 		if err := cfg.Validate(); err != nil {
 			return s, fmt.Errorf("service: %w", err)
@@ -321,6 +397,9 @@ func (s JobSpec) canonicalizeClique() (JobSpec, error) {
 	if s.Target != 0 {
 		return s, fmt.Errorf("service: target applies to alg=select only")
 	}
+	if s.Load != "" || s.Inject != "" {
+		return s, fmt.Errorf("service: load and inject apply to alg=traffic only")
+	}
 	if s.DeadlineMS < 0 || s.DeadlineMS > MaxDeadlineMS {
 		return s, fmt.Errorf("service: deadline_ms=%d out of range [0,%d]", s.DeadlineMS, MaxDeadlineMS)
 	}
@@ -372,7 +451,7 @@ func (s JobSpec) ShapeKey() string {
 // hash defaults as distinct from their explicit forms).
 func (s JobSpec) Key() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"alg=%s topo=%s d=%d n=%d torus=%t b=%d k=%d idx=%s seed=%d perm=%s target=%d faults=%g fseed=%d patience=%d",
-		s.Alg, s.Topology, s.D, s.N, s.Torus, s.B, s.K, s.Indexing, s.Seed, s.Perm, s.Target, s.Faults, s.FaultSeed, s.Patience)))
+		"alg=%s topo=%s d=%d n=%d torus=%t b=%d k=%d idx=%s seed=%d perm=%s load=%s inject=%s target=%d faults=%g fseed=%d patience=%d",
+		s.Alg, s.Topology, s.D, s.N, s.Torus, s.B, s.K, s.Indexing, s.Seed, s.Perm, s.Load, s.Inject, s.Target, s.Faults, s.FaultSeed, s.Patience)))
 	return hex.EncodeToString(h[:])
 }

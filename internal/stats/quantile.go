@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hist is a fixed-memory streaming quantile estimator for non-negative
+// integer observations (step counts, sojourn times). It is an HDR-style
+// log-linear histogram: values below histLinear are counted exactly; larger
+// values land in one of 64 sub-buckets per power of two, giving a relative
+// error of at most 1/64 (~1.6%) on any quantile. Memory is a flat array of
+// int64 counts (~13 KB), independent of the number of observations.
+//
+// Hist is deterministic: the histogram state after a sequence of Observe
+// and Merge calls depends only on the multiset of observed values, never
+// on their order. Per-worker instances merged in any order therefore yield
+// bit-identical quantiles, which keeps traffic-driven runs reproducible
+// across worker counts.
+//
+// The zero value is ready to use. Hist is not safe for concurrent use;
+// shard per worker and Merge.
+type Hist struct {
+	counts [histBuckets]int64
+	n      int64
+	max    uint64
+}
+
+const (
+	// histLinear is the exact-count range: values < histLinear get their
+	// own bucket.
+	histLinear = 64
+	// histSub is the number of sub-buckets per power-of-two range above
+	// the linear range.
+	histSub = 64
+	// histExps covers exponents up to 2^31 observations — step counts are
+	// int32 in the engine, so this never saturates in practice.
+	histExps    = 25
+	histBuckets = histLinear + histExps*histSub
+)
+
+// histIndex maps a value to its bucket.
+func histIndex(v uint64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	e := bits.Len64(v) - 7 // v >= 64 so bits.Len64(v) >= 7, e >= 0
+	if e >= histExps {
+		e = histExps - 1
+	}
+	idx := histLinear + e*histSub + int(v>>uint(e)) - histSub
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// histValue returns the representative (lowest) value of a bucket.
+func histValue(idx int) uint64 {
+	if idx < histLinear {
+		return uint64(idx)
+	}
+	idx -= histLinear
+	e := idx / histSub
+	return uint64(idx%histSub+histSub) << uint(e)
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.counts[histIndex(u)]++
+	h.n++
+	if u > h.max {
+		h.max = u
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max returns the exact largest observed value (0 when empty).
+func (h *Hist) Max() int64 { return int64(h.max) }
+
+// Merge folds o into h. Merging is commutative and associative, so
+// per-worker histograms can be combined in any order with identical
+// results.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset clears the histogram for reuse without reallocating.
+func (h *Hist) Reset() {
+	if h.n == 0 && h.max == 0 {
+		return
+	}
+	h.counts = [histBuckets]int64{}
+	h.n = 0
+	h.max = 0
+}
+
+// Quantile returns the value at quantile q in [0,1]: the smallest bucket
+// representative whose cumulative count reaches ceil(q*n). q=1 returns the
+// exact maximum; an empty histogram returns 0. The result is within a
+// relative error of 1/64 of the true order statistic.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return int64(h.max)
+	}
+	rank := int64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return int64(v)
+		}
+	}
+	return int64(h.max)
+}
+
+// LatencySummary is the fixed set of percentiles the simulator reports for
+// per-packet sojourn times.
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// Summary extracts the standard latency percentiles.
+func (h *Hist) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.n,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary compactly for traces and tables.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%d p95=%d p99=%d max=%d", s.Count, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistExactSmall(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 64; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 64 {
+		t.Fatalf("count = %d, want 64", h.Count())
+	}
+	// Values below the linear range are exact.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0, 0}, {0.5, 31}, {1, 63}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatalf("empty hist should report zeros")
+	}
+	h.Observe(-5)
+	if h.Quantile(1) != 0 {
+		t.Fatalf("negative observations clamp to 0, got %d", h.Quantile(1))
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	// Against a sorted reference, every quantile must be within 1/64
+	// relative error of the true order statistic.
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Intn(1 << uint(4+rng.Intn(20))))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q * float64(len(vals)))
+		if float64(rank) < q*float64(len(vals)) {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		truth := vals[rank-1]
+		got := h.Quantile(q)
+		lo := truth - truth/64 - 1
+		hi := truth + truth/64 + 1
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %d, want within [%d,%d] of %d", q, got, lo, hi, truth)
+		}
+	}
+	if h.Quantile(1) != vals[len(vals)-1] {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1), vals[len(vals)-1])
+	}
+}
+
+func TestHistMergeOrderIndependent(t *testing.T) {
+	// Splitting a stream across shards and merging in any order must give
+	// bit-identical state — this is what makes sojourn percentiles
+	// deterministic across worker counts.
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1 << 20))
+	}
+	var whole Hist
+	for _, v := range vals {
+		whole.Observe(v)
+	}
+	for _, shards := range []int{1, 2, 3, 7} {
+		parts := make([]Hist, shards)
+		for i, v := range vals {
+			parts[i%shards].Observe(v)
+		}
+		// Merge in reverse order to prove order independence.
+		var merged Hist
+		for i := shards - 1; i >= 0; i-- {
+			merged.Merge(&parts[i])
+		}
+		if merged != whole {
+			t.Fatalf("shards=%d: merged state differs from whole-stream state", shards)
+		}
+	}
+}
+
+func TestHistMergeNil(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	h.Merge(nil)
+	var empty Hist
+	h.Merge(&empty)
+	if h.Count() != 1 || h.Max() != 3 {
+		t.Fatalf("merge of nil/empty changed state: n=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	var h Hist
+	for i := int64(0); i < 100; i++ {
+		h.Observe(i * 37)
+	}
+	h.Reset()
+	var zero Hist
+	if h != zero {
+		t.Fatalf("Reset did not clear state")
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	var h Hist
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 < 49 || s.P50 > 51 {
+		t.Errorf("p50 = %d, want ~50", s.P50)
+	}
+	if s.P99 < 97 || s.P99 > 100 {
+		t.Errorf("p99 = %d, want ~99", s.P99)
+	}
+	if s.String() == "" {
+		t.Errorf("empty String()")
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every bucket representative must map back to its own bucket, and
+	// indices must be monotone in the value.
+	last := -1
+	for idx := 0; idx < histBuckets; idx++ {
+		v := histValue(idx)
+		if got := histIndex(v); got != idx {
+			t.Fatalf("histIndex(histValue(%d)) = %d", idx, got)
+		}
+		if int(v) <= last && idx > 0 {
+			t.Fatalf("bucket values not strictly increasing at %d", idx)
+		}
+		last = int(v)
+	}
+}
+
+func TestHistLargeValues(t *testing.T) {
+	var h Hist
+	big := int64(1) << 40 // beyond histExps coverage: clamps, never panics
+	h.Observe(big)
+	if h.Max() != big {
+		t.Fatalf("max = %d, want %d", h.Max(), big)
+	}
+	if h.Quantile(1) != big {
+		t.Fatalf("Quantile(1) = %d, want exact max", h.Quantile(1))
+	}
+}

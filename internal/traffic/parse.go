@@ -1,0 +1,238 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseLoad parses the workload DSL shared by the cmd/meshsort -load
+// flag and the service JobSpec "load" field:
+//
+//	perm                       random 1-1 permutation
+//	k:<k>                      k-relation (send and receive exactly k)
+//	lk:l=<ℓ>,k=<k>             (ℓ,k)-relation (send ≤ ℓ, receive ≤ k)
+//	hotspot:frac=<f>,targets=<t>   hot-spot traffic
+//	partial:frac=<f>           partial permutation
+//
+// The seed is supplied by the caller (flag or spec field), not the DSL.
+func ParseLoad(s string) (Load, error) {
+	kind, args, _ := strings.Cut(strings.TrimSpace(s), ":")
+	kv, err := parseArgs(args)
+	if err != nil {
+		return Load{}, fmt.Errorf("traffic: load %q: %w", s, err)
+	}
+	var l Load
+	switch kind {
+	case "perm", "permutation", "":
+		l.Demand = Permutation
+		if err := rejectUnknown(kv); err != nil {
+			return Load{}, fmt.Errorf("traffic: load %q: %w", s, err)
+		}
+		return l, nil
+	case "k", "kk":
+		l.Demand = KRelation
+		// Bare form "k:4" and keyed form "k:k=4" both parse.
+		if v, ok := kv["k"]; ok {
+			delete(kv, "k")
+			if l.K, err = strconv.Atoi(v); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad k: %w", s, err)
+			}
+		} else if args != "" && !strings.Contains(args, "=") {
+			if l.K, err = strconv.Atoi(args); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad k: %w", s, err)
+			}
+			kv = nil
+		}
+		if err := rejectUnknown(kv); err != nil {
+			return Load{}, fmt.Errorf("traffic: load %q: %w", s, err)
+		}
+		if l.K < 1 {
+			return Load{}, fmt.Errorf("traffic: load %q: k-relation needs k >= 1", s)
+		}
+		return l, nil
+	case "lk":
+		l.Demand = LKRelation
+		if v, ok := kv["l"]; ok {
+			delete(kv, "l")
+			if l.L, err = strconv.Atoi(v); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad l: %w", s, err)
+			}
+		}
+		if v, ok := kv["k"]; ok {
+			delete(kv, "k")
+			if l.K, err = strconv.Atoi(v); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad k: %w", s, err)
+			}
+		}
+		if err := rejectUnknown(kv); err != nil {
+			return Load{}, fmt.Errorf("traffic: load %q: %w", s, err)
+		}
+		if l.L < 1 || l.K < 1 {
+			return Load{}, fmt.Errorf("traffic: load %q: (ℓ,k)-relation needs l >= 1 and k >= 1", s)
+		}
+		return l, nil
+	case "hotspot":
+		l.Demand = HotSpot
+		l.Frac = 1
+		l.Targets = 1
+		if v, ok := kv["frac"]; ok {
+			delete(kv, "frac")
+			if l.Frac, err = strconv.ParseFloat(v, 64); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad frac: %w", s, err)
+			}
+		}
+		if v, ok := kv["targets"]; ok {
+			delete(kv, "targets")
+			if l.Targets, err = strconv.Atoi(v); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad targets: %w", s, err)
+			}
+		}
+		if err := rejectUnknown(kv); err != nil {
+			return Load{}, fmt.Errorf("traffic: load %q: %w", s, err)
+		}
+		if l.Frac <= 0 || l.Frac > 1 {
+			return Load{}, fmt.Errorf("traffic: load %q: hotspot needs frac in (0,1]", s)
+		}
+		if l.Targets < 1 {
+			return Load{}, fmt.Errorf("traffic: load %q: hotspot needs targets >= 1", s)
+		}
+		return l, nil
+	case "partial":
+		l.Demand = PartialPermutation
+		if v, ok := kv["frac"]; ok {
+			delete(kv, "frac")
+			if l.Frac, err = strconv.ParseFloat(v, 64); err != nil {
+				return Load{}, fmt.Errorf("traffic: load %q: bad frac: %w", s, err)
+			}
+		}
+		if err := rejectUnknown(kv); err != nil {
+			return Load{}, fmt.Errorf("traffic: load %q: %w", s, err)
+		}
+		if l.Frac <= 0 || l.Frac > 1 {
+			return Load{}, fmt.Errorf("traffic: load %q: partial permutation needs frac in (0,1]", s)
+		}
+		return l, nil
+	}
+	return Load{}, fmt.Errorf("traffic: load %q: unknown demand %q (want perm, k, lk, hotspot, or partial)", s, kind)
+}
+
+// String renders the load in canonical DSL form (parseable by ParseLoad;
+// the seed is carried out of band).
+func (l Load) String() string {
+	switch l.Demand {
+	case Permutation:
+		return "perm"
+	case KRelation:
+		return fmt.Sprintf("k:k=%d", l.K)
+	case LKRelation:
+		return fmt.Sprintf("lk:l=%d,k=%d", l.L, l.K)
+	case HotSpot:
+		return fmt.Sprintf("hotspot:frac=%g,targets=%d", l.Frac, l.Targets)
+	case PartialPermutation:
+		return fmt.Sprintf("partial:frac=%g", l.Frac)
+	}
+	return fmt.Sprintf("unknown(%d)", l.Demand)
+}
+
+// ParseSchedule parses the injection DSL shared by the cmd/meshsort
+// -inject flag and the service JobSpec "inject" field:
+//
+//	batch             everything at phase start (the default)
+//	window:<span>     arrivals uniform over the next span steps
+//	trickle:<rate>    rate packets per step until the load is placed
+func ParseSchedule(s string) (Schedule, error) {
+	kind, args, _ := strings.Cut(strings.TrimSpace(s), ":")
+	var sc Schedule
+	switch kind {
+	case "batch", "":
+		if args != "" {
+			return Schedule{}, fmt.Errorf("traffic: schedule %q: batch takes no arguments", s)
+		}
+		return sc, nil
+	case "window":
+		sc.Arrival = Window
+		span, err := strconv.Atoi(args)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("traffic: schedule %q: bad span: %w", s, err)
+		}
+		if span < 1 {
+			return Schedule{}, fmt.Errorf("traffic: schedule %q: window needs span >= 1", s)
+		}
+		sc.Span = int32(span)
+		return sc, nil
+	case "trickle":
+		sc.Arrival = Trickle
+		rate, err := strconv.ParseFloat(args, 64)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("traffic: schedule %q: bad rate: %w", s, err)
+		}
+		if rate <= 0 {
+			return Schedule{}, fmt.Errorf("traffic: schedule %q: trickle needs rate > 0", s)
+		}
+		sc.Rate = rate
+		return sc, nil
+	}
+	return Schedule{}, fmt.Errorf("traffic: schedule %q: unknown arrival process %q (want batch, window, or trickle)", s, kind)
+}
+
+// String renders the schedule in canonical DSL form.
+func (s Schedule) String() string {
+	switch s.Arrival {
+	case Batch:
+		return "batch"
+	case Window:
+		return fmt.Sprintf("window:%d", s.Span)
+	case Trickle:
+		return fmt.Sprintf("trickle:%g", s.Rate)
+	}
+	return fmt.Sprintf("unknown(%d)", s.Arrival)
+}
+
+// parseArgs splits "a=1,b=2" into a map. An empty string is an empty
+// map; a bare value (no '=') is returned under the empty key only when
+// the caller expects it, so it is left to the callers via the raw args.
+func parseArgs(args string) (map[string]string, error) {
+	kv := map[string]string{}
+	if args == "" {
+		return kv, nil
+	}
+	var bare string
+	for _, part := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			// Bare positional value: handled by the caller reading args
+			// directly (the "k:4" shorthand); skip here, but remember it
+			// so mixing it with keyed arguments fails loudly below.
+			bare = strings.TrimSpace(part)
+			continue
+		}
+		k = strings.TrimSpace(k)
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate argument %q", k)
+		}
+		kv[k] = strings.TrimSpace(v)
+	}
+	if bare != "" && len(kv) > 0 {
+		return nil, fmt.Errorf("bare value %q mixed with keyed arguments", bare)
+	}
+	return kv, nil
+}
+
+// rejectUnknown errors on leftover arguments, naming them — a typo'd
+// parameter must fail loudly, not silently run a default.
+func rejectUnknown(kv map[string]string) error {
+	if len(kv) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 1 {
+		return fmt.Errorf("unknown argument %q", keys[0])
+	}
+	return fmt.Errorf("unknown arguments %q", keys)
+}

@@ -1,0 +1,283 @@
+// Package traffic generates workloads and injection schedules for the
+// routing engine: the demand model (who sends how much to whom) and the
+// arrival process (when each packet is born) are specified separately
+// and compiled together into an engine.Arrivals plan.
+//
+// Demand models cover the paper's families beyond the 1-1 permutation:
+// k-relations (each node sends and receives exactly k — the k-k sorting
+// and routing loads of Cor 3.1.1), (ℓ,k)-relations (each node sends at
+// most ℓ and receives at most k, the Huc–Sau model), hot-spot traffic,
+// and partial permutations. Arrival processes cover batch injection
+// (everything at phase start — the classic one-shot run), a uniform
+// window, and a fixed-rate trickle (the online-routing model of
+// Even–Medina–Patt-Shamir, where packets arrive over time).
+//
+// Generation is seeded and runs entirely on the caller's goroutine, so a
+// (Load, Schedule, shape) triple always produces the identical plan —
+// combined with the engine's coordinator-side activation this keeps
+// traffic-driven runs bit-identical across worker counts.
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/xmath"
+)
+
+// Demand names a many-to-many demand model.
+type Demand int
+
+const (
+	// Permutation is the classic 1-1 load: every node sends one packet,
+	// every node receives one.
+	Permutation Demand = iota
+	// KRelation is the paper's k-k load: every node sends exactly K and
+	// receives exactly K.
+	KRelation
+	// LKRelation is the (ℓ,k) load: every node sends at most L packets
+	// and receives at most K.
+	LKRelation
+	// HotSpot sends one packet per node, a Frac fraction of which target
+	// a fixed set of Targets hot nodes.
+	HotSpot
+	// PartialPermutation keeps each pair of a random permutation with
+	// probability Frac.
+	PartialPermutation
+)
+
+// Load describes a demand model instance.
+type Load struct {
+	Demand  Demand
+	L       int     // (ℓ,k): max sends per node
+	K       int     // (ℓ,k) and k-relation: max (resp. exact) receives per node
+	Frac    float64 // HotSpot: hot fraction; PartialPermutation: keep probability
+	Targets int     // HotSpot: number of hot destinations
+	Seed    uint64
+}
+
+// Arrival names an arrival process.
+type Arrival int
+
+const (
+	// Batch stamps every packet at the current clock — the one-shot
+	// behavior the simulator always had.
+	Batch Arrival = iota
+	// Window stamps packets independently and uniformly over the next
+	// Span simulated steps.
+	Window
+	// Trickle releases packets at a fixed Rate per simulated step, in
+	// generation order.
+	Trickle
+)
+
+// Schedule describes an arrival process instance.
+type Schedule struct {
+	Arrival Arrival
+	Span    int32   // Window: length of the arrival window in steps
+	Rate    float64 // Trickle: packets per step
+	Seed    uint64
+}
+
+// Pair is one demand: a packet from Src to Dst.
+type Pair struct {
+	Src, Dst int
+}
+
+// Pairs generates the load's source-destination pairs on n nodes, in a
+// deterministic order fixed by the seed.
+func (l Load) Pairs(n int) ([]Pair, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("traffic: load needs a positive node count, got %d", n)
+	}
+	rng := xmath.NewRNG(l.Seed)
+	switch l.Demand {
+	case Permutation:
+		perm := rng.Perm(n)
+		out := make([]Pair, n)
+		for i, d := range perm {
+			out[i] = Pair{Src: i, Dst: d}
+		}
+		return out, nil
+
+	case KRelation:
+		if l.K < 1 {
+			return nil, fmt.Errorf("traffic: k-relation needs k >= 1, got %d", l.K)
+		}
+		// Exactly k receives per node: k copies of every rank, shuffled,
+		// dealt to the senders k at a time. Every node sends exactly k too.
+		slots := make([]int, 0, n*l.K)
+		for d := 0; d < n; d++ {
+			for c := 0; c < l.K; c++ {
+				slots = append(slots, d)
+			}
+		}
+		rng.Shuffle(slots)
+		out := make([]Pair, 0, n*l.K)
+		for i, d := range slots {
+			out = append(out, Pair{Src: i / l.K, Dst: d})
+		}
+		return out, nil
+
+	case LKRelation:
+		if l.L < 1 || l.K < 1 {
+			return nil, fmt.Errorf("traffic: (ℓ,k)-relation needs ℓ >= 1 and k >= 1, got ℓ=%d k=%d", l.L, l.K)
+		}
+		// Receiver capacity: at most k slots per node, shuffled. Each
+		// sender draws its demand uniformly from [0, ℓ] and claims that
+		// many slots until the pool runs dry — so no node ever receives
+		// more than k or sends more than ℓ.
+		slots := make([]int, 0, n*l.K)
+		for d := 0; d < n; d++ {
+			for c := 0; c < l.K; c++ {
+				slots = append(slots, d)
+			}
+		}
+		rng.Shuffle(slots)
+		out := make([]Pair, 0, n*l.L)
+		next := 0
+		for s := 0; s < n && next < len(slots); s++ {
+			sends := rng.Intn(l.L + 1)
+			for c := 0; c < sends && next < len(slots); c++ {
+				out = append(out, Pair{Src: s, Dst: slots[next]})
+				next++
+			}
+		}
+		return out, nil
+
+	case HotSpot:
+		targets := l.Targets
+		if targets < 1 {
+			targets = 1
+		}
+		if targets > n {
+			targets = n
+		}
+		frac := l.Frac
+		if frac <= 0 {
+			frac = 1
+		}
+		hot := rng.Perm(n)[:targets]
+		out := make([]Pair, n)
+		for s := 0; s < n; s++ {
+			if rng.Float64() < frac {
+				out[s] = Pair{Src: s, Dst: hot[rng.Intn(targets)]}
+			} else {
+				out[s] = Pair{Src: s, Dst: rng.Intn(n)}
+			}
+		}
+		return out, nil
+
+	case PartialPermutation:
+		frac := l.Frac
+		if frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("traffic: partial permutation needs frac in (0,1], got %g", l.Frac)
+		}
+		perm := rng.Perm(n)
+		out := make([]Pair, 0, n)
+		for s, d := range perm {
+			if rng.Float64() < frac {
+				out = append(out, Pair{Src: s, Dst: d})
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("traffic: unknown demand model %d", l.Demand)
+}
+
+// Stamps assigns an arrival clock to each of count packets, relative to
+// base (the network clock at phase start). The returned stamps are in
+// generation order and not necessarily sorted.
+func (s Schedule) Stamps(count int, base int32) ([]int32, error) {
+	out := make([]int32, count)
+	switch s.Arrival {
+	case Batch:
+		for i := range out {
+			out[i] = base
+		}
+		return out, nil
+	case Window:
+		if s.Span < 1 {
+			return nil, fmt.Errorf("traffic: window schedule needs span >= 1, got %d", s.Span)
+		}
+		rng := xmath.NewRNG(s.Seed)
+		for i := range out {
+			out[i] = base + int32(rng.Intn(int(s.Span)))
+		}
+		return out, nil
+	case Trickle:
+		if s.Rate <= 0 {
+			return nil, fmt.Errorf("traffic: trickle schedule needs rate > 0, got %g", s.Rate)
+		}
+		for i := range out {
+			out[i] = base + int32(float64(i)/s.Rate)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("traffic: unknown arrival process %d", s.Arrival)
+}
+
+// Build compiles a load and a schedule into an arrivals plan on the
+// given network: it generates the demand pairs, stamps each with an
+// arrival clock starting at the network's current clock, creates the
+// packets in the network's arena (keyed by generation order), and
+// returns the plan sorted by stamp. The packets are not injected — the
+// plan owns their activation.
+//
+// The same (load, schedule) on the same shape always builds the same
+// plan, regardless of the engine's worker count.
+func Build(net *engine.Net, load Load, sched Schedule) (*engine.Arrivals, error) {
+	n := net.Topo.N()
+	pairs, err := load.Pairs(n)
+	if err != nil {
+		return nil, err
+	}
+	stamps, err := sched.Stamps(len(pairs), int32(net.Clock()))
+	if err != nil {
+		return nil, err
+	}
+	// Sort by stamp before creating packets, so arena ids ascend in
+	// activation order and the plan satisfies the engine's nondecreasing
+	// invariant. The sort is stable: packets sharing a stamp keep their
+	// generation order.
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return stamps[idx[a]] < stamps[idx[b]] })
+	arr := &engine.Arrivals{
+		Clocks: make([]int32, 0, len(pairs)),
+		IDs:    make([]int32, 0, len(pairs)),
+	}
+	for _, i := range idx {
+		p := net.NewPacket(int64(i), pairs[i].Src)
+		p.Dst = pairs[i].Dst
+		arr.Add(stamps[i], p)
+	}
+	return arr, nil
+}
+
+// Validate checks an (ℓ,k) constraint over a pair multiset: no node
+// sends more than ℓ or receives more than k. Used by tests and the
+// paranoid paths of consumers.
+func Validate(pairs []Pair, n, l, k int) error {
+	sends := make([]int, n)
+	recvs := make([]int, n)
+	for _, p := range pairs {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
+			return fmt.Errorf("traffic: pair %v outside [0,%d)", p, n)
+		}
+		sends[p.Src]++
+		recvs[p.Dst]++
+	}
+	for r := 0; r < n; r++ {
+		if l > 0 && sends[r] > l {
+			return fmt.Errorf("traffic: node %d sends %d packets, limit ℓ=%d", r, sends[r], l)
+		}
+		if k > 0 && recvs[r] > k {
+			return fmt.Errorf("traffic: node %d receives %d packets, limit k=%d", r, recvs[r], k)
+		}
+	}
+	return nil
+}

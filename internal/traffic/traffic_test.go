@@ -1,0 +1,279 @@
+package traffic
+
+import (
+	"testing"
+
+	"meshsort/internal/engine"
+	"meshsort/internal/grid"
+)
+
+func TestPermutationPairs(t *testing.T) {
+	l := Load{Demand: Permutation, Seed: 3}
+	pairs, err := l.Pairs(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 64 {
+		t.Fatalf("%d pairs, want 64", len(pairs))
+	}
+	if err := Validate(pairs, 64, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKRelationPairs(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		l := Load{Demand: KRelation, K: k, Seed: 5}
+		pairs, err := l.Pairs(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 32*k {
+			t.Fatalf("k=%d: %d pairs, want %d", k, len(pairs), 32*k)
+		}
+		// A k-relation is exact on both sides.
+		if err := Validate(pairs, 32, k, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		recvs := make([]int, 32)
+		sends := make([]int, 32)
+		for _, p := range pairs {
+			recvs[p.Dst]++
+			sends[p.Src]++
+		}
+		for r := 0; r < 32; r++ {
+			if recvs[r] != k || sends[r] != k {
+				t.Fatalf("k=%d: node %d sends %d receives %d, want exactly %d", k, r, sends[r], recvs[r], k)
+			}
+		}
+	}
+}
+
+func TestLKRelationPairs(t *testing.T) {
+	l := Load{Demand: LKRelation, L: 3, K: 2, Seed: 11}
+	pairs, err := l.Pairs(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("empty (ℓ,k) load")
+	}
+	if err := Validate(pairs, 64, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSpotPairs(t *testing.T) {
+	l := Load{Demand: HotSpot, Frac: 1, Targets: 2, Seed: 7}
+	pairs, err := l.Pairs(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := map[int]bool{}
+	for _, p := range pairs {
+		dsts[p.Dst] = true
+	}
+	if len(dsts) > 2 {
+		t.Fatalf("frac=1 targets=2 hit %d distinct destinations", len(dsts))
+	}
+}
+
+func TestPartialPermutationPairs(t *testing.T) {
+	l := Load{Demand: PartialPermutation, Frac: 0.5, Seed: 9}
+	pairs, err := l.Pairs(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 || len(pairs) >= 256 {
+		t.Fatalf("frac=0.5 kept %d of 256 pairs", len(pairs))
+	}
+	if err := Validate(pairs, 256, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairsDeterministic(t *testing.T) {
+	for _, l := range []Load{
+		{Demand: Permutation, Seed: 1},
+		{Demand: KRelation, K: 3, Seed: 1},
+		{Demand: LKRelation, L: 2, K: 4, Seed: 1},
+		{Demand: HotSpot, Frac: 0.3, Targets: 4, Seed: 1},
+		{Demand: PartialPermutation, Frac: 0.7, Seed: 1},
+	} {
+		a, err := l.Pairs(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := l.Pairs(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v: nondeterministic length", l)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: pair %d differs between runs", l, i)
+			}
+		}
+	}
+}
+
+func TestStamps(t *testing.T) {
+	batch, err := Schedule{}.Stamps(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range batch {
+		if c != 7 {
+			t.Fatalf("batch stamp %d, want 7", c)
+		}
+	}
+	win, err := Schedule{Arrival: Window, Span: 10, Seed: 2}.Stamps(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range win {
+		if c < 0 || c >= 10 {
+			t.Fatalf("window stamp %d outside [0,10)", c)
+		}
+	}
+	tr, err := Schedule{Arrival: Trickle, Rate: 2}.Stamps(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 0, 1, 1, 2, 2}
+	for i, c := range tr {
+		if c != want[i] {
+			t.Fatalf("trickle stamps %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestBuildRoutesEndToEnd(t *testing.T) {
+	s := grid.New(3, 4)
+	net := engine.New(s)
+	arr, err := Build(net,
+		Load{Demand: LKRelation, L: 2, K: 3, Seed: 17},
+		Schedule{Arrival: Window, Span: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() == 0 {
+		t.Fatal("empty plan")
+	}
+	// The plan must come out sorted (the engine rejects it otherwise).
+	for i := 1; i < len(arr.Clocks); i++ {
+		if arr.Clocks[i] < arr.Clocks[i-1] {
+			t.Fatalf("plan not sorted at %d", i)
+		}
+	}
+	res, err := net.Route(topoGreedy{s}, engine.RouteOpts{Arrivals: arr, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalPackets() != arr.Len() {
+		t.Fatalf("network holds %d packets, plan had %d", net.TotalPackets(), arr.Len())
+	}
+	net.ForEachHeld(func(rank int, p *engine.Packet) {
+		if p.Dst != rank {
+			t.Fatalf("packet %d held at %d, destination %d", p.ID, rank, p.Dst)
+		}
+	})
+	_ = res
+}
+
+// topoGreedy is a minimal dimension-order policy for the end-to-end
+// test (mirrors the engine's internal test policy).
+type topoGreedy struct{ s grid.Shape }
+
+func (g topoGreedy) NextLink(rank, dst, class int) int {
+	d := g.s.Dim
+	for i := 0; i < d; i++ {
+		dim := (class + i) % d
+		rc := g.s.Coord(rank, dim)
+		dc := g.s.Coord(dst, dim)
+		if rc == dc {
+			continue
+		}
+		dir := 1
+		if dc < rc {
+			dir = -1
+		}
+		if g.s.Torus {
+			fwd := (dc - rc + g.s.Side) % g.s.Side
+			if fwd <= g.s.Side-fwd {
+				dir = 1
+			} else {
+				dir = -1
+			}
+		}
+		return engine.LinkFor(dim, dir)
+	}
+	return -1
+}
+
+func (g topoGreedy) GreedyShape() (grid.Shape, bool) { return g.s, true }
+
+func TestParseLoad(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Load
+	}{
+		{"perm", Load{Demand: Permutation}},
+		{"k:4", Load{Demand: KRelation, K: 4}},
+		{"k:k=4", Load{Demand: KRelation, K: 4}},
+		{"lk:l=2,k=4", Load{Demand: LKRelation, L: 2, K: 4}},
+		{"hotspot:frac=0.25,targets=8", Load{Demand: HotSpot, Frac: 0.25, Targets: 8}},
+		{"partial:frac=0.5", Load{Demand: PartialPermutation, Frac: 0.5}},
+	}
+	for _, tc := range cases {
+		got, err := ParseLoad(tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%q parsed to %+v, want %+v", tc.in, got, tc.want)
+		}
+		// Round-trip through the canonical form.
+		again, err := ParseLoad(got.String())
+		if err != nil || again != got {
+			t.Fatalf("%q did not round-trip through %q: %+v, %v", tc.in, got.String(), again, err)
+		}
+	}
+	for _, bad := range []string{"nope", "k:0", "lk:l=2", "lk:k=4", "hotspot:frac=2", "partial:frac=0", "perm:bogus=1", "lk:l=2,k=4,typo=1", "k:4,typo=1", "k:typo=1", "lk:l=2,kk=3"} {
+		if _, err := ParseLoad(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Schedule
+	}{
+		{"batch", Schedule{}},
+		{"", Schedule{}},
+		{"window:256", Schedule{Arrival: Window, Span: 256}},
+		{"trickle:2.5", Schedule{Arrival: Trickle, Rate: 2.5}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSchedule(tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%q parsed to %+v, want %+v", tc.in, got, tc.want)
+		}
+		again, err := ParseSchedule(got.String())
+		if err != nil || again != got {
+			t.Fatalf("%q did not round-trip through %q", tc.in, got.String())
+		}
+	}
+	for _, bad := range []string{"soon", "window:0", "window:x", "trickle:0", "trickle:-1", "batch:now"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
